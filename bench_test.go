@@ -1,0 +1,290 @@
+// Benchmarks regenerating every table and figure of the paper (in Quick
+// mode — run cmd/photodtn-experiments for full-scale numbers), the ablation
+// studies DESIGN.md calls out, and micro-benchmarks of the hot paths.
+package photodtn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"photodtn/internal/coverage"
+	"photodtn/internal/experiments"
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+	"photodtn/internal/prophet"
+	"photodtn/internal/routing"
+	"photodtn/internal/selection"
+	"photodtn/internal/sim"
+	"photodtn/internal/trace"
+	"photodtn/internal/wire"
+	"photodtn/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Runs: 1, BaseSeed: 1, Quick: true}
+}
+
+// --- Table and figure benchmarks (one per paper artefact) ---
+
+func BenchmarkTable1Settings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.FormatTable1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig3PrototypeDemo(b *testing.B) {
+	var aspect float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDemo(experiments.DefaultDemoConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		aspect = res.Rows[0].AspectDeg
+	}
+	b.ReportMetric(aspect, "ours-aspect-deg")
+}
+
+func benchFigure(b *testing.B, fn func() (*experiments.Figure, error)) {
+	b.Helper()
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fig == nil || len(fig.Series) == 0 {
+		b.Fatal("no series")
+	}
+}
+
+func BenchmarkFig5CoverageVsTime(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) { return experiments.Fig5(benchOpts()) })
+}
+
+func BenchmarkFig6ContactDuration(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) { return experiments.Fig6(benchOpts()) })
+}
+
+func BenchmarkFig7Storage(b *testing.B) {
+	for _, kind := range []experiments.TraceKind{experiments.MIT, experiments.Cambridge} {
+		b.Run(kind.String(), func(b *testing.B) {
+			benchFigure(b, func() (*experiments.Figure, error) { return experiments.Fig7(kind, benchOpts()) })
+		})
+	}
+}
+
+func BenchmarkFig8PhotoRate(b *testing.B) {
+	for _, kind := range []experiments.TraceKind{experiments.MIT, experiments.Cambridge} {
+		b.Run(kind.String(), func(b *testing.B) {
+			benchFigure(b, func() (*experiments.Figure, error) { return experiments.Fig8(kind, benchOpts()) })
+		})
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+func BenchmarkAblationPthld(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) { return experiments.AblationPthld(benchOpts()) })
+}
+
+func BenchmarkAblationTheta(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) { return experiments.AblationTheta(benchOpts()) })
+}
+
+func BenchmarkAblationEvaluator(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) { return experiments.AblationEvaluator(benchOpts()) })
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func benchWorkload(n int, seed int64) (*coverage.Map, model.PhotoList) {
+	rng := rand.New(rand.NewSource(seed))
+	wl := workload.Default(50, 3600)
+	pois := workload.GeneratePoIs(wl, rng)
+	m := coverage.NewMap(pois, geo.Radians(30))
+	photos := make(model.PhotoList, 0, n)
+	wl.PhotosPerHour = float64(n)
+	for _, e := range workload.GeneratePhotos(wl, rng) {
+		photos = append(photos, e.Photo)
+	}
+	return m, photos
+}
+
+func BenchmarkFootprintGridIndex(b *testing.B) {
+	m, photos := benchWorkload(500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Footprint(photos[i%len(photos)])
+	}
+}
+
+func BenchmarkFootprintBruteForce(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	wl := workload.Default(50, 3600)
+	pois := workload.GeneratePoIs(wl, rng)
+	// A cell size spanning the whole region degenerates the grid into a
+	// single cell: the brute-force baseline of the ablation.
+	m := coverage.NewMapWithCellSize(pois, geo.Radians(30), 1e9)
+	wl.PhotosPerHour = 500
+	var photos model.PhotoList
+	for _, e := range workload.GeneratePhotos(wl, rng) {
+		photos = append(photos, e.Photo)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Footprint(photos[i%len(photos)])
+	}
+}
+
+func BenchmarkArcSetAddAndGain(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	arcs := make([]geo.Arc, 256)
+	for i := range arcs {
+		arcs[i] = geo.NewArc(rng.Float64()*geo.TwoPi, rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s geo.ArcSet
+		for _, a := range arcs[:16] {
+			s.Gain(a)
+			s.Add(a)
+		}
+	}
+}
+
+func BenchmarkCoverageStateAddPhotos(b *testing.B) {
+	m, photos := benchWorkload(300, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := m.NewState()
+		st.AddPhotos(photos)
+	}
+}
+
+func BenchmarkGreedyFill(b *testing.B) {
+	m, photos := benchWorkload(300, 4)
+	fpc := coverage.NewFootprintCache(m)
+	pool := selection.BuildPool(fpc, photos)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := selection.NewEvaluator(m, selection.DefaultConfig(), nil, nil)
+		selection.GreedyFill(ev, pool, 40*(4<<20))
+	}
+}
+
+func BenchmarkReallocate(b *testing.B) {
+	m, photos := benchWorkload(300, 5)
+	fpc := coverage.NewFootprintCache(m)
+	half := len(photos) / 2
+	a := selection.Alloc{Node: 1, P: 0.7, Capacity: 150 * (4 << 20), Photos: photos[:half]}
+	bb := selection.Alloc{Node: 2, P: 0.3, Capacity: 150 * (4 << 20), Photos: photos[half:]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		selection.Reallocate(fpc, selection.DefaultConfig(), nil, nil, a, bb)
+	}
+}
+
+func benchParticipants(m *coverage.Map, photos model.PhotoList, n int) []selection.Participant {
+	parts := make([]selection.Participant, 0, n)
+	per := len(photos) / n
+	for i := 0; i < n; i++ {
+		parts = append(parts, selection.Participant{
+			Node:   model.NodeID(i + 1),
+			Photos: photos[i*per : (i+1)*per],
+			P:      0.3 + 0.05*float64(i),
+		})
+	}
+	return parts
+}
+
+func BenchmarkExpectedCoverageExact(b *testing.B) {
+	m, photos := benchWorkload(200, 6)
+	parts := benchParticipants(m, photos, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		selection.ExactExpectedCoverage(m, nil, parts)
+	}
+}
+
+func BenchmarkExpectedCoverageMonteCarlo(b *testing.B) {
+	m, photos := benchWorkload(200, 6)
+	parts := benchParticipants(m, photos, 8)
+	cfg := selection.Config{ExactLimit: 0, Samples: 24, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		selection.ExpectedCoverage(m, cfg, nil, parts)
+	}
+}
+
+func BenchmarkProphetExchange(b *testing.B) {
+	cfg := prophet.DefaultConfig()
+	tabs := make([]*prophet.Table, 20)
+	for i := range tabs {
+		tabs[i] = prophet.NewTable(model.NodeID(i), cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prophet.Exchange(tabs[i%20], tabs[(i+7)%20], float64(i)*60)
+	}
+}
+
+func BenchmarkTraceGenerateMITLike(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Generate(trace.MITLike(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWirePhotoListCodec(b *testing.B) {
+	_, photos := benchWorkload(200, 7)
+	md := wire.Metadata{Entries: []wire.MetaEntry{{Node: 1, Photos: photos}}}
+	var sink countWriter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.n = 0
+		if err := wire.Write(&sink, md); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(sink.n)
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func BenchmarkSimOurSchemeShortRun(b *testing.B) {
+	p := experiments.DefaultParams(experiments.MIT)
+	p.SpanHours = 30
+	for i := 0; i < b.N; i++ {
+		cfg, scheme, err := experiments.Build(p, experiments.SchemeOurs, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(cfg, scheme); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeBestPossibleFullTrace(b *testing.B) {
+	p := experiments.DefaultParams(experiments.MIT)
+	cfg, _, err := experiments.Build(p, experiments.SchemeBestPossible, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.ComputeBestPossible(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSampleThenEvaluate(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var sb strings.Builder
+	if err := run([]string{"-sample"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"-pois", "pois.json", "-photos", "photos.json", "-budget", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"point coverage:", "aspect coverage:", "greedy selection under 8 MB: 2 photos"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestMissingFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("expected error without flags")
+	}
+	if err := run([]string{"-pois", "/nope.json", "-photos", "/nope.json"}, &sb); err == nil {
+		t.Fatal("expected error for missing files")
+	}
+}

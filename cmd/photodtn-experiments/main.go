@@ -1,0 +1,103 @@
+// Command photodtn-experiments regenerates the paper's evaluation: Table I,
+// the §IV prototype demo (Fig. 3/4), and the simulation figures
+// (Figs. 5–8), plus the repository's ablation studies.
+//
+// Usage:
+//
+//	photodtn-experiments [-exp all|tab1|fig3|fig5|fig6|fig7|fig8|ablations]
+//	                     [-runs N] [-seed S] [-quick] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"photodtn/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "photodtn-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("photodtn-experiments", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "all", "experiment: all, tab1, fig3, fig5, fig6, fig7, fig8, extended, ablations")
+		runs  = fs.Int("runs", 3, "averaged runs per data point (paper: 50)")
+		seed  = fs.Int64("seed", 1, "base seed")
+		quick = fs.Bool("quick", false, "trim sweeps and spans (for smoke testing)")
+		chart = fs.Bool("chart", false, "append ASCII charts to each figure")
+		out   = fs.String("out", "", "also write the report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Runs: *runs, BaseSeed: *seed, Quick: *quick}
+
+	var report strings.Builder
+	emit := func(s string) {
+		report.WriteString(s)
+		report.WriteByte('\n')
+		fmt.Fprintln(stdout, s)
+	}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("tab1") {
+		ran = true
+		emit(experiments.FormatTable1())
+	}
+	if want("fig3") {
+		ran = true
+		demo, err := experiments.RunDemo(experiments.DefaultDemoConfig())
+		if err != nil {
+			return fmt.Errorf("fig3: %w", err)
+		}
+		emit(demo.Format())
+	}
+	figs := []struct {
+		name string
+		fn   func() (*experiments.Figure, error)
+	}{
+		{"fig5", func() (*experiments.Figure, error) { return experiments.Fig5(opts) }},
+		{"fig6", func() (*experiments.Figure, error) { return experiments.Fig6(opts) }},
+		{"fig7", func() (*experiments.Figure, error) { return experiments.Fig7(experiments.MIT, opts) }},
+		{"fig7", func() (*experiments.Figure, error) { return experiments.Fig7(experiments.Cambridge, opts) }},
+		{"fig8", func() (*experiments.Figure, error) { return experiments.Fig8(experiments.MIT, opts) }},
+		{"fig8", func() (*experiments.Figure, error) { return experiments.Fig8(experiments.Cambridge, opts) }},
+		{"extended", func() (*experiments.Figure, error) { return experiments.ExtendedComparison(opts) }},
+		{"ablations", func() (*experiments.Figure, error) { return experiments.AblationPthld(opts) }},
+		{"ablations", func() (*experiments.Figure, error) { return experiments.AblationTheta(opts) }},
+		{"ablations", func() (*experiments.Figure, error) { return experiments.AblationEvaluator(opts) }},
+	}
+	for _, f := range figs {
+		if !want(f.name) {
+			continue
+		}
+		ran = true
+		fig, err := f.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		emit(fig.Format())
+		if *chart {
+			emit(fig.Chart(experiments.MetricPoint, 64, 12))
+			emit(fig.Chart(experiments.MetricAspect, 64, 12))
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	return nil
+}

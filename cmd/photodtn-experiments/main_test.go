@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTab1AndFig3(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.txt")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "tab1", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TABLE I") {
+		t.Fatalf("missing table:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "TABLE I") {
+		t.Fatal("report file missing table")
+	}
+
+	sb.Reset()
+	if err := run([]string{"-exp", "fig3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FIG3") || !strings.Contains(sb.String(), "OurScheme") {
+		t.Fatalf("missing demo:\n%s", sb.String())
+	}
+}
+
+func TestQuickFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick simulation sweep")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig7", "-quick", "-runs", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FIG7-MIT") || !strings.Contains(sb.String(), "FIG7-CAM") {
+		t.Fatalf("missing figures:\n%s", sb.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "bogus"}, &sb); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunShortSimulation(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-trace", "cambridge", "-scheme", "Spray&Wait",
+		"-span", "20", "-sample", "10", "-runs", "1",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"scheme=Spray&Wait", "point cov.", "final", "transferred photos"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	tests := [][]string{
+		{"-trace", "bogus"},
+		{"-scheme", "bogus", "-span", "5"},
+	}
+	for _, args := range tests {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunOnTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.trace")
+	if err := os.WriteFile(path, []byte("nodes 5\n100 200 1 2\n300 400 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-trace", path, "-scheme", "Epidemic", "-span", "1", "-sample", "1", "-runs", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "scheme=Epidemic") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunOnMissingTraceFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trace", "/nonexistent.trace"}, &sb); err == nil {
+		t.Fatal("expected error")
+	}
+}

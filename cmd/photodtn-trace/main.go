@@ -1,0 +1,167 @@
+// Command photodtn-trace generates and inspects DTN contact traces.
+//
+// Usage:
+//
+//	photodtn-trace gen  [-kind mit|cambridge] [-nodes N] [-hours H] [-seed S] [-o FILE]
+//	photodtn-trace stat [-i FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"photodtn/internal/mobility"
+	"photodtn/internal/model"
+	"photodtn/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "photodtn-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: photodtn-trace gen|stat [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], stdout)
+	case "stat":
+		return runStat(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen or stat)", args[0])
+	}
+}
+
+func runGen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	var (
+		kind  = fs.String("kind", "mit", "preset: mit, cambridge, or rwp (random waypoint)")
+		nodes = fs.Int("nodes", 0, "override node count")
+		hours = fs.Float64("hours", 0, "override span in hours")
+		rng   = fs.Float64("range", 50, "radio range in metres (rwp only)")
+		seed  = fs.Int64("seed", 1, "generator seed")
+		out   = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch *kind {
+	case "mit", "cambridge":
+		var cfg trace.SynthConfig
+		if *kind == "mit" {
+			cfg = trace.MITLike(*seed)
+		} else {
+			cfg = trace.CambridgeLike(*seed)
+		}
+		if *nodes > 0 {
+			cfg.Nodes = *nodes
+		}
+		if *hours > 0 {
+			cfg.Span = *hours * 3600
+		}
+		tr, err = trace.Generate(cfg)
+	case "rwp":
+		n := *nodes
+		if n <= 0 {
+			n = 40
+		}
+		span := *hours * 3600
+		if span <= 0 {
+			span = 24 * 3600
+		}
+		cfg := mobility.DefaultConfig(n, span)
+		cfg.Range = *rng
+		cfg.Seed = *seed
+		var tracks []*mobility.Track
+		tracks, err = mobility.GenerateTracks(cfg)
+		if err == nil {
+			tr, err = mobility.ExtractContacts(cfg, tracks)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	return trace.Write(w, tr)
+}
+
+func runStat(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stat", flag.ContinueOnError)
+	in := fs.String("i", "", "input trace file (default stdin)")
+	topN := fs.Int("top", 5, "how many most-connected nodes to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("open input: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		r = f
+	}
+	tr, err := trace.Read(r)
+	if err != nil {
+		return err
+	}
+	s := trace.Analyze(tr)
+	fmt.Fprintf(stdout, "nodes:            %d\n", tr.Nodes)
+	fmt.Fprintf(stdout, "contacts:         %d\n", tr.Len())
+	fmt.Fprintf(stdout, "span:             %.1f hours\n", tr.Duration()/3600)
+	fmt.Fprintf(stdout, "mean duration:    %.0f s\n", trace.MeanContactDuration(tr))
+	active := 0
+	type nodeCount struct {
+		node  model.NodeID
+		count int
+	}
+	counts := make([]nodeCount, 0, tr.Nodes)
+	for n := 1; n <= tr.Nodes; n++ {
+		c := s.ContactCount[model.NodeID(n)]
+		if c > 0 {
+			active++
+		}
+		counts = append(counts, nodeCount{model.NodeID(n), c})
+	}
+	fmt.Fprintf(stdout, "active nodes:     %d/%d\n", active, tr.Nodes)
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].count != counts[j].count {
+			return counts[i].count > counts[j].count
+		}
+		return counts[i].node < counts[j].node
+	})
+	if *topN > len(counts) {
+		*topN = len(counts)
+	}
+	fmt.Fprintf(stdout, "most connected:  ")
+	for _, nc := range counts[:*topN] {
+		fmt.Fprintf(stdout, " %v(%d)", nc.node, nc.count)
+	}
+	fmt.Fprintln(stdout)
+	return nil
+}

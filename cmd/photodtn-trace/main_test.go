@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenAndStat(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trace")
+	var sb strings.Builder
+	if err := run([]string{"gen", "-kind", "cambridge", "-hours", "10", "-seed", "3", "-o", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"stat", "-i", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"nodes:            54", "contacts:", "span:", "most connected:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stat output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestGenToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"gen", "-kind", "mit", "-nodes", "10", "-hours", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "nodes 10") {
+		t.Fatalf("missing header:\n%s", sb.String()[:100])
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	tests := [][]string{
+		nil,
+		{"bogus"},
+		{"gen", "-kind", "bogus"},
+		{"stat", "-i", "/nonexistent/file"},
+	}
+	for _, args := range tests {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestGenRWP(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"gen", "-kind", "rwp", "-nodes", "8", "-hours", "2", "-range", "120"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "nodes 8") {
+		t.Fatalf("missing header:\n%.120s", sb.String())
+	}
+}

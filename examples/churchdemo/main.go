@@ -1,0 +1,28 @@
+// Churchdemo reproduces the paper's §IV prototype demonstration (Fig. 3/4):
+// eight participants hold 40 photos taken around a church; the last 48
+// contacts of a small DTN trace (three photos per contact, five per device)
+// decide what reaches the command center. Our scheme delivers roughly half
+// as many photos as Spray&Wait or PhotoNet while covering the church from
+// nearly all sides.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"photodtn"
+)
+
+func main() {
+	res, err := photodtn.RunDemo(photodtn.DefaultDemoConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churchdemo:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+
+	fmt.Println("\nHow to read this: every scheme had the same four chances to hand")
+	fmt.Println("photos to the command center, three photos each. The content-blind")
+	fmt.Println("schemes spend them on whatever is in the buffer; our scheme spends")
+	fmt.Println("them on the photos that extend the covered arc around the target.")
+}

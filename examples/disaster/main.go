@@ -1,0 +1,73 @@
+// Disaster runs the motivating scenario end-to-end: a town's cellular
+// network is down after an earthquake; 97 participants photograph 250
+// points of interest over 60 hours; two rescuers carry satellite radios.
+// The example compares what the command center learns under our scheme and
+// under content-blind routing.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"photodtn"
+	"photodtn/internal/experiments"
+	"photodtn/internal/geo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "disaster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Earthquake scenario: 97 participants, 250 PoIs, 2 satellite gateways,")
+	fmt.Println("0.6 GB per phone, 250 photos/hour, 60 hours of crowdsourcing.")
+
+	p := experiments.DefaultParams(experiments.MIT)
+	p.SpanHours = 60
+	p.SampleHours = 20
+
+	type row struct {
+		scheme string
+		avg    *photodtn.SimAverage
+	}
+	var rows []row
+	for _, scheme := range []string{
+		experiments.SchemeOurs,
+		experiments.SchemeModifiedSpray,
+		experiments.SchemeSprayAndWait,
+	} {
+		avg, err := experiments.RunAveraged(p, scheme, 2, 1)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{scheme, avg})
+	}
+
+	fmt.Printf("\n%-16s %12s %16s %12s %14s\n",
+		"scheme", "PoIs seen", "aspect (°/PoI)", "delivered", "transferred")
+	for _, r := range rows {
+		fmt.Printf("%-16s %11.0f%% %16.1f %12.0f %14.0f\n",
+			r.scheme,
+			100*r.avg.Final.PointFrac,
+			geo.Degrees(r.avg.Final.AspectRad),
+			r.avg.Final.Delivered,
+			r.avg.TransferredPhotos)
+	}
+	ours, spray := rows[0].avg.Final, rows[2].avg.Final
+	fmt.Printf("\nWith identical radios and storage, the resource-aware framework saw\n")
+	fmt.Printf("%.0f%% of the town's points of interest versus %.0f%% for Spray&Wait,\n",
+		100*ours.PointFrac, 100*spray.PointFrac)
+	fmt.Printf("with %.1fx the viewing angles per target.\n",
+		safeRatio(geo.Degrees(ours.AspectRad), geo.Degrees(spray.AspectRad)))
+	return nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

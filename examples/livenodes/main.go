@@ -1,0 +1,120 @@
+// Livenodes runs the prototype path for real: a command center and four
+// participant peers exchange photos over localhost TCP using the wire
+// protocol, and the photos themselves come out of the simulated phone
+// pipeline (GPS + sensor-fused orientation + the r = c·cot(φ/2) law) —
+// everything the paper's Android prototype does, minus the pixels.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+
+	"photodtn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "livenodes:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// One PoI: the town hall. Effective angle 30°.
+	hall := photodtn.NewPoI(0, photodtn.Vec{X: 300, Y: 300})
+	m := photodtn.NewMap([]photodtn.PoI{hall}, photodtn.Radians(30))
+
+	// The command center listens on localhost. The logical clock is shared
+	// by every peer and ticked from multiple goroutines, so it is atomic.
+	var logical atomic.Int64
+	clock := func() float64 { return float64(logical.Add(1)) }
+	cc := photodtn.NewPeer(photodtn.CommandCenter, m, 0, photodtn.WithClock(clock), photodtn.WithSeed(1))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = l.Close() }()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- cc.Serve(l) }()
+	fmt.Printf("command center listening on %s\n", l.Addr())
+
+	// Four participants photograph the hall from different streets, using
+	// the full phone pipeline.
+	peers := make([]*photodtn.Peer, 0, 4)
+	standpoints := []photodtn.Vec{
+		{X: 380, Y: 300}, // east
+		{X: 300, Y: 380}, // north
+		{X: 220, Y: 300}, // west
+		{X: 300, Y: 220}, // south
+	}
+	for i, at := range standpoints {
+		id := photodtn.NodeID(i + 1)
+		phone, err := photodtn.NewPhone(id, photodtn.DefaultPhoneConfig(), int64(i)+10)
+		if err != nil {
+			return err
+		}
+		phone.MoveTo(at)
+		phone.AimAt(hall.Location)
+		photo := phone.Capture(float64(i))
+		fmt.Printf("  %v shot the hall from %v looking %.0f° (fused-orientation error %.1f°)\n",
+			id, at, photodtn.Degrees(photo.Orientation), photodtn.Degrees(phone.HeadingError()))
+
+		p := photodtn.NewPeer(id, m, 40<<20, photodtn.WithClock(clock), photodtn.WithSeed(int64(i)+20))
+		if err := p.AddPhoto(photo); err != nil {
+			return err
+		}
+		peers = append(peers, p)
+	}
+
+	// Peer 1 is the gateway: it meets the command center, then the others,
+	// then the command center again — a data-mule round.
+	addr := l.Addr().String()
+	if err := peers[0].Contact(addr); err != nil {
+		return fmt.Errorf("gateway upload 1: %w", err)
+	}
+	for _, other := range peers[1:] {
+		if err := meet(other, peers[0]); err != nil {
+			return err
+		}
+	}
+	if err := peers[0].Contact(addr); err != nil {
+		return fmt.Errorf("gateway upload 2: %w", err)
+	}
+
+	cov := cc.Coverage()
+	fmt.Printf("\ncommand center received %d photos; coverage %v\n", len(cc.Photos()), cov)
+	if err := l.Close(); err != nil {
+		return err
+	}
+	if err := <-serveDone; err != nil {
+		return err
+	}
+	return nil
+}
+
+// meet runs a peer-to-peer contact over a real TCP connection.
+func meet(a, b *photodtn.Peer) error {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		done <- b.ContactConn(conn, false)
+	}()
+	if err := a.Contact(l.Addr().String()); err != nil {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	return l.Close()
+}

@@ -1,0 +1,3 @@
+module photodtn
+
+go 1.22

@@ -1,0 +1,193 @@
+// Package camera reproduces the prototype's metadata generation (§IV-A):
+// given the phone's state at shutter time — a GPS fix, the camera API's
+// exact field-of-view, and the sensor-fused orientation — it produces the
+// photo metadata tuple (l, r, φ, d) the coverage model consumes.
+//
+// The coverage range follows the paper's law r = c·cot(φ/2): an object
+// grows in the image at the same rate the focal length does, and
+// f ∝ cot(φ/2), so the distance at which objects stay recognizable scales
+// the same way. The coefficient c is application-dependent; the prototype
+// uses 50 m for buildings, giving r ∈ [87 m, 187 m] over φ ∈ [30°, 60°].
+package camera
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+	"photodtn/internal/sensor"
+)
+
+// DefaultRangeCoefficient is the prototype's c = 50 m (buildings).
+const DefaultRangeCoefficient = 50.0
+
+// CoverageRange computes r = c·cot(φ/2) for a field-of-view φ in radians.
+func CoverageRange(c, fov float64) float64 {
+	return c / math.Tan(fov/2)
+}
+
+// Config describes a simulated phone camera.
+type Config struct {
+	// FOV is the camera's field-of-view in radians, as reported exactly by
+	// the camera API.
+	FOV float64
+	// RangeCoefficient is the c of r = c·cot(φ/2).
+	RangeCoefficient float64
+	// PhotoSize is the size of a captured image file in bytes.
+	PhotoSize int64
+	// GPSSigma is the per-axis standard deviation of the GPS fix in metres
+	// (common errors are 5–8.5 m, tolerable for buildings per §IV-A).
+	GPSSigma float64
+	// GyroWeight is the orientation fusion blend weight.
+	GyroWeight float64
+	// SensorNoise configures the simulated IMU.
+	SensorNoise sensor.Noise
+}
+
+// DefaultConfig returns a Nexus-4-like camera: 54° FOV, 4 MB photos, 6 m
+// GPS error.
+func DefaultConfig() Config {
+	return Config{
+		FOV:              geo.Radians(54),
+		RangeCoefficient: DefaultRangeCoefficient,
+		PhotoSize:        4 << 20,
+		GPSSigma:         6,
+		GyroWeight:       0.98,
+		SensorNoise:      sensor.DefaultNoise(),
+	}
+}
+
+// ErrBadCamera reports an invalid camera configuration.
+var ErrBadCamera = errors.New("camera: bad config")
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.FOV <= 0 || c.FOV >= math.Pi:
+		return fmt.Errorf("%w: FOV %v outside (0, π)", ErrBadCamera, c.FOV)
+	case c.RangeCoefficient <= 0:
+		return fmt.Errorf("%w: non-positive range coefficient", ErrBadCamera)
+	case c.PhotoSize <= 0:
+		return fmt.Errorf("%w: non-positive photo size", ErrBadCamera)
+	case c.GPSSigma < 0:
+		return fmt.Errorf("%w: negative GPS sigma", ErrBadCamera)
+	case c.GyroWeight < 0 || c.GyroWeight >= 1:
+		return fmt.Errorf("%w: gyro weight %v outside [0,1)", ErrBadCamera, c.GyroWeight)
+	}
+	return nil
+}
+
+// Phone simulates one participant's handset: true pose, noisy sensors, and
+// the metadata pipeline. It is the in-simulation stand-in for the Android
+// prototype.
+type Phone struct {
+	cfg    Config
+	owner  model.NodeID
+	seq    uint32
+	device *sensor.Device
+	fusion *sensor.Fusion
+	rng    *rand.Rand
+
+	// trueLoc is the phone's true position in metres.
+	trueLoc geo.Vec
+}
+
+// NewPhone creates a phone for the owner with a deterministic seed.
+func NewPhone(owner model.NodeID, cfg Config, seed int64) (*Phone, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Phone{
+		cfg:    cfg,
+		owner:  owner,
+		device: sensor.NewDevice(seed, cfg.SensorNoise),
+		fusion: sensor.NewFusion(cfg.GyroWeight),
+		rng:    rand.New(rand.NewSource(seed + 1)),
+	}
+	// Hold the phone upright (camera level, looking north) initially.
+	p.device.R = sensor.RotationAxis(sensor.Vec3{X: 1}, math.Pi/2)
+	p.settle(50)
+	return p, nil
+}
+
+// MoveTo teleports the phone (the simulation's mobility model owns actual
+// movement).
+func (p *Phone) MoveTo(loc geo.Vec) { p.trueLoc = loc }
+
+// Location returns the phone's true position.
+func (p *Phone) Location() geo.Vec { return p.trueLoc }
+
+// Owner returns the phone's owner.
+func (p *Phone) Owner() model.NodeID { return p.owner }
+
+// AimAt pans the phone toward the target heading (radians) through a
+// sequence of gyro-integrated rotation steps with sensor fusion running —
+// exactly the regime the prototype's estimator works in.
+func (p *Phone) AimAt(target geo.Vec) {
+	want := target.Sub(p.trueLoc).Angle()
+	const dt = 0.02
+	for i := 0; i < 400; i++ {
+		cur := p.device.TrueHeading()
+		diff := math.Remainder(want-cur, geo.TwoPi)
+		if math.Abs(diff) < 1e-3 {
+			break
+		}
+		rate := math.Max(-2, math.Min(2, diff/dt/10))
+		// Panning is a world-Z rotation; express it in the device frame.
+		axis := p.deviceAxisForWorldZ()
+		gyro := p.device.Rotate(axis.Scale(rate), dt)
+		p.fusion.Update(p.device.ReadAccel(), p.device.ReadMag(), gyro, dt)
+	}
+	p.settle(20)
+}
+
+// settle runs fusion updates while holding still, letting the absolute
+// estimate converge ("when a photo is taken and the phone is held static").
+func (p *Phone) settle(steps int) {
+	const dt = 0.02
+	for i := 0; i < steps; i++ {
+		gyro := p.device.Rotate(sensor.Vec3{}, dt)
+		p.fusion.Update(p.device.ReadAccel(), p.device.ReadMag(), gyro, dt)
+	}
+}
+
+// deviceAxisForWorldZ returns the world up axis expressed in the device
+// frame, so a yaw can be commanded through the device-frame gyro.
+func (p *Phone) deviceAxisForWorldZ() sensor.Vec3 {
+	return p.device.R.Transpose().Apply(sensor.Vec3{Z: 1})
+}
+
+// Capture takes a photo at time now (seconds): it reads the GPS (noisy
+// location), the camera API (exact FOV), and the fused orientation, and
+// mints the metadata tuple.
+func (p *Phone) Capture(now float64) model.Photo {
+	gps := geo.Vec{
+		X: p.trueLoc.X + p.cfg.GPSSigma*p.rng.NormFloat64(),
+		Y: p.trueLoc.Y + p.cfg.GPSSigma*p.rng.NormFloat64(),
+	}
+	photo := model.Photo{
+		ID:          model.MakePhotoID(p.owner, p.seq),
+		Owner:       p.owner,
+		TakenAt:     now,
+		Location:    gps,
+		Range:       CoverageRange(p.cfg.RangeCoefficient, p.cfg.FOV),
+		FOV:         p.cfg.FOV,
+		Orientation: p.fusion.Heading(),
+		Size:        p.cfg.PhotoSize,
+	}
+	p.seq++
+	return photo
+}
+
+// HeadingError returns the current orientation estimation error in radians
+// (diagnostics for tests and examples).
+func (p *Phone) HeadingError() float64 {
+	d := math.Abs(p.fusion.Heading() - p.device.TrueHeading())
+	if d > math.Pi {
+		d = geo.TwoPi - d
+	}
+	return d
+}

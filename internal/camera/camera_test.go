@@ -1,0 +1,145 @@
+package camera
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+)
+
+func TestCoverageRangePaperBand(t *testing.T) {
+	// §IV-A: with c = 50 m, φ ∈ [30°, 60°] gives r ∈ [87 m, 187 m].
+	r60 := CoverageRange(50, geo.Radians(60))
+	r30 := CoverageRange(50, geo.Radians(30))
+	if math.Abs(r60-86.6) > 1 {
+		t.Fatalf("r(60°) = %v, want ≈87", r60)
+	}
+	if math.Abs(r30-186.6) > 1 {
+		t.Fatalf("r(30°) = %v, want ≈187", r30)
+	}
+	// Narrower FOV sees farther.
+	if r30 <= r60 {
+		t.Fatal("coverage range must decrease with FOV")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero fov", func(c *Config) { c.FOV = 0 }},
+		{"fov too wide", func(c *Config) { c.FOV = math.Pi }},
+		{"zero coefficient", func(c *Config) { c.RangeCoefficient = 0 }},
+		{"zero size", func(c *Config) { c.PhotoSize = 0 }},
+		{"negative gps", func(c *Config) { c.GPSSigma = -1 }},
+		{"gyro weight 1", func(c *Config) { c.GyroWeight = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrBadCamera) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestNewPhoneRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FOV = -1
+	if _, err := NewPhone(1, cfg, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCaptureMetadata(t *testing.T) {
+	phone, err := NewPhone(3, DefaultConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone.MoveTo(geo.Vec{X: 100, Y: 200})
+	target := geo.Vec{X: 100, Y: 280} // due north, 80 m away (r ≈ 98 m)
+	phone.AimAt(target)
+
+	p := phone.Capture(12.5)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("captured photo invalid: %v", err)
+	}
+	if p.Owner != 3 || p.ID != model.MakePhotoID(3, 0) || p.TakenAt != 12.5 {
+		t.Fatalf("identity fields wrong: %+v", p)
+	}
+	// GPS error is present but bounded (6σ of 6 m).
+	if d := p.Location.Dist(phone.Location()); d > 36 {
+		t.Fatalf("GPS error %v m implausible", d)
+	}
+	// FOV is exact, range obeys the law.
+	cfg := DefaultConfig()
+	if p.FOV != cfg.FOV {
+		t.Fatal("FOV must come straight from the camera API")
+	}
+	if math.Abs(p.Range-CoverageRange(cfg.RangeCoefficient, cfg.FOV)) > 1e-9 {
+		t.Fatalf("range = %v", p.Range)
+	}
+	// Orientation points (approximately) at the target: within 5°.
+	want := target.Sub(phone.Location()).Angle()
+	if geo.AngleDiff(p.Orientation, want) > geo.Radians(5) {
+		t.Fatalf("orientation %v° off target (want %v°)",
+			geo.Degrees(p.Orientation), geo.Degrees(want))
+	}
+	// The captured photo's sector must cover the target.
+	if !p.Sector().Contains(target) {
+		t.Fatal("captured photo does not cover the aimed target")
+	}
+}
+
+func TestCaptureSequenceNumbers(t *testing.T) {
+	phone, err := NewPhone(1, DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := phone.Capture(0), phone.Capture(1)
+	if a.ID.Seq() != 0 || b.ID.Seq() != 1 {
+		t.Fatalf("sequence numbers wrong: %v, %v", a.ID, b.ID)
+	}
+}
+
+func TestAimAtVariousDirections(t *testing.T) {
+	for i, target := range []geo.Vec{{X: 50}, {Y: 50}, {X: -50}, {Y: -50}, {X: 30, Y: -40}} {
+		phone, err := NewPhone(1, DefaultConfig(), int64(i)*17+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phone.MoveTo(geo.Vec{})
+		phone.AimAt(target)
+		if phone.HeadingError() > geo.Radians(5) {
+			t.Fatalf("target %d: heading error %.1f° exceeds 5°", i, geo.Degrees(phone.HeadingError()))
+		}
+		p := phone.Capture(0)
+		want := target.Angle()
+		if geo.AngleDiff(p.Orientation, want) > geo.Radians(8) {
+			t.Fatalf("target %d: orientation %.0f° vs want %.0f°", i, geo.Degrees(p.Orientation), geo.Degrees(want))
+		}
+	}
+}
+
+func TestPhoneDeterministic(t *testing.T) {
+	mk := func() model.Photo {
+		phone, err := NewPhone(2, DefaultConfig(), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phone.MoveTo(geo.Vec{X: 10, Y: 10})
+		phone.AimAt(geo.Vec{X: 90, Y: 10})
+		return phone.Capture(5)
+	}
+	if mk() != mk() {
+		t.Fatal("phone not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,36 @@
+package coverage
+
+import "photodtn/internal/model"
+
+// FootprintCache memoizes photo footprints against a fixed Map. Footprints
+// depend only on photo metadata and the (immutable) PoI map, so a node can
+// compile each photo once and reuse the result at every contact — the
+// compiled form of "metadata is cheap to analyze".
+//
+// A FootprintCache is not safe for concurrent use; simulations create one
+// per run.
+type FootprintCache struct {
+	m   *Map
+	fps map[model.PhotoID]Footprint
+}
+
+// NewFootprintCache returns an empty cache over the map.
+func NewFootprintCache(m *Map) *FootprintCache {
+	return &FootprintCache{m: m, fps: make(map[model.PhotoID]Footprint)}
+}
+
+// Map returns the underlying PoI map.
+func (c *FootprintCache) Map() *Map { return c.m }
+
+// Of returns the (possibly memoized) footprint of the photo.
+func (c *FootprintCache) Of(p model.Photo) Footprint {
+	if fp, ok := c.fps[p.ID]; ok {
+		return fp
+	}
+	fp := c.m.Footprint(p)
+	c.fps[p.ID] = fp
+	return fp
+}
+
+// Len returns the number of memoized footprints.
+func (c *FootprintCache) Len() int { return len(c.fps) }

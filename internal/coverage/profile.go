@@ -1,0 +1,80 @@
+package coverage
+
+import (
+	"photodtn/internal/geo"
+)
+
+// WeightedArc is one angular segment of an aspect profile with its weight.
+type WeightedArc struct {
+	Arc    geo.Arc
+	Weight float64
+}
+
+// AspectProfile implements the §II-C extension "assign different weights to
+// different aspects of a PoI": a piecewise-constant weight over the circle
+// of aspects. Covering an aspect v credits Weight(v) instead of 1 — e.g.
+// the main entrance of a building can weigh 5× its back wall.
+//
+// Base applies wherever no segment does; overlapping segments stack
+// additively on top of the base (keep them disjoint for the usual
+// piecewise-constant semantics).
+type AspectProfile struct {
+	Base     float64
+	Segments []WeightedArc
+}
+
+// UniformProfile returns the default profile: every aspect weighs 1.
+func UniformProfile() AspectProfile { return AspectProfile{Base: 1} }
+
+// ArcAroundDeg builds a profile segment arc from degrees: centred on
+// centerDeg with ±halfWidthDeg. Convenience for profile authors.
+func ArcAroundDeg(centerDeg, halfWidthDeg float64) geo.Arc {
+	return geo.ArcAround(geo.Radians(centerDeg), geo.Radians(halfWidthDeg))
+}
+
+// normalized returns the profile with a defaulted base and dropped
+// non-positive-width segments.
+func (p AspectProfile) normalized() AspectProfile {
+	if p.Base <= 0 {
+		p.Base = 1
+	}
+	segs := make([]WeightedArc, 0, len(p.Segments))
+	for _, s := range p.Segments {
+		if !s.Arc.IsEmpty() {
+			segs = append(segs, s)
+		}
+	}
+	p.Segments = segs
+	return p
+}
+
+// isUniform reports whether the profile reduces to unit weighting.
+func (p AspectProfile) isUniform() bool {
+	return p.Base == 1 && len(p.Segments) == 0
+}
+
+// MeasureArc returns the weighted measure of one arc:
+// Base·|a| + Σ (Weight−Base)·|a ∩ segment|.
+func (p AspectProfile) MeasureArc(a geo.Arc) float64 {
+	m := p.Base * a.Width
+	for _, s := range p.Segments {
+		set := geo.NewArcSet(s.Arc)
+		m += (s.Weight - p.Base) * set.Overlap(a)
+	}
+	return m
+}
+
+// MeasureArcs returns the weighted measure of a set of disjoint arcs.
+func (p AspectProfile) MeasureArcs(arcs []geo.Arc) float64 {
+	var m float64
+	for _, a := range arcs {
+		m += p.MeasureArc(a)
+	}
+	return m
+}
+
+// MaxAspect returns the weighted measure of the full circle — the largest
+// aspect credit this PoI can ever contribute.
+func (p AspectProfile) MaxAspect() float64 {
+	return p.MeasureArc(geo.NewArc(0, geo.TwoPi))
+}

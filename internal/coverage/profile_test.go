@@ -1,0 +1,161 @@
+package coverage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+)
+
+func TestAspectProfileMeasureArc(t *testing.T) {
+	// Base weight 1, the "main entrance" arc [0°, 90°] weighs 5.
+	p := AspectProfile{
+		Base:     1,
+		Segments: []WeightedArc{{Arc: geo.NewArc(0, geo.Radians(90)), Weight: 5}},
+	}
+	tests := []struct {
+		name string
+		arc  geo.Arc
+		want float64
+	}{
+		{"entirely inside entrance", geo.NewArc(geo.Radians(10), geo.Radians(30)), 5 * geo.Radians(30)},
+		{"entirely outside", geo.NewArc(geo.Radians(180), geo.Radians(30)), geo.Radians(30)},
+		{"half in half out", geo.NewArc(geo.Radians(60), geo.Radians(60)), 5*geo.Radians(30) + geo.Radians(30)},
+		{"empty", geo.NewArc(1, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := p.MeasureArc(tt.arc); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("MeasureArc = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	wantMax := 5*geo.Radians(90) + geo.Radians(270)
+	if got := p.MaxAspect(); math.Abs(got-wantMax) > 1e-9 {
+		t.Fatalf("MaxAspect = %v, want %v", got, wantMax)
+	}
+}
+
+func TestUniformProfileIsIdentity(t *testing.T) {
+	p := UniformProfile()
+	a := geo.NewArc(1, 2)
+	if got := p.MeasureArc(a); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("MeasureArc = %v", got)
+	}
+	if !p.normalized().isUniform() {
+		t.Fatal("uniform profile not recognised")
+	}
+}
+
+func TestProfileNormalization(t *testing.T) {
+	p := AspectProfile{Base: 0, Segments: []WeightedArc{{Arc: geo.NewArc(0, 0), Weight: 9}}}
+	n := p.normalized()
+	if n.Base != 1 || len(n.Segments) != 0 {
+		t.Fatalf("normalized = %+v", n)
+	}
+}
+
+func TestMapWithAspectProfile(t *testing.T) {
+	pois := []model.PoI{model.NewPoI(0, geo.Vec{})}
+	// East-facing aspects weigh 4.
+	entrance := AspectProfile{Base: 1, Segments: []WeightedArc{
+		{Arc: geo.ArcAround(0, geo.Radians(30)), Weight: 4},
+	}}
+	m := NewMap(pois, geo.Radians(30), WithAspectProfile(0, entrance))
+
+	// A photo viewing exactly from the east covers the entrance arc.
+	east := photoAt(1, geo.Vec{X: 50}, math.Pi, 100)
+	west := photoAt(2, geo.Vec{X: -50}, 0, 100)
+
+	st := m.NewState()
+	gEast := st.AddPhoto(east)
+	wantEast := Coverage{Point: 1, Aspect: 4 * geo.Radians(60)}
+	if gEast.Cmp(wantEast) != 0 {
+		t.Fatalf("east gain = %v, want %v", gEast, wantEast)
+	}
+	gWest := st.AddPhoto(west)
+	wantWest := Coverage{Point: 0, Aspect: geo.Radians(60)}
+	if gWest.Cmp(wantWest) != 0 {
+		t.Fatalf("west gain = %v, want %v", gWest, wantWest)
+	}
+	// Solo coverage uses the profile too.
+	if got := m.SoloCoverage(east); got.Cmp(wantEast) != 0 {
+		t.Fatalf("solo east = %v, want %v", got, wantEast)
+	}
+	// AspectProfileOf round trips.
+	if m.AspectProfileOf(0).Segments[0].Weight != 4 {
+		t.Fatal("profile not installed")
+	}
+	if !m.AspectProfileOf(99).isUniform() {
+		t.Fatal("missing profile should be uniform")
+	}
+}
+
+func TestWithAspectProfileIgnoresBadIndex(t *testing.T) {
+	pois := []model.PoI{model.NewPoI(0, geo.Vec{})}
+	m := NewMap(pois, geo.Radians(30),
+		WithAspectProfile(-1, AspectProfile{Base: 2}),
+		WithAspectProfile(5, AspectProfile{Base: 2}),
+	)
+	if len(m.profiles) != 0 {
+		t.Fatal("out-of-range profiles installed")
+	}
+}
+
+func TestProfileGainMatchesAddAndUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pois := []model.PoI{
+		model.NewPoI(0, geo.Vec{}),
+		model.NewPoI(1, geo.Vec{X: 400}),
+	}
+	profile := AspectProfile{Base: 0.5, Segments: []WeightedArc{
+		{Arc: geo.NewArc(0, 1), Weight: 3},
+		{Arc: geo.NewArc(2, 1.5), Weight: 2},
+	}}
+	m := NewMap(pois, geo.Radians(30), WithAspectProfile(0, profile))
+
+	mk := func(n int) (model.PhotoList, *State) {
+		st := m.NewState()
+		var l model.PhotoList
+		for i := 0; i < n; i++ {
+			p := photoAt(uint32(rng.Uint32()),
+				geo.Vec{X: rng.Float64()*600 - 100, Y: rng.Float64()*400 - 200},
+				rng.Float64()*geo.TwoPi, 80+rng.Float64()*100)
+			l = append(l, p)
+			// Gain must equal the realised delta.
+			fp := m.Footprint(p)
+			want := st.Gain(fp)
+			got := st.Add(fp)
+			if want.Cmp(got) != 0 {
+				t.Fatalf("photo %d: gain %v != realised %v", i, want, got)
+			}
+		}
+		return l, st
+	}
+	la, sa := mk(60)
+	lb, sb := mk(60)
+	sa.Union(sb)
+	direct := m.Of(append(la.Clone(), lb...))
+	if sa.Coverage().Cmp(direct) != 0 {
+		t.Fatalf("union %v != direct %v", sa.Coverage(), direct)
+	}
+}
+
+func TestProfileChangesGreedyPreference(t *testing.T) {
+	// Without a profile the greedy is indifferent between two fresh views;
+	// with a heavy east profile it must pick the east view first.
+	pois := []model.PoI{model.NewPoI(0, geo.Vec{})}
+	entrance := AspectProfile{Base: 1, Segments: []WeightedArc{
+		{Arc: geo.ArcAround(0, geo.Radians(30)), Weight: 10},
+	}}
+	m := NewMap(pois, geo.Radians(30), WithAspectProfile(0, entrance))
+	east := photoAt(10, geo.Vec{X: 50}, math.Pi, 100)
+	north := photoAt(2, geo.Vec{Y: 50}, -math.Pi/2, 100) // lower ID than east
+	st := m.NewState()
+	ge, gn := st.Gain(m.Footprint(east)), st.Gain(m.Footprint(north))
+	if ge.Cmp(gn) <= 0 {
+		t.Fatalf("east gain %v should exceed north gain %v under the profile", ge, gn)
+	}
+}

@@ -1,0 +1,154 @@
+package coverage
+
+import (
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+)
+
+// State is the coverage of a photo collection F with respect to a Map. It
+// tracks, per touched PoI, the union of covered aspect arcs, and maintains
+// the aggregate Coverage value incrementally.
+//
+// State is the workhorse of the selection algorithm: adding a footprint is
+// O(size of the footprint), and Gain answers "how much would C_ph grow if
+// this photo were added" without mutating the state.
+//
+// A State is not safe for concurrent mutation.
+type State struct {
+	m    *Map
+	arcs map[int]*geo.ArcSet
+	cov  Coverage
+}
+
+// NewState returns the empty coverage state for the map.
+func (m *Map) NewState() *State {
+	return &State{m: m, arcs: make(map[int]*geo.ArcSet)}
+}
+
+// Map returns the map the state is defined against.
+func (s *State) Map() *Map { return s.m }
+
+// Coverage returns the aggregate photo coverage C_ph of everything added.
+func (s *State) Coverage() Coverage { return s.cov }
+
+// PoICovered reports whether the PoI at index i is point-covered.
+func (s *State) PoICovered(i int) bool {
+	_, ok := s.arcs[i]
+	return ok
+}
+
+// NumCovered returns the number of point-covered PoIs (unweighted).
+func (s *State) NumCovered() int { return len(s.arcs) }
+
+// AspectOf returns the covered aspect measure (radians, unweighted) of the
+// PoI at index i.
+func (s *State) AspectOf(i int) float64 {
+	as, ok := s.arcs[i]
+	if !ok {
+		return 0
+	}
+	return as.Measure()
+}
+
+// Add unions a footprint into the state and returns the realised coverage
+// gain.
+func (s *State) Add(fp Footprint) Coverage {
+	var gain Coverage
+	for _, e := range fp.Entries {
+		w := s.m.pois[e.PoI].Weight
+		as, ok := s.arcs[e.PoI]
+		if !ok {
+			as = &geo.ArcSet{}
+			s.arcs[e.PoI] = as
+			gain.Point += w
+		}
+		gain.Aspect += w * s.m.aspectGain(e.PoI, as, e.Arc)
+		as.Add(e.Arc)
+	}
+	s.cov = s.cov.Add(gain)
+	return gain
+}
+
+// AddPhoto compiles the photo's footprint and adds it.
+func (s *State) AddPhoto(p model.Photo) Coverage {
+	return s.Add(s.m.Footprint(p))
+}
+
+// AddPhotos adds every photo of the list and returns the total gain.
+func (s *State) AddPhotos(l model.PhotoList) Coverage {
+	var gain Coverage
+	for _, p := range l {
+		gain = gain.Add(s.AddPhoto(p))
+	}
+	return gain
+}
+
+// Gain returns the coverage gain Add(fp) would realise, without mutating
+// the state.
+func (s *State) Gain(fp Footprint) Coverage {
+	var gain Coverage
+	for _, e := range fp.Entries {
+		w := s.m.pois[e.PoI].Weight
+		as, ok := s.arcs[e.PoI]
+		if !ok {
+			gain.Point += w
+			gain.Aspect += w * s.m.arcMeasure(e.PoI, e.Arc)
+			continue
+		}
+		gain.Aspect += w * s.m.aspectGain(e.PoI, as, e.Arc)
+	}
+	return gain
+}
+
+// Union merges another state (defined on the same map) into s.
+func (s *State) Union(o *State) {
+	if o == nil {
+		return
+	}
+	for i, oas := range o.arcs {
+		w := s.m.pois[i].Weight
+		as, ok := s.arcs[i]
+		if !ok {
+			as = &geo.ArcSet{}
+			s.arcs[i] = as
+			s.cov.Point += w
+		}
+		for _, a := range oas.Arcs() {
+			s.cov.Aspect += w * s.m.aspectGain(i, as, a)
+			as.Add(a)
+		}
+	}
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{m: s.m, arcs: make(map[int]*geo.ArcSet, len(s.arcs)), cov: s.cov}
+	for i, as := range s.arcs {
+		c.arcs[i] = as.Clone()
+	}
+	return c
+}
+
+// Reset empties the state.
+func (s *State) Reset() {
+	s.arcs = make(map[int]*geo.ArcSet)
+	s.cov = Coverage{}
+}
+
+// Of computes the photo coverage C_ph(X, F) of a photo collection in one
+// shot. It is a convenience for callers that do not need incremental state.
+func (m *Map) Of(photos model.PhotoList) Coverage {
+	st := m.NewState()
+	st.AddPhotos(photos)
+	return st.Coverage()
+}
+
+// Normalized converts a coverage value into the paper's reporting units:
+// point coverage as a fraction of total PoI weight, and aspect coverage as
+// the mean covered angle per PoI in radians (divide by 2π for a fraction).
+func (m *Map) Normalized(c Coverage) (pointFrac, aspectMeanRad float64) {
+	if m.totalWt == 0 {
+		return 0, 0
+	}
+	return c.Point / m.totalWt, c.Aspect / m.totalWt
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"photodtn/internal/routing"
+)
+
+func TestCalibrateBestPossible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, kind := range []TraceKind{MIT, Cambridge} {
+		var pt150, pt300, as150, as300, del float64
+		const seeds = 6
+		for seed := int64(0); seed < seeds; seed++ {
+			p := DefaultParams(kind)
+			p.SampleHours = 75
+			cfg, _, err := Build(p, SchemeBestPossible, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := routing.ComputeBestPossible(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := len(res.Samples) / 2
+			pt150 += res.Samples[half-1].PointFrac / seeds
+			as150 += res.Samples[half-1].AspectRad * 180 / 3.14159 / seeds
+			pt300 += res.Final.PointFrac / seeds
+			as300 += res.Final.AspectRad * 180 / 3.14159 / seeds
+			del += float64(res.Final.Delivered) / seeds
+		}
+		t.Logf("%v: half-span pt=%.3f as=%.0f | full pt=%.3f as=%.0f | delivered=%.0f",
+			kind, pt150, as150, pt300, as300, del)
+	}
+}

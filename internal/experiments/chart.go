@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders one metric of a figure as an ASCII line chart, so the
+// curves the paper plots are visible straight from the terminal. Each
+// series gets a marker; overlapping points show the later series' marker.
+func (f *Figure) Chart(metric Metric, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	get := metric.get
+	var maxY, maxX, minX float64
+	minX = math.Inf(1)
+	any := false
+	for _, s := range f.Series {
+		for i, x := range s.X {
+			v := get(s)[i]
+			if v > maxY {
+				maxY = v
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if x < minX {
+				minX = x
+			}
+			any = true
+		}
+	}
+	if !any || maxY == 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	for si, s := range f.Series {
+		mark := markers[si%len(markers)]
+		prevCol, prevRow := -1, -1
+		for i, x := range s.X {
+			v := get(s)[i]
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round(v/maxY*float64(height-1)))
+			if prevCol >= 0 {
+				drawLine(grid, prevCol, prevRow, col, row, mark)
+			} else {
+				grid[row][col] = mark
+			}
+			prevCol, prevRow = col, row
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s (max %.3g)\n", metric.name, f.XLabel, maxY)
+	for r, line := range grid {
+		label := "     "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%5.3g", maxY)
+		case height - 1:
+			label = "    0"
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "      %-*.4g%*.4g\n", width/2, minX, width-width/2, maxX)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "      %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+// drawLine rasterises a segment with the marker (simple DDA).
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, mark byte) {
+	steps := abs(x1-x0) + abs(y1-y0)
+	if steps == 0 {
+		grid[y0][x0] = mark
+		return
+	}
+	for i := 0; i <= steps; i++ {
+		f := float64(i) / float64(steps)
+		x := x0 + int(math.Round(f*float64(x1-x0)))
+		y := y0 + int(math.Round(f*float64(y1-y0)))
+		grid[y][x] = mark
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Metric selects which series values a chart plots.
+type Metric struct {
+	name string
+	get  func(Series) []float64
+}
+
+// Chartable metrics.
+var (
+	// MetricPoint plots normalized point coverage.
+	MetricPoint = Metric{"point coverage", func(s Series) []float64 { return s.PointFrac }}
+	// MetricAspect plots mean covered aspect (degrees per PoI).
+	MetricAspect = Metric{"aspect coverage (°/PoI)", func(s Series) []float64 { return s.AspectDeg }}
+	// MetricDelivered plots delivered photo counts.
+	MetricDelivered = Metric{"photos delivered", func(s Series) []float64 { return s.Delivered }}
+)

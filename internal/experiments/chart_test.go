@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartFixture() *Figure {
+	return &Figure{
+		ID: "figx", Title: "t", XLabel: "hours",
+		Series: []Series{
+			{Label: "up", X: []float64{0, 50, 100}, PointFrac: []float64{0, 0.5, 1},
+				AspectDeg: []float64{0, 90, 180}, Delivered: []float64{0, 10, 20}},
+			{Label: "flat", X: []float64{0, 50, 100}, PointFrac: []float64{0.2, 0.2, 0.2},
+				AspectDeg: []float64{30, 30, 30}, Delivered: []float64{5, 5, 5}},
+		},
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	fig := chartFixture()
+	out := fig.Chart(MetricPoint, 40, 10)
+	for _, want := range []string{"point coverage vs hours", "* up", "o flat", "    0 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Header + 10 rows + axis + x labels + 2 legend + trailing newline.
+	if len(lines) < 14 {
+		t.Fatalf("chart too short: %d lines\n%s", len(lines), out)
+	}
+	// The rising series must reach the top row; the top row carries the max label.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max row missing rising series:\n%s", out)
+	}
+}
+
+func TestChartMetrics(t *testing.T) {
+	fig := chartFixture()
+	for _, m := range []Metric{MetricPoint, MetricAspect, MetricDelivered} {
+		out := fig.Chart(m, 30, 8)
+		if !strings.Contains(out, m.name) {
+			t.Fatalf("metric %q missing from chart", m.name)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	fig := &Figure{ID: "e", XLabel: "x"}
+	if out := fig.Chart(MetricPoint, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	// All-zero data also degrades gracefully.
+	fig.Series = []Series{{Label: "z", X: []float64{1}, PointFrac: []float64{0}}}
+	if out := fig.Chart(MetricPoint, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("zero chart = %q", out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	fig := chartFixture()
+	out := fig.Chart(MetricAspect, 1, 1) // clamped to minimums
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	fig := &Figure{XLabel: "x", Series: []Series{{Label: "p", X: []float64{5}, PointFrac: []float64{0.7}}}}
+	out := fig.Chart(MetricPoint, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}

@@ -1,0 +1,14 @@
+package experiments
+
+import "testing"
+
+func TestDemoProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	res, err := RunDemo(DefaultDemoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Format())
+}

@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"photodtn/internal/geo"
+)
+
+func quickOpts() Options { return Options{Runs: 1, BaseSeed: 3, Quick: true} }
+
+func TestNewScheme(t *testing.T) {
+	for _, name := range append(AllSchemes[:len(AllSchemes):len(AllSchemes)], SchemePhotoNet) {
+		s, err := NewScheme(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("scheme %q reports name %q", name, s.Name())
+		}
+	}
+	if _, err := NewScheme("nope"); err == nil {
+		t.Fatal("expected error for unknown scheme")
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	if MIT.String() != "MIT" || Cambridge.String() != "Cambridge06" {
+		t.Fatal("TraceKind names wrong")
+	}
+	if !strings.Contains(TraceKind(9).String(), "9") {
+		t.Fatal("unknown kind should include the number")
+	}
+}
+
+func TestBaseTraceShapes(t *testing.T) {
+	mit, err := BaseTrace(MIT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mit.Nodes != 97 {
+		t.Fatalf("MIT nodes = %d", mit.Nodes)
+	}
+	cam, err := BaseTrace(Cambridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cam.Nodes != 54 {
+		t.Fatalf("Cambridge nodes = %d", cam.Nodes)
+	}
+	// Cached: same pointer on second call.
+	again, _ := BaseTrace(MIT)
+	if again != mit {
+		t.Fatal("BaseTrace not cached")
+	}
+	if _, err := BaseTrace(TraceKind(99)); err == nil {
+		t.Fatal("expected error for unknown trace kind")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p := DefaultParams(MIT)
+	p.SpanHours = 10
+	a, _, err := Build(p, SchemeOurs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Build(p, SchemeOurs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Photos) != len(b.Photos) || len(a.Gateways) != len(b.Gateways) {
+		t.Fatal("Build not deterministic")
+	}
+	for i := range a.Gateways {
+		if a.Gateways[i] != b.Gateways[i] {
+			t.Fatal("gateways differ across identical builds")
+		}
+	}
+}
+
+func TestBuildAppliesParams(t *testing.T) {
+	p := DefaultParams(MIT)
+	p.StorageGB = 0.25
+	p.BandwidthMBs = 2
+	p.ContactCapSec = 30
+	p.SpanHours = 10
+	cfg, scheme, err := Build(p, SchemeSprayAndWait, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme.Name() != SchemeSprayAndWait {
+		t.Fatalf("scheme = %s", scheme.Name())
+	}
+	if cfg.StorageBytes != int64(0.25*float64(int64(1)<<30)) {
+		t.Fatalf("storage = %d", cfg.StorageBytes)
+	}
+	if cfg.Bandwidth != 2*float64(int64(1)<<20) {
+		t.Fatalf("bandwidth = %v", cfg.Bandwidth)
+	}
+	for _, c := range cfg.Trace.Contacts {
+		if c.Duration() > 30+1e-9 {
+			t.Fatalf("contact duration %v exceeds cap", c.Duration())
+		}
+	}
+	if cfg.Span != 10*hour {
+		t.Fatalf("span = %v", cfg.Span)
+	}
+}
+
+func TestBuildUnknownScheme(t *testing.T) {
+	if _, _, err := Build(DefaultParams(MIT), "nope", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPickActiveGatewaysAreConnected(t *testing.T) {
+	tr, err := BaseTrace(MIT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(MIT)
+	p.SpanHours = 10
+	cfg, _, err := Build(p, SchemeOurs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Gateways) != 2 { // 2% of 97
+		t.Fatalf("gateways = %d, want 2", len(cfg.Gateways))
+	}
+	// Gateways must be among the more-connected half of the population.
+	counts := make(map[int]int)
+	for _, c := range tr.Contacts {
+		counts[int(c.A)]++
+		counts[int(c.B)]++
+	}
+	for _, g := range cfg.Gateways {
+		busier := 0
+		for _, n := range counts {
+			if n > counts[int(g)] {
+				busier++
+			}
+		}
+		if busier > tr.Nodes/2 {
+			t.Fatalf("gateway %v is in the quiet half (%d busier nodes)", g, busier)
+		}
+	}
+}
+
+func TestFigureFormat(t *testing.T) {
+	fig := &Figure{
+		ID: "figx", Title: "test", XLabel: "x",
+		Notes: []string{"a note"},
+		Series: []Series{{
+			Label: "s1", X: []float64{1, 2},
+			PointFrac: []float64{0.1, 0.2},
+			AspectDeg: []float64{10, 20},
+			Delivered: []float64{5, 6},
+		}},
+	}
+	out := fig.Format()
+	for _, want := range []string{"FIGX", "a note", "point coverage", "aspect coverage", "photos delivered", "s1", "0.100", "20.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) < 9 {
+		t.Fatalf("table rows = %d", len(rows))
+	}
+	out := FormatTable1()
+	for _, want := range []string{"4MB", "P_thld", "0.75, 0.25, 0.98", "97/54", "300/200 hr", "30°"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDemoReproducesFig3(t *testing.T) {
+	res, err := RunDemo(DefaultDemoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := make(map[string]DemoRow, 3)
+	for _, r := range res.Rows {
+		byName[r.Scheme] = r
+	}
+	ours, snw, pnet := byName[SchemeOurs], byName[SchemeSprayAndWait], byName[SchemePhotoNet]
+	// The paper's qualitative Fig. 3 claims:
+	// 1. The content-blind schemes deliver a full 12 photos (4 CC contacts ×
+	//    3 photos); ours delivers only the useful subset.
+	if snw.Delivered != 12 {
+		t.Fatalf("Spray&Wait delivered %d, want 12", snw.Delivered)
+	}
+	if ours.Delivered >= snw.Delivered {
+		t.Fatalf("ours delivered %d, want fewer than Spray&Wait's %d", ours.Delivered, snw.Delivered)
+	}
+	// 2. Every photo ours delivers is useful.
+	if ours.Useful != ours.Delivered {
+		t.Fatalf("ours delivered %d photos but only %d useful", ours.Delivered, ours.Useful)
+	}
+	// 3. Ours covers far more aspect than both baselines.
+	if ours.AspectDeg < snw.AspectDeg+60 || ours.AspectDeg < pnet.AspectDeg+60 {
+		t.Fatalf("aspect: ours %.0f° vs S&W %.0f° / PhotoNet %.0f°", ours.AspectDeg, snw.AspectDeg, pnet.AspectDeg)
+	}
+	// Format must carry both the table and the pose plot.
+	out := res.Format()
+	if !strings.Contains(out, "FIG3") || !strings.Contains(out, "FIG4") {
+		t.Fatalf("demo format incomplete:\n%s", out)
+	}
+}
+
+func TestRunDemoDeterministic(t *testing.T) {
+	a, err := RunDemo(DefaultDemoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDemo(DefaultDemoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Fatal("demo not deterministic")
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	fig, err := Fig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(AllSchemes) {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	final := make(map[string]Series, len(fig.Series))
+	for _, s := range fig.Series {
+		final[s.Label] = s
+		// Coverage must be monotone over time for every scheme.
+		for i := 1; i < len(s.PointFrac); i++ {
+			if s.PointFrac[i] < s.PointFrac[i-1]-1e-9 || s.AspectDeg[i] < s.AspectDeg[i-1]-1e-9 {
+				t.Fatalf("%s: coverage decreased over time", s.Label)
+			}
+		}
+	}
+	last := func(v []float64) float64 { return v[len(v)-1] }
+	best, ours := final[SchemeBestPossible], final[SchemeOurs]
+	snw := final[SchemeSprayAndWait]
+	if last(best.AspectDeg) < last(ours.AspectDeg)-1e-9 {
+		t.Fatalf("BestPossible (%.1f°) below ours (%.1f°)", last(best.AspectDeg), last(ours.AspectDeg))
+	}
+	if last(ours.AspectDeg) <= last(snw.AspectDeg) {
+		t.Fatalf("ours (%.1f°) not above Spray&Wait (%.1f°)", last(ours.AspectDeg), last(snw.AspectDeg))
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	fig, err := Fig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) < 3 { // 2 caps + reference
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// Longer contacts can only help.
+	long, short := fig.Series[0], fig.Series[1]
+	lastIdx := len(long.AspectDeg) - 1
+	if long.AspectDeg[lastIdx] < short.AspectDeg[lastIdx]-30 {
+		t.Fatalf("10-min contacts (%.0f°) drastically below 2-min (%.0f°)",
+			long.AspectDeg[lastIdx], short.AspectDeg[lastIdx])
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	fig, err := Fig7(Cambridge, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig7-cam" {
+		t.Fatalf("id = %s", fig.ID)
+	}
+	if len(fig.Series) != len(fig7and8Schemes) {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 2 {
+			t.Fatalf("%s: x values = %v", s.Label, s.X)
+		}
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	fig, err := Fig8(MIT, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig8-mit" {
+		t.Fatalf("id = %s", fig.ID)
+	}
+	// Our scheme's coverage must grow with more generated photos (the
+	// paper's headline Fig. 8 observation).
+	for _, s := range fig.Series {
+		if s.Label != SchemeOurs {
+			continue
+		}
+		if s.AspectDeg[len(s.AspectDeg)-1] < s.AspectDeg[0]-1e-9 {
+			t.Fatalf("ours aspect decreased with more photos: %v", s.AspectDeg)
+		}
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	for _, fn := range []func(Options) (*Figure, error){AblationPthld, AblationTheta, AblationEvaluator} {
+		fig, err := fn(quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			t.Fatalf("%s: no series", fig.ID)
+		}
+	}
+}
+
+func TestDefaultParamsTheta(t *testing.T) {
+	if got := DefaultParams(MIT).Theta; got != geo.Radians(30) {
+		t.Fatalf("theta = %v", got)
+	}
+}
+
+func TestExtendedComparisonQuick(t *testing.T) {
+	fig, err := ExtendedComparison(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d, want 6", len(fig.Series))
+	}
+	byName := make(map[string]Series)
+	for _, s := range fig.Series {
+		byName[s.Label] = s
+	}
+	last := func(v []float64) float64 { return v[len(v)-1] }
+	// Coverage awareness must beat content-blindness even when the
+	// content-blind scheme is mobility-aware.
+	if last(byName[SchemeOurs].AspectDeg) <= last(byName[SchemeProphet].AspectDeg) {
+		t.Fatalf("ours (%.1f°) not above PROPHET (%.1f°)",
+			last(byName[SchemeOurs].AspectDeg), last(byName[SchemeProphet].AspectDeg))
+	}
+}
+
+func TestNewSchemeExtendedBaselines(t *testing.T) {
+	for _, name := range []string{SchemeEpidemic, SchemeProphet} {
+		s, err := NewScheme(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Fatalf("name = %q", s.Name())
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"photodtn/internal/sim"
+)
+
+// timeSeries converts an averaged run into a Series over hours.
+func timeSeries(label string, avg *sim.Average) Series {
+	s := Series{Label: label}
+	for _, sm := range avg.Samples {
+		s.X = append(s.X, sm.Time/hour)
+		s.PointFrac = append(s.PointFrac, sm.PointFrac)
+		s.AspectDeg = append(s.AspectDeg, degrees(sm.AspectRad))
+		s.Delivered = append(s.Delivered, sm.Delivered)
+	}
+	return s
+}
+
+// Fig5 reproduces Fig. 5: point and aspect coverage over time on the MIT
+// trace for all five schemes (storage 0.6 GB, 250 photos/hour).
+func Fig5(opts Options) (*Figure, error) {
+	opts = opts.normalized()
+	p := DefaultParams(MIT)
+	p.SampleHours = 25
+	if opts.Quick {
+		p.SpanHours = 60
+		p.SampleHours = 20
+	}
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Coverage vs crowdsourcing time (MIT-like trace, 0.6 GB storage, 250 photos/h)",
+		XLabel: "time (hours)",
+		Notes:  []string{fmt.Sprintf("averaged over %d runs (paper: 50)", opts.Runs)},
+	}
+	for _, scheme := range AllSchemes {
+		avg, err := RunAveraged(p, scheme, opts.Runs, opts.BaseSeed)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", scheme, err)
+		}
+		fig.Series = append(fig.Series, timeSeries(scheme, avg))
+	}
+	return fig, nil
+}
+
+// Fig6 reproduces Fig. 6: the effect of short contact durations on our
+// scheme (2 MB/s radio), with ModifiedSpray at full duration as the
+// reference the paper compares the 30-second case against.
+func Fig6(opts Options) (*Figure, error) {
+	opts = opts.normalized()
+	caps := []struct {
+		label string
+		sec   float64
+	}{
+		{"Ours (10 min)", 600},
+		{"Ours (2 min)", 120},
+		{"Ours (1 min)", 60},
+		{"Ours (30 s)", 30},
+	}
+	if opts.Quick {
+		caps = caps[:2]
+	}
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Effect of contact duration (MIT-like trace, 2 MB/s, 0.6 GB storage)",
+		XLabel: "time (hours)",
+		Notes:  []string{fmt.Sprintf("averaged over %d runs (paper: 50)", opts.Runs)},
+	}
+	for _, c := range caps {
+		p := DefaultParams(MIT)
+		p.SampleHours = 25
+		p.BandwidthMBs = 2
+		p.ContactCapSec = c.sec
+		if opts.Quick {
+			p.SpanHours = 60
+			p.SampleHours = 20
+		}
+		avg, err := RunAveraged(p, SchemeOurs, opts.Runs, opts.BaseSeed)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", c.label, err)
+		}
+		fig.Series = append(fig.Series, timeSeries(c.label, avg))
+	}
+	// Reference: ModifiedSpray with the full 10-minute durations.
+	p := DefaultParams(MIT)
+	p.SampleHours = 25
+	p.BandwidthMBs = 2
+	p.ContactCapSec = 600
+	if opts.Quick {
+		p.SpanHours = 60
+		p.SampleHours = 20
+	}
+	avg, err := RunAveraged(p, SchemeModifiedSpray, opts.Runs, opts.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("fig6 reference: %w", err)
+	}
+	fig.Series = append(fig.Series, timeSeries("ModifiedSpray (10 min)", avg))
+	return fig, nil
+}
+
+// sweepFigure runs a parameter sweep and reports final metrics per value.
+func sweepFigure(id, title, xlabel string, kind TraceKind, values []float64,
+	apply func(*Params, float64), schemes []string, opts Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: xlabel,
+		Notes:  []string{fmt.Sprintf("averaged over %d runs (paper: 50)", opts.Runs)},
+	}
+	for _, scheme := range schemes {
+		s := Series{Label: scheme}
+		for _, v := range values {
+			p := DefaultParams(kind)
+			if opts.Quick {
+				p.SpanHours = 60
+			}
+			apply(&p, v)
+			avg, err := RunAveraged(p, scheme, opts.Runs, opts.BaseSeed)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s @ %v: %w", id, scheme, v, err)
+			}
+			s.X = append(s.X, v)
+			s.PointFrac = append(s.PointFrac, avg.Final.PointFrac)
+			s.AspectDeg = append(s.AspectDeg, degrees(avg.Final.AspectRad))
+			s.Delivered = append(s.Delivered, avg.Final.Delivered)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// fig7and8Schemes are the schemes shown in the storage and photo-rate
+// sweeps.
+var fig7and8Schemes = []string{
+	SchemeBestPossible, SchemeOurs, SchemeNoMetadata,
+	SchemeModifiedSpray, SchemeSprayAndWait,
+}
+
+// Fig7 reproduces Fig. 7(a–c) or (d–f): final coverage and delivered-photo
+// count versus storage capacity, on the chosen trace, at 250 photos/hour.
+func Fig7(kind TraceKind, opts Options) (*Figure, error) {
+	opts = opts.normalized()
+	values := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	if opts.Quick {
+		values = []float64{0.2, 0.6}
+	}
+	id := "fig7-mit"
+	if kind == Cambridge {
+		id = "fig7-cam"
+	}
+	return sweepFigure(id,
+		fmt.Sprintf("Effect of storage capacity (%v trace, 250 photos/h)", kind),
+		"storage (GB)", kind, values,
+		func(p *Params, v float64) { p.StorageGB = v },
+		fig7and8Schemes, opts)
+}
+
+// Fig8 reproduces Fig. 8(a–c) or (d–f): final coverage and delivered-photo
+// count versus the photo generation rate, at 0.6 GB storage.
+func Fig8(kind TraceKind, opts Options) (*Figure, error) {
+	opts = opts.normalized()
+	values := []float64{50, 100, 250, 400, 500}
+	if opts.Quick {
+		values = []float64{50, 250}
+	}
+	id := "fig8-mit"
+	if kind == Cambridge {
+		id = "fig8-cam"
+	}
+	return sweepFigure(id,
+		fmt.Sprintf("Effect of photo generation rate (%v trace, 0.6 GB storage)", kind),
+		"photos per hour", kind, values,
+		func(p *Params, v float64) { p.PhotosPerHour = v },
+		fig7and8Schemes, opts)
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestSchemeOrderingProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	p := DefaultParams(MIT)
+	p.SampleHours = 75
+	for _, scheme := range AllSchemes {
+		avg, err := RunAveraged(p, scheme, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := avg.Samples[len(avg.Samples)/2-1]
+		t.Logf("%-14s half: pt=%.3f as=%.0f° del=%.0f | full: pt=%.3f as=%.0f° del=%.0f xfer=%.0f",
+			scheme, half.PointFrac, half.AspectRad*180/3.14159, half.Delivered,
+			avg.Final.PointFrac, avg.Final.AspectRad*180/3.14159, avg.Final.Delivered, avg.TransferredPhotos)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/metadata"
+	"photodtn/internal/prophet"
+	"photodtn/internal/trace"
+	"photodtn/internal/workload"
+)
+
+// Table1Row is one simulation setting, named as in Table I.
+type Table1Row struct {
+	Parameter string
+	Notation  string
+	Value     string
+}
+
+// Table1 reproduces Table I by reading the values off the actual defaults
+// used throughout this repository (so the table cannot drift from the
+// code).
+func Table1() []Table1Row {
+	wl := workload.Default(97, 300*hour)
+	pcfg := prophet.DefaultConfig()
+	mit := trace.MITLike(0)
+	cam := trace.CambridgeLike(0)
+	return []Table1Row{
+		{"photo size", "—", fmt.Sprintf("%dMB", wl.PhotoSize>>20)},
+		{"effective angle", "θ", fmt.Sprintf("%.0f°", geo.Degrees(DefaultParams(MIT).Theta))},
+		{"orientation", "d", "[0°, 360°)"},
+		{"field-of-view", "φ", fmt.Sprintf("[%.0f°, %.0f°]", geo.Degrees(wl.FOVMin), geo.Degrees(wl.FOVMax))},
+		{"coverage range", "r", fmt.Sprintf("[%.0f, %.0f]·cot(φ/2) m", wl.RangeCoefMin, wl.RangeCoefMax)},
+		{"valid threshold", "P_thld", fmt.Sprintf("%.1f", metadata.DefaultPthld)},
+		{"PROPHET", "P_init, β, γ", fmt.Sprintf("%.2f, %.2f, %.2f", pcfg.PInit, pcfg.Beta, pcfg.Gamma)},
+		{"# of nodes", "—", fmt.Sprintf("%d/%d", mit.Nodes, cam.Nodes)},
+		{"simulation time", "—", fmt.Sprintf("%.0f/%.0f hr", mit.Span/hour, cam.Span/hour)},
+		{"# of PoIs", "—", fmt.Sprintf("%d", wl.NumPoIs)},
+		{"region", "—", "6300 m × 6300 m"},
+		{"gateway nodes", "—", fmt.Sprintf("%.0f%% of participants", DefaultParams(MIT).GatewayFrac*100)},
+	}
+}
+
+// FormatTable1 renders Table I as text.
+func FormatTable1() string {
+	var b strings.Builder
+	b.WriteString("== TABLE I: simulation settings (read from code defaults) ==\n")
+	fmt.Fprintf(&b, "%-18s %-14s %s\n", "parameter", "notation", "value")
+	for _, r := range Table1() {
+		fmt.Fprintf(&b, "%-18s %-14s %s\n", r.Parameter, r.Notation, r.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,295 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Arc is a closed arc on the unit circle, described by its start angle and
+// angular width. The start angle is normalized to [0, 2π); the width is
+// clamped to [0, 2π]. An arc may wrap across the 0/2π seam.
+type Arc struct {
+	Start float64
+	Width float64
+}
+
+// NewArc returns an arc with a normalized start and a clamped width.
+func NewArc(start, width float64) Arc {
+	if width < 0 {
+		width = 0
+	}
+	if width > TwoPi {
+		width = TwoPi
+	}
+	return Arc{Start: NormalizeAngle(start), Width: width}
+}
+
+// ArcAround returns the arc of half-width hw centred on the given angle.
+// This is the shape of an aspect-coverage contribution: a photo viewing a
+// PoI from direction c covers the aspects within the effective angle hw of c.
+func ArcAround(center, hw float64) Arc {
+	return NewArc(center-hw, 2*hw)
+}
+
+// End returns the (possibly unnormalized, i.e. ≥ 2π) end angle of a.
+func (a Arc) End() float64 { return a.Start + a.Width }
+
+// IsFull reports whether the arc covers the entire circle.
+func (a Arc) IsFull() bool { return a.Width >= TwoPi }
+
+// IsEmpty reports whether the arc has zero width.
+func (a Arc) IsEmpty() bool { return a.Width <= 0 }
+
+// Contains reports whether the angle lies on the arc (inclusive).
+func (a Arc) Contains(angle float64) bool {
+	if a.IsFull() {
+		return true
+	}
+	if a.IsEmpty() {
+		return false
+	}
+	angle = NormalizeAngle(angle)
+	if angle < a.Start {
+		angle += TwoPi
+	}
+	return angle <= a.End()
+}
+
+// String implements fmt.Stringer, reporting degrees for readability.
+func (a Arc) String() string {
+	return fmt.Sprintf("[%.1f°+%.1f°]", Degrees(a.Start), Degrees(a.Width))
+}
+
+// interval is a non-wrapping segment 0 ≤ lo ≤ hi ≤ 2π.
+type interval struct {
+	lo float64
+	hi float64
+}
+
+// split decomposes an arc into at most two non-wrapping intervals.
+func (a Arc) split() []interval {
+	if a.IsEmpty() {
+		return nil
+	}
+	if a.IsFull() {
+		return []interval{{0, TwoPi}}
+	}
+	if end := a.End(); end > TwoPi {
+		return []interval{{a.Start, TwoPi}, {0, end - TwoPi}}
+	}
+	return []interval{{a.Start, a.End()}}
+}
+
+// ArcSet is a measurable union of arcs on the unit circle. The zero value is
+// an empty set ready for use. ArcSet is not safe for concurrent mutation.
+type ArcSet struct {
+	// ivs holds disjoint, sorted, non-wrapping intervals.
+	ivs []interval
+}
+
+// NewArcSet returns a set containing the union of the given arcs.
+func NewArcSet(arcs ...Arc) *ArcSet {
+	s := &ArcSet{}
+	for _, a := range arcs {
+		s.Add(a)
+	}
+	return s
+}
+
+// Clone returns an independent copy of the set.
+func (s *ArcSet) Clone() *ArcSet {
+	c := &ArcSet{}
+	if len(s.ivs) > 0 {
+		c.ivs = make([]interval, len(s.ivs))
+		copy(c.ivs, s.ivs)
+	}
+	return c
+}
+
+// Reset empties the set, retaining allocated capacity.
+func (s *ArcSet) Reset() { s.ivs = s.ivs[:0] }
+
+// IsEmpty reports whether the set has zero measure.
+func (s *ArcSet) IsEmpty() bool { return len(s.ivs) == 0 }
+
+// Len returns the number of maximal disjoint intervals in the set.
+func (s *ArcSet) Len() int { return len(s.ivs) }
+
+// Measure returns the total angular measure of the set, in [0, 2π].
+func (s *ArcSet) Measure() float64 {
+	var m float64
+	for _, iv := range s.ivs {
+		m += iv.hi - iv.lo
+	}
+	if m > TwoPi {
+		m = TwoPi
+	}
+	return m
+}
+
+// Contains reports whether the angle belongs to the set.
+func (s *ArcSet) Contains(angle float64) bool {
+	angle = NormalizeAngle(angle)
+	for _, iv := range s.ivs {
+		if angle >= iv.lo && angle <= iv.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Add unions the arc into the set.
+func (s *ArcSet) Add(a Arc) {
+	for _, iv := range a.split() {
+		s.addInterval(iv)
+	}
+}
+
+// AddSet unions every interval of other into the set.
+func (s *ArcSet) AddSet(other *ArcSet) {
+	if other == nil {
+		return
+	}
+	// Copy first: other may alias s.
+	add := make([]interval, len(other.ivs))
+	copy(add, other.ivs)
+	for _, iv := range add {
+		s.addInterval(iv)
+	}
+}
+
+// Gain returns the measure that Add(a) would contribute, without mutating
+// the set: Measure(s ∪ a) − Measure(s).
+func (s *ArcSet) Gain(a Arc) float64 {
+	var g float64
+	for _, iv := range a.split() {
+		g += s.intervalGain(iv)
+	}
+	return g
+}
+
+// GainSet returns the measure that AddSet(other) would contribute, without
+// mutating the set. Overlap between the intervals of other itself is not
+// double counted because other's intervals are disjoint by construction.
+func (s *ArcSet) GainSet(other *ArcSet) float64 {
+	if other == nil {
+		return 0
+	}
+	var g float64
+	for _, iv := range other.ivs {
+		g += s.intervalGain(iv)
+	}
+	// Intervals of other are mutually disjoint but may jointly overlap s in
+	// ways that interact only through s, which intervalGain already accounts
+	// for; overlaps between two intervals of other cannot exist.
+	return g
+}
+
+// intervalGain computes the uncovered measure of iv with respect to s.
+func (s *ArcSet) intervalGain(iv interval) float64 {
+	gain := iv.hi - iv.lo
+	for _, e := range s.ivs {
+		if e.lo >= iv.hi {
+			break
+		}
+		if e.hi <= iv.lo {
+			continue
+		}
+		lo := math.Max(e.lo, iv.lo)
+		hi := math.Min(e.hi, iv.hi)
+		if hi > lo {
+			gain -= hi - lo
+		}
+	}
+	if gain < 0 {
+		gain = 0
+	}
+	return gain
+}
+
+// addInterval merges a non-wrapping interval into the sorted disjoint list.
+func (s *ArcSet) addInterval(iv interval) {
+	if iv.hi <= iv.lo {
+		return
+	}
+	// Locate insertion point of iv.lo.
+	i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].hi >= iv.lo })
+	j := i
+	lo, hi := iv.lo, iv.hi
+	for j < len(s.ivs) && s.ivs[j].lo <= hi {
+		if s.ivs[j].lo < lo {
+			lo = s.ivs[j].lo
+		}
+		if s.ivs[j].hi > hi {
+			hi = s.ivs[j].hi
+		}
+		j++
+	}
+	if i == j {
+		// No overlap: insert at i.
+		s.ivs = append(s.ivs, interval{})
+		copy(s.ivs[i+1:], s.ivs[i:])
+		s.ivs[i] = interval{lo, hi}
+		return
+	}
+	s.ivs[i] = interval{lo, hi}
+	s.ivs = append(s.ivs[:i+1], s.ivs[j:]...)
+}
+
+// Uncovered returns the parts of arc a that the set does not cover, as
+// non-wrapping arcs sorted by start angle. Measures obey
+// Σ Uncovered(a) = Gain(a).
+func (s *ArcSet) Uncovered(a Arc) []Arc {
+	var out []Arc
+	for _, iv := range a.split() {
+		lo := iv.lo
+		for _, e := range s.ivs {
+			if e.lo >= iv.hi {
+				break
+			}
+			if e.hi <= lo {
+				continue
+			}
+			if e.lo > lo {
+				out = append(out, Arc{Start: lo, Width: math.Min(e.lo, iv.hi) - lo})
+			}
+			if e.hi > lo {
+				lo = e.hi
+			}
+			if lo >= iv.hi {
+				break
+			}
+		}
+		if lo < iv.hi {
+			out = append(out, Arc{Start: lo, Width: iv.hi - lo})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Overlap returns the measure of the intersection of the set with arc a:
+// a.Width − Gain(a).
+func (s *ArcSet) Overlap(a Arc) float64 {
+	var g float64
+	for _, iv := range a.split() {
+		g += (iv.hi - iv.lo) - s.intervalGain(iv)
+	}
+	return g
+}
+
+// Arcs returns the maximal disjoint intervals of the set as arcs, sorted by
+// start angle. The returned slice is freshly allocated.
+func (s *ArcSet) Arcs() []Arc {
+	out := make([]Arc, 0, len(s.ivs))
+	for _, iv := range s.ivs {
+		out = append(out, Arc{Start: iv.lo, Width: iv.hi - iv.lo})
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s *ArcSet) String() string {
+	return fmt.Sprintf("ArcSet{n=%d, measure=%.1f°}", len(s.ivs), Degrees(s.Measure()))
+}

@@ -1,0 +1,399 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewArcClamps(t *testing.T) {
+	tests := []struct {
+		name       string
+		start, wid float64
+		wantStart  float64
+		wantWidth  float64
+	}{
+		{"negative width", 1, -2, 1, 0},
+		{"over full", 0, 10, 0, TwoPi},
+		{"wrap start", -math.Pi / 2, 1, 3 * math.Pi / 2, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := NewArc(tt.start, tt.wid)
+			if !almostEqual(a.Start, tt.wantStart, eps) || !almostEqual(a.Width, tt.wantWidth, eps) {
+				t.Fatalf("NewArc = %+v, want start=%v width=%v", a, tt.wantStart, tt.wantWidth)
+			}
+		})
+	}
+}
+
+func TestArcAround(t *testing.T) {
+	a := ArcAround(0, Radians(30))
+	if !a.Contains(Radians(29)) || !a.Contains(Radians(-29)) {
+		t.Fatal("arc around 0 should contain ±29°")
+	}
+	if a.Contains(Radians(31)) || a.Contains(Radians(-31)) {
+		t.Fatal("arc around 0 should not contain ±31°")
+	}
+	if !almostEqual(a.Width, Radians(60), eps) {
+		t.Fatalf("width = %v, want 60°", Degrees(a.Width))
+	}
+}
+
+func TestArcContains(t *testing.T) {
+	tests := []struct {
+		name  string
+		arc   Arc
+		angle float64
+		want  bool
+	}{
+		{"inside", NewArc(0, 1), 0.5, true},
+		{"start edge", NewArc(0, 1), 0, true},
+		{"end edge", NewArc(0, 1), 1, true},
+		{"outside", NewArc(0, 1), 1.5, false},
+		{"wrapping inside low", NewArc(TwoPi-0.5, 1), 0.3, true},
+		{"wrapping inside high", NewArc(TwoPi-0.5, 1), TwoPi - 0.3, true},
+		{"wrapping outside", NewArc(TwoPi-0.5, 1), math.Pi, false},
+		{"full", NewArc(1, TwoPi), 4, true},
+		{"empty", NewArc(1, 0), 1, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.arc.Contains(tt.angle); got != tt.want {
+				t.Fatalf("Contains(%v) = %v, want %v", tt.angle, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestArcSetEmpty(t *testing.T) {
+	var s ArcSet
+	if !s.IsEmpty() || s.Measure() != 0 || s.Contains(1) || s.Len() != 0 {
+		t.Fatal("zero ArcSet should be empty")
+	}
+}
+
+func TestArcSetSingle(t *testing.T) {
+	s := NewArcSet(NewArc(1, 0.5))
+	if !almostEqual(s.Measure(), 0.5, eps) {
+		t.Fatalf("measure = %v", s.Measure())
+	}
+	if !s.Contains(1.25) || s.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestArcSetMergeOverlapping(t *testing.T) {
+	s := NewArcSet(NewArc(0, 1), NewArc(0.5, 1))
+	if s.Len() != 1 {
+		t.Fatalf("expected 1 merged interval, got %d", s.Len())
+	}
+	if !almostEqual(s.Measure(), 1.5, eps) {
+		t.Fatalf("measure = %v, want 1.5", s.Measure())
+	}
+}
+
+func TestArcSetMergeTouching(t *testing.T) {
+	s := NewArcSet(NewArc(0, 1), NewArc(1, 1))
+	if s.Len() != 1 || !almostEqual(s.Measure(), 2, eps) {
+		t.Fatalf("touching arcs should merge: len=%d measure=%v", s.Len(), s.Measure())
+	}
+}
+
+func TestArcSetDisjoint(t *testing.T) {
+	s := NewArcSet(NewArc(0, 0.5), NewArc(2, 0.5), NewArc(4, 0.5))
+	if s.Len() != 3 || !almostEqual(s.Measure(), 1.5, eps) {
+		t.Fatalf("len=%d measure=%v", s.Len(), s.Measure())
+	}
+}
+
+func TestArcSetWrappingArc(t *testing.T) {
+	s := NewArcSet(ArcAround(0, 0.5)) // [-0.5, 0.5] wraps
+	if !almostEqual(s.Measure(), 1, eps) {
+		t.Fatalf("measure = %v, want 1", s.Measure())
+	}
+	if !s.Contains(0.4) || !s.Contains(TwoPi-0.4) || s.Contains(math.Pi) {
+		t.Fatal("wrapping containment wrong")
+	}
+}
+
+func TestArcSetFullCircle(t *testing.T) {
+	s := NewArcSet(NewArc(0, TwoPi))
+	if !almostEqual(s.Measure(), TwoPi, eps) {
+		t.Fatalf("measure = %v", s.Measure())
+	}
+	s2 := NewArcSet(NewArc(0, math.Pi+0.1), NewArc(math.Pi, math.Pi+0.1))
+	if !almostEqual(s2.Measure(), TwoPi, 1e-9) {
+		t.Fatalf("two half circles measure = %v, want 2π", s2.Measure())
+	}
+}
+
+func TestArcSetGain(t *testing.T) {
+	s := NewArcSet(NewArc(0, 1))
+	tests := []struct {
+		name string
+		arc  Arc
+		want float64
+	}{
+		{"fully covered", NewArc(0.2, 0.5), 0},
+		{"fully new", NewArc(2, 0.5), 0.5},
+		{"half overlap", NewArc(0.5, 1), 0.5},
+		{"wrap partially new", ArcAround(0, 0.5), 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.Gain(tt.arc); !almostEqual(got, tt.want, 1e-9) {
+				t.Fatalf("Gain = %v, want %v", got, tt.want)
+			}
+			// Gain must equal measure delta after actually adding.
+			c := s.Clone()
+			before := c.Measure()
+			c.Add(tt.arc)
+			if delta := c.Measure() - before; !almostEqual(delta, tt.want, 1e-9) {
+				t.Fatalf("actual delta %v != gain %v", delta, tt.want)
+			}
+		})
+	}
+}
+
+func TestArcSetAddSetAndGainSet(t *testing.T) {
+	a := NewArcSet(NewArc(0, 1), NewArc(3, 1))
+	b := NewArcSet(NewArc(0.5, 1), NewArc(5, 0.5))
+	wantGain := 0.5 + 0.5 // [1,1.5] new plus [5,5.5] new
+	if got := a.GainSet(b); !almostEqual(got, wantGain, 1e-9) {
+		t.Fatalf("GainSet = %v, want %v", got, wantGain)
+	}
+	before := a.Measure()
+	a.AddSet(b)
+	if delta := a.Measure() - before; !almostEqual(delta, wantGain, 1e-9) {
+		t.Fatalf("AddSet delta = %v, want %v", delta, wantGain)
+	}
+}
+
+func TestArcSetAddSetSelf(t *testing.T) {
+	a := NewArcSet(NewArc(0, 1), NewArc(3, 1))
+	before := a.Measure()
+	a.AddSet(a)
+	if !almostEqual(a.Measure(), before, eps) {
+		t.Fatalf("self AddSet changed measure: %v -> %v", before, a.Measure())
+	}
+}
+
+func TestArcSetClone(t *testing.T) {
+	a := NewArcSet(NewArc(0, 1))
+	b := a.Clone()
+	b.Add(NewArc(3, 1))
+	if !almostEqual(a.Measure(), 1, eps) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if !almostEqual(b.Measure(), 2, eps) {
+		t.Fatal("clone did not take the addition")
+	}
+}
+
+func TestArcSetReset(t *testing.T) {
+	a := NewArcSet(NewArc(0, 1))
+	a.Reset()
+	if !a.IsEmpty() {
+		t.Fatal("Reset did not empty the set")
+	}
+}
+
+func TestArcSetArcs(t *testing.T) {
+	s := NewArcSet(NewArc(2, 0.5), NewArc(0, 0.5))
+	arcs := s.Arcs()
+	if len(arcs) != 2 {
+		t.Fatalf("got %d arcs", len(arcs))
+	}
+	if !almostEqual(arcs[0].Start, 0, eps) || !almostEqual(arcs[1].Start, 2, eps) {
+		t.Fatalf("arcs not sorted: %v", arcs)
+	}
+}
+
+// referenceMeasure computes the union measure by dense sampling, as an
+// independent oracle for the interval merging code.
+func referenceMeasure(arcs []Arc) float64 {
+	const n = 20000
+	covered := 0
+	for i := 0; i < n; i++ {
+		angle := TwoPi * (float64(i) + 0.5) / n
+		for _, a := range arcs {
+			if a.Contains(angle) {
+				covered++
+				break
+			}
+		}
+	}
+	return TwoPi * float64(covered) / n
+}
+
+func TestArcSetMeasureAgainstSamplingOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		arcs := make([]Arc, 0, n)
+		for i := 0; i < n; i++ {
+			arcs = append(arcs, NewArc(rng.Float64()*TwoPi, rng.Float64()*math.Pi))
+		}
+		s := NewArcSet(arcs...)
+		want := referenceMeasure(arcs)
+		if math.Abs(s.Measure()-want) > 0.01 {
+			t.Fatalf("trial %d: measure %v vs oracle %v (arcs %v)", trial, s.Measure(), want, arcs)
+		}
+	}
+}
+
+func TestArcSetProperties(t *testing.T) {
+	type arcSpec struct {
+		Start, Width float64
+	}
+	sanitize := func(specs []arcSpec) []Arc {
+		arcs := make([]Arc, 0, len(specs))
+		for _, sp := range specs {
+			if math.IsNaN(sp.Start) || math.IsInf(sp.Start, 0) ||
+				math.IsNaN(sp.Width) || math.IsInf(sp.Width, 0) {
+				continue
+			}
+			arcs = append(arcs, NewArc(sp.Start, math.Mod(math.Abs(sp.Width), TwoPi)))
+		}
+		return arcs
+	}
+
+	t.Run("measure bounded and monotone", func(t *testing.T) {
+		f := func(specs []arcSpec) bool {
+			arcs := sanitize(specs)
+			s := &ArcSet{}
+			prev := 0.0
+			for _, a := range arcs {
+				s.Add(a)
+				m := s.Measure()
+				if m < prev-1e-9 || m > TwoPi+1e-9 {
+					return false
+				}
+				prev = m
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("order independence", func(t *testing.T) {
+		f := func(specs []arcSpec) bool {
+			arcs := sanitize(specs)
+			fwd := NewArcSet(arcs...)
+			rev := &ArcSet{}
+			for i := len(arcs) - 1; i >= 0; i-- {
+				rev.Add(arcs[i])
+			}
+			return almostEqual(fwd.Measure(), rev.Measure(), 1e-9)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("gain equals measure delta", func(t *testing.T) {
+		f := func(specs []arcSpec, extra arcSpec) bool {
+			arcs := sanitize(specs)
+			add := sanitize([]arcSpec{extra})
+			if len(add) == 0 {
+				return true
+			}
+			s := NewArcSet(arcs...)
+			g := s.Gain(add[0])
+			before := s.Measure()
+			s.Add(add[0])
+			return almostEqual(g, s.Measure()-before, 1e-9)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("intervals stay disjoint and sorted", func(t *testing.T) {
+		f := func(specs []arcSpec) bool {
+			arcs := sanitize(specs)
+			s := NewArcSet(arcs...)
+			out := s.Arcs()
+			for i := 1; i < len(out); i++ {
+				if out[i-1].End() >= out[i].Start {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestArcSetUncovered(t *testing.T) {
+	s := NewArcSet(NewArc(1, 1)) // covers [1,2]
+	tests := []struct {
+		name string
+		arc  Arc
+		want []Arc
+	}{
+		{"fully uncovered", NewArc(3, 1), []Arc{{Start: 3, Width: 1}}},
+		{"fully covered", NewArc(1.2, 0.5), nil},
+		{"left overlap", NewArc(0.5, 1), []Arc{{Start: 0.5, Width: 0.5}}},
+		{"right overlap", NewArc(1.5, 1), []Arc{{Start: 2, Width: 0.5}}},
+		{"straddles", NewArc(0.5, 2), []Arc{{Start: 0.5, Width: 0.5}, {Start: 2, Width: 0.5}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := s.Uncovered(tt.arc)
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if !almostEqual(got[i].Start, tt.want[i].Start, 1e-12) ||
+					!almostEqual(got[i].Width, tt.want[i].Width, 1e-12) {
+					t.Fatalf("piece %d: got %v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestArcSetUncoveredMatchesGain(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		s := &ArcSet{}
+		for i := 0; i < rng.Intn(6); i++ {
+			s.Add(NewArc(rng.Float64()*TwoPi, rng.Float64()*2))
+		}
+		probe := NewArc(rng.Float64()*TwoPi, rng.Float64()*3)
+		var sum float64
+		for _, piece := range s.Uncovered(probe) {
+			sum += piece.Width
+			// Every uncovered piece must be disjoint from the set.
+			if g := s.Gain(piece); !almostEqual(g, piece.Width, 1e-9) {
+				t.Fatalf("trial %d: piece %v overlaps the set", trial, piece)
+			}
+		}
+		if !almostEqual(sum, s.Gain(probe), 1e-9) {
+			t.Fatalf("trial %d: Σ uncovered %v != gain %v", trial, sum, s.Gain(probe))
+		}
+		// Overlap complements Gain.
+		if got := s.Overlap(probe); !almostEqual(got+s.Gain(probe), probe.Width, 1e-9) {
+			t.Fatalf("trial %d: overlap %v + gain != width", trial, got)
+		}
+	}
+}
+
+func TestArcSetUncoveredWrapping(t *testing.T) {
+	s := NewArcSet(NewArc(0, 0.5)) // covers [0, 0.5]
+	// Probe wraps: [2π−0.5, 0.5]; only [2π−0.5, 2π) should be uncovered.
+	got := s.Uncovered(ArcAround(0, 0.5))
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if !almostEqual(got[0].Start, TwoPi-0.5, 1e-12) || !almostEqual(got[0].Width, 0.5, 1e-12) {
+		t.Fatalf("got %v", got[0])
+	}
+}

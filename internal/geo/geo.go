@@ -1,0 +1,164 @@
+// Package geo provides the 2-D geometric primitives used by the photo
+// coverage model: planar vectors, angle arithmetic on the unit circle,
+// circular arcs with set-union semantics, and camera view sectors.
+//
+// Angles follow the paper's convention: they are expressed in radians,
+// angle 0 points east (positive X) and angles grow counter-clockwise in the
+// standard mathematical sense. All exported angle values are normalized to
+// [0, 2π).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// TwoPi is the full circle in radians.
+const TwoPi = 2 * math.Pi
+
+// Vec is a point or direction in the plane. Coordinates are metres when the
+// vector denotes a location.
+type Vec struct {
+	X float64
+	Y float64
+}
+
+// FromAngle returns the unit vector pointing at the given angle.
+func FromAngle(rad float64) Vec {
+	return Vec{X: math.Cos(rad), Y: math.Sin(rad)}
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{X: v.X + w.X, Y: v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{X: v.X - w.X, Y: v.Y - w.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{X: v.X * k, Y: v.Y * k} }
+
+// Dot returns the dot product v · w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the scalar cross product v × w.
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Norm() }
+
+// Angle returns the direction of v as an angle in [0, 2π). The zero vector
+// reports angle 0.
+func (v Vec) Angle() float64 {
+	if v.X == 0 && v.Y == 0 {
+		return 0
+	}
+	return NormalizeAngle(math.Atan2(v.Y, v.X))
+}
+
+// Unit returns the unit vector in the direction of v, or the zero vector if
+// v has zero length.
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n == 0 {
+		return Vec{}
+	}
+	return v.Scale(1 / n)
+}
+
+// IsZero reports whether both coordinates are exactly zero.
+func (v Vec) IsZero() bool { return v.X == 0 && v.Y == 0 }
+
+// String implements fmt.Stringer.
+func (v Vec) String() string { return fmt.Sprintf("(%.2f, %.2f)", v.X, v.Y) }
+
+// NormalizeAngle maps an arbitrary angle to [0, 2π).
+func NormalizeAngle(rad float64) float64 {
+	rad = math.Mod(rad, TwoPi)
+	if rad < 0 {
+		rad += TwoPi
+	}
+	// math.Mod can return TwoPi-epsilon values that round to TwoPi; keep the
+	// invariant strict.
+	if rad >= TwoPi {
+		rad -= TwoPi
+	}
+	return rad
+}
+
+// AngleDiff returns the smallest absolute difference between two angles,
+// a value in [0, π].
+func AngleDiff(a, b float64) float64 {
+	d := math.Abs(NormalizeAngle(a) - NormalizeAngle(b))
+	if d > math.Pi {
+		d = TwoPi - d
+	}
+	return d
+}
+
+// AngleBetween returns the unsigned angle between two vectors in [0, π].
+// It is 0 when either vector is zero.
+func AngleBetween(v, w Vec) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	c := v.Dot(w) / (nv * nw)
+	// Clamp against floating point drift before acos.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// Rect is an axis-aligned rectangle, used to describe the deployment region.
+type Rect struct {
+	Min Vec
+	Max Vec
+}
+
+// NewRect returns the rectangle spanning the two corner points regardless of
+// their order.
+func NewRect(a, b Vec) Rect {
+	return Rect{
+		Min: Vec{X: math.Min(a.X, b.X), Y: math.Min(a.Y, b.Y)},
+		Max: Vec{X: math.Max(a.X, b.X), Y: math.Max(a.Y, b.Y)},
+	}
+}
+
+// Square returns a square region with the given side anchored at the origin.
+func Square(side float64) Rect {
+	return Rect{Max: Vec{X: side, Y: side}}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside r (inclusive of the boundary).
+func (r Rect) Contains(p Vec) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns the point of r closest to p.
+func (r Rect) Clamp(p Vec) Vec {
+	return Vec{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}

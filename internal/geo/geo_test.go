@@ -1,0 +1,189 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec
+		want Vec
+	}{
+		{"add", Vec{1, 2}.Add(Vec{3, -1}), Vec{4, 1}},
+		{"sub", Vec{1, 2}.Sub(Vec{3, -1}), Vec{-2, 3}},
+		{"scale", Vec{1, -2}.Scale(2.5), Vec{2.5, -5}},
+		{"unit zero", Vec{}.Unit(), Vec{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.got != tt.want {
+				t.Fatalf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVecNormDist(t *testing.T) {
+	if got := (Vec{3, 4}).Norm(); !almostEqual(got, 5, eps) {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := (Vec{1, 1}).Dist(Vec{4, 5}); !almostEqual(got, 5, eps) {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+}
+
+func TestVecDotCross(t *testing.T) {
+	v, w := Vec{1, 2}, Vec{3, 4}
+	if got := v.Dot(w); got != 11 {
+		t.Fatalf("Dot = %v, want 11", got)
+	}
+	if got := v.Cross(w); got != -2 {
+		t.Fatalf("Cross = %v, want -2", got)
+	}
+}
+
+func TestVecAngle(t *testing.T) {
+	tests := []struct {
+		v    Vec
+		want float64
+	}{
+		{Vec{1, 0}, 0},
+		{Vec{0, 1}, math.Pi / 2},
+		{Vec{-1, 0}, math.Pi},
+		{Vec{0, -1}, 3 * math.Pi / 2},
+		{Vec{}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Angle(); !almostEqual(got, tt.want, eps) {
+			t.Errorf("Angle(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestFromAngleRoundTrip(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		got := FromAngle(a).Angle()
+		return AngleDiff(got, a) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want float64
+	}{
+		{0, 0},
+		{TwoPi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * TwoPi, 0},
+		{TwoPi + 1, 1},
+		{-TwoPi - 1, TwoPi - 1},
+	}
+	for _, tt := range tests {
+		if got := NormalizeAngle(tt.in); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeAngleRangeProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		n := NormalizeAngle(a)
+		return n >= 0 && n < TwoPi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{0, math.Pi, math.Pi},
+		{0.1, TwoPi - 0.1, 0.2},
+		{math.Pi / 2, 3 * math.Pi / 2, math.Pi},
+		{-0.1, 0.1, 0.2},
+	}
+	for _, tt := range tests {
+		if got := AngleDiff(tt.a, tt.b); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("AngleDiff(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAngleDiffSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		d1, d2 := AngleDiff(a, b), AngleDiff(b, a)
+		return almostEqual(d1, d2, 1e-9) && d1 >= 0 && d1 <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	tests := []struct {
+		v, w Vec
+		want float64
+	}{
+		{Vec{1, 0}, Vec{0, 1}, math.Pi / 2},
+		{Vec{1, 0}, Vec{-1, 0}, math.Pi},
+		{Vec{1, 1}, Vec{2, 2}, 0},
+		{Vec{}, Vec{1, 0}, 0},
+	}
+	for _, tt := range tests {
+		if got := AngleBetween(tt.v, tt.w); !almostEqual(got, tt.want, 1e-7) {
+			t.Errorf("AngleBetween(%v, %v) = %v, want %v", tt.v, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestDegreesRadians(t *testing.T) {
+	if got := Degrees(math.Pi); !almostEqual(got, 180, eps) {
+		t.Fatalf("Degrees(π) = %v", got)
+	}
+	if got := Radians(90); !almostEqual(got, math.Pi/2, eps) {
+		t.Fatalf("Radians(90) = %v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(Vec{4, 5}, Vec{1, 2})
+	if r.Min != (Vec{1, 2}) || r.Max != (Vec{4, 5}) {
+		t.Fatalf("NewRect normalization failed: %+v", r)
+	}
+	if r.Width() != 3 || r.Height() != 3 || r.Area() != 9 {
+		t.Fatalf("rect dims wrong: w=%v h=%v a=%v", r.Width(), r.Height(), r.Area())
+	}
+	if !r.Contains(Vec{1, 2}) || !r.Contains(Vec{2.5, 3}) || r.Contains(Vec{0, 0}) {
+		t.Fatal("Contains wrong")
+	}
+	if got := r.Clamp(Vec{-10, 10}); got != (Vec{1, 5}) {
+		t.Fatalf("Clamp = %v, want (1,5)", got)
+	}
+	sq := Square(10)
+	if sq.Area() != 100 || !sq.Contains(Vec{5, 5}) {
+		t.Fatal("Square wrong")
+	}
+}

@@ -1,0 +1,69 @@
+package geo
+
+import "fmt"
+
+// Sector is the coverage area of a photo: a circular sector with its apex at
+// the camera location, opening symmetric around the camera orientation.
+type Sector struct {
+	// Apex is the camera location.
+	Apex Vec
+	// Radius is the coverage range r of the camera in metres.
+	Radius float64
+	// Dir is the camera orientation d as an angle in [0, 2π).
+	Dir float64
+	// FOV is the field-of-view φ in radians, in [0, 2π].
+	FOV float64
+}
+
+// NewSector builds a sector with normalized direction and clamped FOV.
+func NewSector(apex Vec, radius, dir, fov float64) Sector {
+	if radius < 0 {
+		radius = 0
+	}
+	if fov < 0 {
+		fov = 0
+	}
+	if fov > TwoPi {
+		fov = TwoPi
+	}
+	return Sector{Apex: apex, Radius: radius, Dir: NormalizeAngle(dir), FOV: fov}
+}
+
+// Contains reports whether point p lies inside the sector (inclusive of the
+// boundary). The apex itself is always contained when the radius is
+// positive.
+func (s Sector) Contains(p Vec) bool {
+	d := p.Sub(s.Apex)
+	dist := d.Norm()
+	if dist > s.Radius {
+		return false
+	}
+	if dist == 0 {
+		return s.Radius > 0
+	}
+	return AngleDiff(d.Angle(), s.Dir) <= s.FOV/2
+}
+
+// Area returns the area of the sector in square metres.
+func (s Sector) Area() float64 {
+	return 0.5 * s.FOV * s.Radius * s.Radius
+}
+
+// Bounds returns the axis-aligned bounding box of the sector's enclosing
+// circle. It is a conservative bound used by spatial indexes.
+func (s Sector) Bounds() Rect {
+	r := Vec{X: s.Radius, Y: s.Radius}
+	return Rect{Min: s.Apex.Sub(r), Max: s.Apex.Add(r)}
+}
+
+// ViewAngleFrom returns the direction from p toward the apex (the PoI→camera
+// vector direction used by aspect coverage), as an angle in [0, 2π).
+func (s Sector) ViewAngleFrom(p Vec) float64 {
+	return s.Apex.Sub(p).Angle()
+}
+
+// String implements fmt.Stringer.
+func (s Sector) String() string {
+	return fmt.Sprintf("Sector{apex=%v r=%.1f dir=%.1f° fov=%.1f°}",
+		s.Apex, s.Radius, Degrees(s.Dir), Degrees(s.FOV))
+}

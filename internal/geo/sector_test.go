@@ -1,0 +1,97 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSectorContains(t *testing.T) {
+	// Camera at origin, looking east, 60° FOV, 100 m range.
+	s := NewSector(Vec{}, 100, 0, Radians(60))
+	tests := []struct {
+		name string
+		p    Vec
+		want bool
+	}{
+		{"straight ahead", Vec{50, 0}, true},
+		{"at range edge", Vec{100, 0}, true},
+		{"beyond range", Vec{101, 0}, false},
+		{"within half fov", Vec{50, 50 * math.Tan(Radians(29))}, true},
+		{"outside half fov", Vec{50, 50 * math.Tan(Radians(31))}, false},
+		{"behind", Vec{-50, 0}, false},
+		{"apex", Vec{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.Contains(tt.p); got != tt.want {
+				t.Fatalf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSectorContainsWrappingDirection(t *testing.T) {
+	// Looking east with direction expressed as ~2π-ε; points slightly below
+	// the X axis must still be inside.
+	s := NewSector(Vec{}, 100, TwoPi-0.01, Radians(90))
+	if !s.Contains(Vec{50, -10}) || !s.Contains(Vec{50, 10}) {
+		t.Fatal("wrapping direction containment failed")
+	}
+}
+
+func TestSectorZeroRadius(t *testing.T) {
+	s := NewSector(Vec{1, 1}, 0, 0, Radians(60))
+	if s.Contains(Vec{1, 1}) {
+		t.Fatal("zero-radius sector should contain nothing")
+	}
+}
+
+func TestNewSectorClamps(t *testing.T) {
+	s := NewSector(Vec{}, -5, -math.Pi, 10)
+	if s.Radius != 0 {
+		t.Fatalf("radius = %v, want 0", s.Radius)
+	}
+	if !almostEqual(s.Dir, math.Pi, eps) {
+		t.Fatalf("dir = %v, want π", s.Dir)
+	}
+	if !almostEqual(s.FOV, TwoPi, eps) {
+		t.Fatalf("fov = %v, want 2π", s.FOV)
+	}
+}
+
+func TestSectorArea(t *testing.T) {
+	s := NewSector(Vec{}, 10, 0, math.Pi) // half disc
+	want := math.Pi * 100 / 2
+	if !almostEqual(s.Area(), want, 1e-9) {
+		t.Fatalf("Area = %v, want %v", s.Area(), want)
+	}
+}
+
+func TestSectorBounds(t *testing.T) {
+	s := NewSector(Vec{10, 20}, 5, 0, 1)
+	b := s.Bounds()
+	if b.Min != (Vec{5, 15}) || b.Max != (Vec{15, 25}) {
+		t.Fatalf("Bounds = %+v", b)
+	}
+}
+
+func TestSectorViewAngleFrom(t *testing.T) {
+	s := NewSector(Vec{10, 0}, 100, math.Pi, Radians(60))
+	// PoI at origin: direction PoI→camera is east (angle 0).
+	if got := s.ViewAngleFrom(Vec{}); !almostEqual(got, 0, eps) {
+		t.Fatalf("ViewAngleFrom = %v, want 0", got)
+	}
+	// PoI directly above camera: direction PoI→camera is south (3π/2).
+	if got := s.ViewAngleFrom(Vec{10, 10}); !almostEqual(got, 3*math.Pi/2, eps) {
+		t.Fatalf("ViewAngleFrom = %v, want 3π/2", got)
+	}
+}
+
+func TestSectorFullCircleFOV(t *testing.T) {
+	s := NewSector(Vec{}, 10, 0, TwoPi)
+	for _, p := range []Vec{{5, 0}, {-5, 0}, {0, 5}, {0, -5}} {
+		if !s.Contains(p) {
+			t.Fatalf("360° sector should contain %v", p)
+		}
+	}
+}

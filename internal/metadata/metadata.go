@@ -1,0 +1,212 @@
+// Package metadata implements the metadata management scheme of §III-B.
+//
+// Nodes exchange photo metadata on every contact and cache what they learn
+// about other nodes. Because DTN connectivity is too poor for traditional
+// cache validation, an entry for node a is instead considered stale once the
+// probability that a has met someone (and thus changed its photos) since the
+// snapshot exceeds a threshold:
+//
+//	P{T_a < t} = 1 − e^(−λ_a·t) > P_thld,
+//
+// where λ_a is a's aggregate contact rate learned from history and t the
+// time since the snapshot was taken (eq. 1 of the paper).
+//
+// The command center's metadata is special in two ways: it never goes stale
+// (the command center never drops photos), and sharing it acts as a delivery
+// acknowledgement that lets nodes purge already-delivered photos from
+// consideration.
+package metadata
+
+import (
+	"math"
+	"sort"
+
+	"photodtn/internal/model"
+)
+
+// DefaultPthld is the validity threshold P_thld from Table I.
+const DefaultPthld = 0.8
+
+// Entry is one cached metadata snapshot: what photos a node held, its
+// learned contact rate, and when the snapshot was taken at the origin.
+type Entry struct {
+	// Node is the origin node the snapshot describes.
+	Node model.NodeID
+	// Photos is the origin's photo collection at snapshot time.
+	Photos model.PhotoList
+	// Lambda is the origin's aggregate contact rate λ_a in contacts/second,
+	// as learned and advertised by the origin itself.
+	Lambda float64
+	// P is the origin's delivery probability to the command center (its
+	// PROPHET p_i), as advertised at snapshot time. Expected coverage uses
+	// it to weigh the origin's photos.
+	P float64
+	// Timestamp is when the snapshot was taken, in seconds of global
+	// simulation/wall time.
+	Timestamp float64
+}
+
+// StaleProb returns P{T_a < t}: the probability the origin node has met
+// another node (and may have changed its photos) by time now.
+func (e Entry) StaleProb(now float64) float64 {
+	t := now - e.Timestamp
+	if t <= 0 || e.Lambda <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Lambda*t)
+}
+
+// ValidityHorizon returns how long a snapshot from a node with rate lambda
+// stays valid under threshold pthld: the t solving 1 − e^(−λt) = P_thld.
+// It returns +Inf for a zero rate.
+func ValidityHorizon(lambda, pthld float64) float64 {
+	if lambda <= 0 {
+		return math.Inf(1)
+	}
+	if pthld >= 1 {
+		return math.Inf(1)
+	}
+	if pthld <= 0 {
+		return 0
+	}
+	return -math.Log(1-pthld) / lambda
+}
+
+// Cache is one node's knowledge about every other node's photos. The zero
+// value is not usable; call NewCache. Cache is not safe for concurrent use.
+type Cache struct {
+	owner   model.NodeID
+	pthld   float64
+	entries map[model.NodeID]Entry
+}
+
+// NewCache returns an empty cache with the given validity threshold; a
+// non-positive threshold falls back to DefaultPthld.
+func NewCache(owner model.NodeID, pthld float64) *Cache {
+	if pthld <= 0 {
+		pthld = DefaultPthld
+	}
+	return &Cache{owner: owner, pthld: pthld, entries: make(map[model.NodeID]Entry)}
+}
+
+// Owner returns the node the cache belongs to.
+func (c *Cache) Owner() model.NodeID { return c.owner }
+
+// Pthld returns the validity threshold in use.
+func (c *Cache) Pthld() float64 { return c.pthld }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Put stores a snapshot, keeping the newer of the existing and incoming
+// entries. Command-center entries are merged by union (the command center
+// never drops photos, so any two snapshots of it are consistent).
+func (c *Cache) Put(e Entry) {
+	if e.Node == c.owner {
+		return // a node does not cache itself
+	}
+	old, ok := c.entries[e.Node]
+	if !ok {
+		c.entries[e.Node] = cloneEntry(e)
+		return
+	}
+	if e.Node.IsCommandCenter() {
+		c.entries[e.Node] = mergeCC(old, e)
+		return
+	}
+	if e.Timestamp > old.Timestamp {
+		c.entries[e.Node] = cloneEntry(e)
+	}
+}
+
+func cloneEntry(e Entry) Entry {
+	e.Photos = e.Photos.Clone()
+	return e
+}
+
+// mergeCC unions two command-center snapshots.
+func mergeCC(a, b Entry) Entry {
+	out := Entry{
+		Node:      model.CommandCenter,
+		Timestamp: math.Max(a.Timestamp, b.Timestamp),
+	}
+	seen := make(map[model.PhotoID]bool, len(a.Photos)+len(b.Photos))
+	for _, l := range []model.PhotoList{a.Photos, b.Photos} {
+		for _, p := range l {
+			if !seen[p.ID] {
+				seen[p.ID] = true
+				out.Photos = append(out.Photos, p)
+			}
+		}
+	}
+	return out
+}
+
+// Get returns the cached entry for a node, valid or not.
+func (c *Cache) Get(node model.NodeID) (Entry, bool) {
+	e, ok := c.entries[node]
+	return e, ok
+}
+
+// Remove drops the entry for a node.
+func (c *Cache) Remove(node model.NodeID) { delete(c.entries, node) }
+
+// IsValid applies eq. (1): an entry is valid while its staleness probability
+// is at most P_thld. Command-center entries are always valid.
+func (c *Cache) IsValid(e Entry, now float64) bool {
+	if e.Node.IsCommandCenter() {
+		return true
+	}
+	return e.StaleProb(now) <= c.pthld
+}
+
+// DropInvalid removes every stale entry and returns how many were dropped.
+func (c *Cache) DropInvalid(now float64) int {
+	dropped := 0
+	for node, e := range c.entries {
+		if !c.IsValid(e, now) {
+			delete(c.entries, node)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// ValidEntries returns the currently valid entries sorted by node ID
+// (deterministic order for the selection algorithm).
+func (c *Cache) ValidEntries(now float64) []Entry {
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		if c.IsValid(e, now) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// MergeFrom gossips another cache into this one: every entry of other is
+// Put into c. This propagates command-center acknowledgements (and
+// third-party snapshots) through the DTN.
+func (c *Cache) MergeFrom(other *Cache) {
+	if other == nil {
+		return
+	}
+	for _, e := range other.entries {
+		c.Put(e)
+	}
+}
+
+// Delivered returns the set of photo IDs known to have reached the command
+// center — the acknowledgement view of §III-B.
+func (c *Cache) Delivered() map[model.PhotoID]bool {
+	e, ok := c.entries[model.CommandCenter]
+	if !ok {
+		return nil
+	}
+	out := make(map[model.PhotoID]bool, len(e.Photos))
+	for _, p := range e.Photos {
+		out[p.ID] = true
+	}
+	return out
+}

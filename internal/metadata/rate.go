@@ -1,0 +1,58 @@
+package metadata
+
+import "photodtn/internal/model"
+
+// RateEstimator learns a node's aggregate contact rate λ_a = Σ_b λ_ab online
+// from its own contact history (§III-B). Each pairwise rate is the
+// maximum-likelihood estimate count/elapsed under the exponential
+// inter-contact assumption, so the aggregate reduces to total contacts over
+// elapsed time.
+type RateEstimator struct {
+	started bool
+	start   float64
+	total   int
+	perPeer map[model.NodeID]int
+}
+
+// NewRateEstimator returns an estimator with no history.
+func NewRateEstimator() *RateEstimator {
+	return &RateEstimator{perPeer: make(map[model.NodeID]int)}
+}
+
+// Observe records a contact with peer at the given time.
+func (r *RateEstimator) Observe(peer model.NodeID, now float64) {
+	if !r.started {
+		r.started = true
+		r.start = now
+	}
+	r.total++
+	r.perPeer[peer]++
+}
+
+// Rate returns the aggregate rate λ_a in contacts/second as of now. With
+// fewer than two observations or no elapsed time it returns 0 (unknown).
+func (r *RateEstimator) Rate(now float64) float64 {
+	if !r.started || r.total < 2 {
+		return 0
+	}
+	elapsed := now - r.start
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.total) / elapsed
+}
+
+// PeerRate returns the learned pairwise rate λ_ab in contacts/second.
+func (r *RateEstimator) PeerRate(peer model.NodeID, now float64) float64 {
+	if !r.started {
+		return 0
+	}
+	elapsed := now - r.start
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.perPeer[peer]) / elapsed
+}
+
+// Contacts returns the total number of observed contacts.
+func (r *RateEstimator) Contacts() int { return r.total }

@@ -1,0 +1,323 @@
+package mobility
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"photodtn/internal/core"
+	"photodtn/internal/coverage"
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+	"photodtn/internal/sim"
+	"photodtn/internal/workload"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Nodes:    8,
+		Region:   geo.Square(1000),
+		SpeedMin: 1,
+		SpeedMax: 2,
+		PauseMax: 120,
+		Range:    80,
+		Step:     30,
+		Span:     4 * 3600,
+		Seed:     seed,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallConfig(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no nodes", func(c *Config) { c.Nodes = 0 }},
+		{"empty region", func(c *Config) { c.Region = geo.Rect{} }},
+		{"zero speed", func(c *Config) { c.SpeedMin = 0 }},
+		{"speed bounds flipped", func(c *Config) { c.SpeedMax = c.SpeedMin / 2 }},
+		{"negative pause", func(c *Config) { c.PauseMax = -1 }},
+		{"zero range", func(c *Config) { c.Range = 0 }},
+		{"zero step", func(c *Config) { c.Step = 0 }},
+		{"zero span", func(c *Config) { c.Span = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallConfig(1)
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrBadMobility) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestGenerateTracksStayInRegion(t *testing.T) {
+	cfg := smallConfig(2)
+	tracks, err := GenerateTracks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != cfg.Nodes+1 || tracks[0] != nil {
+		t.Fatalf("track layout wrong: %d", len(tracks))
+	}
+	for n := 1; n <= cfg.Nodes; n++ {
+		tr := tracks[n]
+		if tr.Span() < cfg.Span {
+			t.Fatalf("node %d trajectory ends at %v < span", n, tr.Span())
+		}
+		for at := 0.0; at <= cfg.Span; at += 97 {
+			p := tr.At(at)
+			if !cfg.Region.Contains(p) {
+				t.Fatalf("node %d at %v outside region: %v", n, at, p)
+			}
+		}
+	}
+}
+
+func TestTrackSpeedBounds(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.PauseMax = 0 // isolate motion
+	tracks, err := GenerateTracks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracks[1]
+	const dt = 5.0
+	for at := 0.0; at+dt <= cfg.Span; at += dt {
+		d := tr.At(at).Dist(tr.At(at + dt))
+		speed := d / dt
+		// Crossing a waypoint mid-interval can only slow the apparent
+		// speed, so only the upper bound is strict.
+		if speed > cfg.SpeedMax+1e-9 {
+			t.Fatalf("speed %v at t=%v exceeds max", speed, at)
+		}
+	}
+}
+
+func TestTrackAtEdges(t *testing.T) {
+	cfg := smallConfig(4)
+	tracks, _ := GenerateTracks(cfg)
+	tr := tracks[1]
+	if tr.At(-100) != tr.At(0) {
+		t.Fatal("before-start position should clamp")
+	}
+	if tr.At(tr.Span()+100) != tr.At(tr.Span()) {
+		t.Fatal("after-end position should clamp")
+	}
+	var empty Track
+	if empty.At(5) != (geo.Vec{}) || empty.Span() != 0 {
+		t.Fatal("empty track should be at origin")
+	}
+}
+
+func TestExtractContactsMatchGeometry(t *testing.T) {
+	cfg := smallConfig(5)
+	tracks, err := GenerateTracks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ExtractContacts(cfg, tracks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("no contacts in a dense pedestrian scenario")
+	}
+	// Every contact interval must correspond to nodes within range at its
+	// sampled midpoint (quantised to the step grid).
+	for _, c := range tr.Contacts {
+		mid := math.Floor((c.Start+c.End)/2/cfg.Step) * cfg.Step
+		if mid < c.Start {
+			mid = c.Start
+		}
+		d := tracks[c.A].At(mid).Dist(tracks[c.B].At(mid))
+		if d > cfg.Range+1e-6 {
+			t.Fatalf("contact %+v: nodes %.1f m apart at t=%v", c, d, mid)
+		}
+	}
+	// And the trace must be engine-ready.
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractContactsOracle(t *testing.T) {
+	// Independent oracle: for random (pair, grid time), in-contact per the
+	// trace must equal within-range per the geometry.
+	cfg := smallConfig(6)
+	tracks, _ := GenerateTracks(cfg)
+	tr, err := ExtractContacts(cfg, tracks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inContact := func(a, b int, at float64) bool {
+		for _, c := range tr.Contacts {
+			if int(c.A) == a && int(c.B) == b && at >= c.Start && at < c.End {
+				return true
+			}
+		}
+		return false
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		a := 1 + rng.Intn(cfg.Nodes)
+		b := 1 + rng.Intn(cfg.Nodes)
+		if a >= b {
+			continue
+		}
+		at := math.Floor(rng.Float64()*cfg.Span/cfg.Step) * cfg.Step
+		want := tracks[a].At(at).Dist(tracks[b].At(at)) <= cfg.Range
+		if got := inContact(a, b, at); got != want {
+			t.Fatalf("pair (%d,%d) at %v: trace=%v geometry=%v", a, b, at, got, want)
+		}
+	}
+}
+
+func TestExtractContactsTrackCountMismatch(t *testing.T) {
+	cfg := smallConfig(8)
+	if _, err := ExtractContacts(cfg, nil); !errors.Is(err, ErrBadMobility) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPhotoWorkloadOnTrajectories(t *testing.T) {
+	cfg := smallConfig(9)
+	tracks, _ := GenerateTracks(cfg)
+	wl := workload.Default(cfg.Nodes, cfg.Span)
+	wl.Region = cfg.Region
+	wl.PhotosPerHour = 60
+	rng := rand.New(rand.NewSource(10))
+	events, err := PhotoWorkload(cfg, wl, tracks, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no photos")
+	}
+	for _, e := range events {
+		want := tracks[e.Node].At(e.Time)
+		if e.Photo.Location != want {
+			t.Fatalf("photo not on trajectory: %v vs %v", e.Photo.Location, want)
+		}
+		if err := e.Photo.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPhotoWorkloadNodeMismatch(t *testing.T) {
+	cfg := smallConfig(11)
+	tracks, _ := GenerateTracks(cfg)
+	wl := workload.Default(cfg.Nodes+5, cfg.Span)
+	if _, err := PhotoWorkload(cfg, wl, tracks, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadMobility) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := GenerateTracks(smallConfig(12))
+	b, _ := GenerateTracks(smallConfig(12))
+	for n := 1; n < len(a); n++ {
+		for at := 0.0; at < 1000; at += 111 {
+			if a[n].At(at) != b[n].At(at) {
+				t.Fatal("tracks not deterministic")
+			}
+		}
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig(40, 24*3600).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAimedPhotoWorkload(t *testing.T) {
+	cfg := smallConfig(13)
+	tracks, _ := GenerateTracks(cfg)
+	pois := []model.PoI{
+		model.NewPoI(0, geo.Vec{X: 200, Y: 200}),
+		model.NewPoI(1, geo.Vec{X: 800, Y: 800}),
+	}
+	wl := workload.Default(cfg.Nodes, cfg.Span)
+	wl.Region = cfg.Region
+	wl.PhotosPerHour = 200
+	rng := rand.New(rand.NewSource(14))
+	events, err := AimedPhotoWorkload(cfg, wl, tracks, pois, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aimed, covers := 0, 0
+	for _, e := range events {
+		p := e.Photo
+		near := false
+		for _, poi := range pois {
+			if p.Location.Dist(poi.Location) <= p.Range {
+				near = true
+				if p.Sector().Contains(poi.Location) {
+					covers++
+				}
+			}
+		}
+		if near {
+			aimed++
+		}
+	}
+	if aimed == 0 {
+		t.Skip("no photographer passed a PoI in this realisation")
+	}
+	// Most photos taken within range of a PoI must actually cover it
+	// (aim noise is 5°, FOV at least 30°).
+	if float64(covers) < 0.8*float64(aimed) {
+		t.Fatalf("only %d of %d near-PoI photos cover the PoI", covers, aimed)
+	}
+}
+
+func TestMobilityEndToEndWithFramework(t *testing.T) {
+	// The whole geometric pipeline drives the paper's framework: RWP
+	// trajectories → contact trace + aimed photos → simulation.
+	cfg := smallConfig(15)
+	cfg.Range = 120
+	tracks, err := GenerateTracks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ExtractContacts(cfg, tracks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois := []model.PoI{
+		model.NewPoI(0, geo.Vec{X: 300, Y: 300}),
+		model.NewPoI(1, geo.Vec{X: 700, Y: 600}),
+	}
+	wl := workload.Default(cfg.Nodes, cfg.Span)
+	wl.Region = cfg.Region
+	wl.PhotosPerHour = 300
+	rng := rand.New(rand.NewSource(16))
+	photos, err := AimedPhotoWorkload(cfg, wl, tracks, pois, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := sim.Config{
+		Trace:           tr,
+		Map:             coverage.NewMap(pois, geo.Radians(30)),
+		Photos:          photos,
+		StorageBytes:    200 << 20,
+		Gateways:        []model.NodeID{1},
+		GatewayInterval: 3600,
+		GatewayDuration: 60,
+		Seed:            1,
+	}
+	res, err := sim.Run(simCfg, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Delivered == 0 || res.Final.PointFrac == 0 {
+		t.Fatalf("geometric pipeline delivered nothing: %+v", res.Final)
+	}
+}

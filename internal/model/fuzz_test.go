@@ -1,0 +1,26 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePhotoList hammers the binary photo codec: it must never panic,
+// and accepted inputs must round trip byte-for-byte.
+func FuzzDecodePhotoList(f *testing.F) {
+	f.Add(PhotoList{samplePhoto()}.AppendBinary(nil))
+	f.Add(PhotoList{}.AppendBinary(nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		list, rest, err := DecodePhotoList(data)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		if !bytes.Equal(list.AppendBinary(nil), consumed) {
+			t.Fatal("accepted photo list does not round trip")
+		}
+	})
+}

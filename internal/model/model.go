@@ -1,0 +1,181 @@
+// Package model defines the domain objects shared across the framework:
+// photo metadata, points of interest, and node identities. A photo is never
+// represented by pixels anywhere in this repository — exactly as in the
+// paper, the framework reasons only about the lightweight metadata tuple
+// (location, coverage range, field-of-view, orientation).
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"photodtn/internal/geo"
+)
+
+// CommandCenter is the reserved node ID of the command center n0.
+const CommandCenter NodeID = 0
+
+// NodeID identifies a participant. ID 0 is the command center.
+type NodeID int32
+
+// IsCommandCenter reports whether the ID denotes the command center.
+func (n NodeID) IsCommandCenter() bool { return n == CommandCenter }
+
+// String implements fmt.Stringer.
+func (n NodeID) String() string {
+	if n.IsCommandCenter() {
+		return "n0(CC)"
+	}
+	return fmt.Sprintf("n%d", int32(n))
+}
+
+// PhotoID identifies a photo globally. It encodes the owner node and a
+// per-owner sequence number so IDs can be minted without coordination —
+// exactly what a real DTN deployment needs.
+type PhotoID uint64
+
+// MakePhotoID mints the photo ID for the seq-th photo taken by owner.
+func MakePhotoID(owner NodeID, seq uint32) PhotoID {
+	return PhotoID(uint64(uint32(owner))<<32 | uint64(seq))
+}
+
+// Owner returns the node that minted the ID.
+func (id PhotoID) Owner() NodeID { return NodeID(uint32(id >> 32)) }
+
+// Seq returns the per-owner sequence number.
+func (id PhotoID) Seq() uint32 { return uint32(id) }
+
+// String implements fmt.Stringer.
+func (id PhotoID) String() string {
+	return fmt.Sprintf("photo(%v#%d)", id.Owner(), id.Seq())
+}
+
+// HistogramBins is the number of bins of the synthetic colour histogram
+// carried for the PhotoNet baseline.
+const HistogramBins = 8
+
+// Histogram is a normalized colour histogram. It only exists to reproduce
+// the PhotoNet baseline, which ranks photos by colour difference; our scheme
+// never reads it.
+type Histogram [HistogramBins]float64
+
+// Distance returns the L1 distance between two histograms.
+func (h Histogram) Distance(o Histogram) float64 {
+	var d float64
+	for i := range h {
+		d += math.Abs(h[i] - o[i])
+	}
+	return d
+}
+
+// Photo is the metadata tuple (l, r, φ, d) of §II-A plus the bookkeeping a
+// DTN node needs (identity, owner, capture time, size on disk).
+type Photo struct {
+	ID    PhotoID `json:"id"`
+	Owner NodeID  `json:"owner"`
+	// TakenAt is the capture time in seconds since the crowdsourcing event
+	// started.
+	TakenAt float64 `json:"taken_at"`
+	// Location is the camera position l in metres.
+	Location geo.Vec `json:"location"`
+	// Range is the coverage range r in metres.
+	Range float64 `json:"range"`
+	// FOV is the field-of-view φ in radians.
+	FOV float64 `json:"fov"`
+	// Orientation is the camera orientation d as an angle in radians.
+	Orientation float64 `json:"orientation"`
+	// Size is the size of the image file in bytes. Metadata itself is
+	// assumed to be negligible (a couple of floats, per the paper).
+	Size int64 `json:"size"`
+	// Quality is an application-supplied quality score in (0, 1] — sharpness,
+	// exposure, etc. Zero means "not assessed" and is treated as acceptable.
+	// §II-C: applications "use a binary threshold to filter out unqualified
+	// photos before using our model"; see the framework's MinQuality knob.
+	Quality float64 `json:"quality,omitempty"`
+	// Hist is the synthetic colour histogram used only by the PhotoNet
+	// baseline.
+	Hist Histogram `json:"hist,omitempty"`
+}
+
+// Sector returns the coverage area of the photo.
+func (p Photo) Sector() geo.Sector {
+	return geo.NewSector(p.Location, p.Range, p.Orientation, p.FOV)
+}
+
+// Errors returned by Photo.Validate.
+var (
+	ErrBadRange = errors.New("model: coverage range must be positive")
+	ErrBadFOV   = errors.New("model: field-of-view must be in (0, 2π]")
+	ErrBadSize  = errors.New("model: photo size must be positive")
+)
+
+// Validate reports whether the metadata tuple is physically meaningful.
+func (p Photo) Validate() error {
+	if p.Range <= 0 || math.IsNaN(p.Range) || math.IsInf(p.Range, 0) {
+		return fmt.Errorf("%w: got %v", ErrBadRange, p.Range)
+	}
+	if p.FOV <= 0 || p.FOV > geo.TwoPi || math.IsNaN(p.FOV) {
+		return fmt.Errorf("%w: got %v", ErrBadFOV, p.FOV)
+	}
+	if p.Size <= 0 {
+		return fmt.Errorf("%w: got %d", ErrBadSize, p.Size)
+	}
+	return nil
+}
+
+// PoI is a point of interest from the command center's PoI list. The weight
+// implements the paper's §II-C extension: a photo point-covering a PoI of
+// weight w contributes w instead of 1 to point coverage, and aspect arcs are
+// scaled by w.
+type PoI struct {
+	ID       int     `json:"id"`
+	Location geo.Vec `json:"location"`
+	Weight   float64 `json:"weight"`
+}
+
+// NewPoI returns a unit-weight PoI.
+func NewPoI(id int, loc geo.Vec) PoI {
+	return PoI{ID: id, Location: loc, Weight: 1}
+}
+
+// PhotoList is a collection of photos with set-style helpers.
+type PhotoList []Photo
+
+// TotalSize returns the cumulative byte size of the photos.
+func (l PhotoList) TotalSize() int64 {
+	var s int64
+	for _, p := range l {
+		s += p.Size
+	}
+	return s
+}
+
+// IDs returns the photo IDs in order.
+func (l PhotoList) IDs() []PhotoID {
+	out := make([]PhotoID, len(l))
+	for i, p := range l {
+		out[i] = p.ID
+	}
+	return out
+}
+
+// Contains reports whether the list holds a photo with the given ID.
+func (l PhotoList) Contains(id PhotoID) bool {
+	for _, p := range l {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a shallow copy of the list.
+func (l PhotoList) Clone() PhotoList {
+	if l == nil {
+		return nil
+	}
+	out := make(PhotoList, len(l))
+	copy(out, l)
+	return out
+}

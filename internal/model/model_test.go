@@ -1,0 +1,286 @@
+package model
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"photodtn/internal/geo"
+)
+
+func samplePhoto() Photo {
+	return Photo{
+		ID:          MakePhotoID(3, 7),
+		Owner:       3,
+		TakenAt:     1234.5,
+		Location:    geo.Vec{X: 100, Y: 200},
+		Range:       150,
+		FOV:         geo.Radians(45),
+		Orientation: geo.Radians(90),
+		Size:        4 << 20,
+		Hist:        Histogram{0.1, 0.2, 0.3, 0.1, 0.1, 0.1, 0.05, 0.05},
+	}
+}
+
+func TestNodeID(t *testing.T) {
+	if !CommandCenter.IsCommandCenter() {
+		t.Fatal("node 0 must be the command center")
+	}
+	if NodeID(5).IsCommandCenter() {
+		t.Fatal("node 5 is not the command center")
+	}
+	if got := CommandCenter.String(); got != "n0(CC)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := NodeID(5).String(); got != "n5" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPhotoIDRoundTrip(t *testing.T) {
+	tests := []struct {
+		owner NodeID
+		seq   uint32
+	}{
+		{0, 0},
+		{1, 1},
+		{97, 42},
+		{1 << 20, math.MaxUint32},
+	}
+	for _, tt := range tests {
+		id := MakePhotoID(tt.owner, tt.seq)
+		if id.Owner() != tt.owner || id.Seq() != tt.seq {
+			t.Errorf("MakePhotoID(%v, %v) round trip = (%v, %v)", tt.owner, tt.seq, id.Owner(), id.Seq())
+		}
+	}
+}
+
+func TestPhotoIDUnique(t *testing.T) {
+	seen := make(map[PhotoID]bool)
+	for owner := NodeID(0); owner < 20; owner++ {
+		for seq := uint32(0); seq < 20; seq++ {
+			id := MakePhotoID(owner, seq)
+			if seen[id] {
+				t.Fatalf("duplicate id %v", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestPhotoSector(t *testing.T) {
+	p := samplePhoto()
+	s := p.Sector()
+	if s.Apex != p.Location || s.Radius != p.Range || s.FOV != p.FOV {
+		t.Fatalf("sector does not mirror metadata: %+v", s)
+	}
+	// The sector should contain a point straight ahead of the camera.
+	ahead := p.Location.Add(geo.FromAngle(p.Orientation).Scale(p.Range / 2))
+	if !s.Contains(ahead) {
+		t.Fatal("point straight ahead not covered")
+	}
+}
+
+func TestPhotoValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Photo)
+		wantErr error
+	}{
+		{"valid", func(*Photo) {}, nil},
+		{"zero range", func(p *Photo) { p.Range = 0 }, ErrBadRange},
+		{"negative range", func(p *Photo) { p.Range = -1 }, ErrBadRange},
+		{"nan range", func(p *Photo) { p.Range = math.NaN() }, ErrBadRange},
+		{"zero fov", func(p *Photo) { p.FOV = 0 }, ErrBadFOV},
+		{"fov too wide", func(p *Photo) { p.FOV = geo.TwoPi + 0.1 }, ErrBadFOV},
+		{"zero size", func(p *Photo) { p.Size = 0 }, ErrBadSize},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := samplePhoto()
+			tt.mutate(&p)
+			err := p.Validate()
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHistogramDistance(t *testing.T) {
+	a := Histogram{1, 0, 0, 0, 0, 0, 0, 0}
+	b := Histogram{0, 1, 0, 0, 0, 0, 0, 0}
+	if got := a.Distance(b); got != 2 {
+		t.Fatalf("Distance = %v, want 2", got)
+	}
+	if got := a.Distance(a); got != 0 {
+		t.Fatalf("self distance = %v, want 0", got)
+	}
+}
+
+func TestHistogramDistanceProperties(t *testing.T) {
+	f := func(a, b Histogram) bool {
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsNaN(b[i]) || math.IsInf(a[i], 0) || math.IsInf(b[i], 0) {
+				return true
+			}
+		}
+		d1, d2 := a.Distance(b), b.Distance(a)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhotoListHelpers(t *testing.T) {
+	p1, p2 := samplePhoto(), samplePhoto()
+	p2.ID = MakePhotoID(4, 1)
+	p2.Size = 1 << 20
+	l := PhotoList{p1, p2}
+	if got := l.TotalSize(); got != p1.Size+p2.Size {
+		t.Fatalf("TotalSize = %d", got)
+	}
+	if ids := l.IDs(); len(ids) != 2 || ids[0] != p1.ID || ids[1] != p2.ID {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if !l.Contains(p1.ID) || l.Contains(MakePhotoID(9, 9)) {
+		t.Fatal("Contains wrong")
+	}
+	c := l.Clone()
+	c[0].Size = 1
+	if l[0].Size == 1 {
+		t.Fatal("Clone aliases original")
+	}
+	if PhotoList(nil).Clone() != nil {
+		t.Fatal("nil clone should stay nil")
+	}
+}
+
+func TestPhotoBinaryRoundTrip(t *testing.T) {
+	p := samplePhoto()
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != photoWireSize {
+		t.Fatalf("encoded size = %d, want %d", len(data), photoWireSize)
+	}
+	var q Photo
+	if err := q.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestPhotoBinaryRoundTripProperty(t *testing.T) {
+	f := func(id uint64, owner int32, x, y, r, fov, o float64, size int64) bool {
+		p := Photo{
+			ID: PhotoID(id), Owner: NodeID(owner),
+			Location: geo.Vec{X: x, Y: y}, Range: r, FOV: fov, Orientation: o,
+			Size: size,
+		}
+		data := p.AppendBinary(nil)
+		q, rest, err := DecodePhoto(data)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		// NaN != NaN, so compare bit patterns via re-encoding.
+		return string(q.AppendBinary(nil)) == string(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePhotoShort(t *testing.T) {
+	p := samplePhoto()
+	data := p.AppendBinary(nil)
+	for _, n := range []int{0, 1, photoWireSize - 1} {
+		if _, _, err := DecodePhoto(data[:n]); !errors.Is(err, ErrShortBuffer) {
+			t.Fatalf("len %d: err = %v, want ErrShortBuffer", n, err)
+		}
+	}
+}
+
+func TestUnmarshalBinaryTrailing(t *testing.T) {
+	data := samplePhoto().AppendBinary(nil)
+	data = append(data, 0xFF)
+	var p Photo
+	if err := p.UnmarshalBinary(data); err == nil {
+		t.Fatal("expected error on trailing bytes")
+	}
+}
+
+func TestPhotoListBinaryRoundTrip(t *testing.T) {
+	l := PhotoList{samplePhoto(), samplePhoto(), samplePhoto()}
+	l[1].ID = MakePhotoID(5, 0)
+	l[2].ID = MakePhotoID(6, 1)
+	data := l.AppendBinary(nil)
+	got, rest, err := DecodePhotoList(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if len(got) != len(l) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range l {
+		if got[i] != l[i] {
+			t.Fatalf("photo %d mismatch", i)
+		}
+	}
+}
+
+func TestPhotoListBinaryEmpty(t *testing.T) {
+	data := PhotoList{}.AppendBinary(nil)
+	got, rest, err := DecodePhotoList(data)
+	if err != nil || len(got) != 0 || len(rest) != 0 {
+		t.Fatalf("empty list round trip: %v %v %v", got, rest, err)
+	}
+}
+
+func TestDecodePhotoListCorrupt(t *testing.T) {
+	if _, _, err := DecodePhotoList([]byte{1, 2}); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v", err)
+	}
+	// Claim 1000 photos but supply none.
+	data := []byte{0xE8, 0x03, 0, 0}
+	if _, _, err := DecodePhotoList(data); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPhotoJSONRoundTrip(t *testing.T) {
+	p := samplePhoto()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Photo
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("json round trip mismatch: %+v", q)
+	}
+}
+
+func TestNewPoI(t *testing.T) {
+	p := NewPoI(3, geo.Vec{X: 1, Y: 2})
+	if p.ID != 3 || p.Weight != 1 || p.Location != (geo.Vec{X: 1, Y: 2}) {
+		t.Fatalf("NewPoI = %+v", p)
+	}
+}

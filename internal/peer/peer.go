@@ -1,0 +1,518 @@
+// Package peer implements a live DTN node: the framework of package core
+// speaking the wire protocol over real connections (TCP in the examples;
+// anything io.ReadWriter-shaped works). It is the repository's counterpart
+// of the paper's Android prototype — two peers that meet exchange hellos,
+// PROPHET state, and photo metadata, jointly compute the §III-D
+// reallocation, and transfer exactly the photos the plan needs.
+//
+// The joint computation is deterministic: both sides feed identical inputs
+// (exchanged over the wire) and a shared seed (XOR of the hello nonces)
+// into the same greedy, so they arrive at the same plan without a
+// leader-election round.
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"photodtn/internal/coverage"
+	"photodtn/internal/metadata"
+	"photodtn/internal/model"
+	"photodtn/internal/prophet"
+	"photodtn/internal/selection"
+	"photodtn/internal/sim"
+	"photodtn/internal/wire"
+)
+
+// Errors.
+var (
+	// ErrProtocol reports an unexpected message during a contact.
+	ErrProtocol = errors.New("peer: protocol violation")
+)
+
+// Option customises a Peer.
+type Option func(*Peer)
+
+// WithClock injects a logical clock (seconds); the default is wall time
+// since peer creation.
+func WithClock(clock func() float64) Option {
+	return func(p *Peer) { p.clock = clock }
+}
+
+// WithSelectionConfig overrides the expected-coverage evaluation settings.
+func WithSelectionConfig(cfg selection.Config) Option {
+	return func(p *Peer) { p.selCfg = cfg }
+}
+
+// WithPthld overrides the metadata validity threshold.
+func WithPthld(v float64) Option {
+	return func(p *Peer) { p.pthld = v }
+}
+
+// WithPayloadBytes makes PhotoData frames carry n synthetic payload bytes
+// (stand-ins for image files); 0 sends metadata only.
+func WithPayloadBytes(n int) Option {
+	return func(p *Peer) { p.payload = n }
+}
+
+// WithSeed fixes the nonce stream for reproducible contacts.
+func WithSeed(seed int64) Option {
+	return func(p *Peer) { p.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// Peer is a live framework node. All exported methods are safe for
+// concurrent use; a peer serialises its contacts, as a single-radio device
+// would.
+type Peer struct {
+	id  model.NodeID
+	fpc *coverage.FootprintCache
+
+	mu      sync.Mutex
+	store   *sim.Storage
+	cache   *metadata.Cache
+	rate    *metadata.RateEstimator
+	table   *prophet.Table
+	selCfg  selection.Config
+	pthld   float64
+	clock   func() float64
+	payload int
+	rng     *rand.Rand
+	start   time.Time
+}
+
+// New creates a peer. The command center (id 0) gets unbounded storage and
+// always reports delivery probability 1.
+func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer {
+	p := &Peer{
+		id:     id,
+		fpc:    coverage.NewFootprintCache(m),
+		cache:  nil, // set below, after pthld is known
+		rate:   metadata.NewRateEstimator(),
+		table:  prophet.NewTable(id, prophet.DefaultConfig()),
+		selCfg: selection.DefaultConfig(),
+		pthld:  metadata.DefaultPthld,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		start:  time.Now(),
+	}
+	if id.IsCommandCenter() {
+		capacity = math.MaxInt64 / 4
+	}
+	p.store = sim.NewStorage(capacity)
+	for _, o := range opts {
+		o(p)
+	}
+	if p.clock == nil {
+		p.clock = func() float64 { return time.Since(p.start).Seconds() }
+	}
+	p.cache = metadata.NewCache(id, p.pthld)
+	return p
+}
+
+// ID returns the peer's node ID.
+func (p *Peer) ID() model.NodeID { return p.id }
+
+// AddPhoto stores a locally taken photo (rejecting it if it cannot fit).
+func (p *Peer) AddPhoto(photo model.Photo) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.store.Add(photo); err != nil {
+		return fmt.Errorf("peer %v: %w", p.id, err)
+	}
+	return nil
+}
+
+// Photos returns the current collection.
+func (p *Peer) Photos() model.PhotoList {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.store.List()
+}
+
+// Coverage returns the photo coverage of the current collection — for the
+// command center, the objective C_ph(F_0).
+func (p *Peer) Coverage() coverage.Coverage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fpc.Map().Of(p.store.List())
+}
+
+// DeliveryProb returns the peer's current PROPHET probability of reaching
+// the command center.
+func (p *Peer) DeliveryProb() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.table.DeliveryProb(p.clock())
+}
+
+// Serve accepts contacts on the listener until it is closed, handling each
+// connection sequentially (a node has one radio).
+func (p *Peer) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("peer %v: accept: %w", p.id, err)
+		}
+		err = p.ContactConn(conn, false)
+		_ = conn.Close()
+		if err != nil && !errors.Is(err, io.EOF) {
+			return fmt.Errorf("peer %v: contact: %w", p.id, err)
+		}
+	}
+}
+
+// Contact dials the address and initiates a contact.
+func (p *Peer) Contact(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("peer %v: dial %s: %w", p.id, addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+	return p.ContactConn(conn, true)
+}
+
+// ContactConn runs one contact over an established connection.
+func (p *Peer) ContactConn(conn io.ReadWriter, initiator bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock()
+
+	mine := wire.Hello{
+		Node:         p.id,
+		Lambda:       p.rate.Rate(now),
+		DeliveryProb: p.deliveryProbLocked(now),
+		Time:         now,
+		Nonce:        p.rng.Uint64(),
+		Capacity:     p.store.Capacity(),
+	}
+	var theirs wire.Hello
+	if initiator {
+		if err := wire.Write(conn, mine); err != nil {
+			return err
+		}
+		h, err := readAs[wire.Hello](conn)
+		if err != nil {
+			return err
+		}
+		theirs = h
+	} else {
+		h, err := readAs[wire.Hello](conn)
+		if err != nil {
+			return err
+		}
+		theirs = h
+		if err := wire.Write(conn, mine); err != nil {
+			return err
+		}
+	}
+	// Use a shared session clock so both sides make identical validity and
+	// selection decisions.
+	session := math.Max(mine.Time, theirs.Time)
+
+	p.rate.Observe(theirs.Node, now)
+	p.table.Encounter(theirs.Node, now)
+	// Transitivity through the peer toward the command center, using the
+	// advertised predictability.
+	p.table.Transitive(theirs.Node, map[model.NodeID]float64{model.CommandCenter: theirs.DeliveryProb})
+
+	// Metadata exchange: own collection first, then gossiped cache entries.
+	// Strict turn-taking (initiator writes first) keeps the protocol
+	// deadlock-free even over unbuffered transports.
+	var md wire.Metadata
+	if initiator {
+		if err := wire.Write(conn, p.metadataLocked(session)); err != nil {
+			return err
+		}
+		m, err := readAs[wire.Metadata](conn)
+		if err != nil {
+			return err
+		}
+		md = m
+	} else {
+		m, err := readAs[wire.Metadata](conn)
+		if err != nil {
+			return err
+		}
+		if err := wire.Write(conn, p.metadataLocked(session)); err != nil {
+			return err
+		}
+		md = m
+	}
+	peerPhotos := p.absorbMetadata(theirs, md, session)
+
+	switch {
+	case theirs.Node.IsCommandCenter():
+		return p.uploadLocked(conn, session)
+	case p.id.IsCommandCenter():
+		return p.receiveUploadLocked(conn)
+	default:
+		return p.reallocateLocked(conn, initiator, mine, theirs, peerPhotos, session)
+	}
+}
+
+func (p *Peer) deliveryProbLocked(now float64) float64 {
+	if p.id.IsCommandCenter() {
+		return 1
+	}
+	return p.table.DeliveryProb(now)
+}
+
+// metadataLocked builds the metadata message: self entry first, then the
+// valid cache entries.
+func (p *Peer) metadataLocked(session float64) wire.Metadata {
+	md := wire.Metadata{Entries: []wire.MetaEntry{{
+		Node:      p.id,
+		Lambda:    p.rate.Rate(session),
+		P:         p.deliveryProbLocked(session),
+		Timestamp: session,
+		Photos:    p.store.List(),
+	}}}
+	for _, e := range p.cache.ValidEntries(session) {
+		md.Entries = append(md.Entries, wire.MetaEntry{
+			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
+		})
+	}
+	return md
+}
+
+// absorbMetadata stores the peer's snapshot and gossip, returning the
+// peer's own collection.
+func (p *Peer) absorbMetadata(h wire.Hello, md wire.Metadata, session float64) model.PhotoList {
+	var peerPhotos model.PhotoList
+	for i, e := range md.Entries {
+		entry := metadata.Entry{
+			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
+		}
+		if i == 0 && e.Node == h.Node {
+			peerPhotos = e.Photos
+			entry.Timestamp = session
+		}
+		p.cache.Put(entry)
+	}
+	p.cache.DropInvalid(session)
+	return peerPhotos
+}
+
+// reallocateLocked runs the §III-D exchange with a fellow participant.
+func (p *Peer) reallocateLocked(conn io.ReadWriter, initiator bool, mine, theirs wire.Hello, peerPhotos model.PhotoList, session float64) error {
+	selCfg := p.selCfg
+	selCfg.Seed = int64(mine.Nonce ^ theirs.Nonce)
+
+	var ccPhotos model.PhotoList
+	var background []selection.Participant
+	for _, e := range p.cache.ValidEntries(session) {
+		switch {
+		case e.Node.IsCommandCenter():
+			ccPhotos = e.Photos
+		case e.Node == p.id || e.Node == theirs.Node:
+			// The live collections are already in the allocs.
+		default:
+			background = append(background, selection.Participant{Node: e.Node, Photos: e.Photos, P: e.P})
+		}
+	}
+
+	// Both sides order the allocs identically (initiator first) so the
+	// jointly-seeded greedy is bit-for-bit reproducible.
+	myAlloc := selection.Alloc{Node: p.id, P: mine.DeliveryProb, Capacity: p.store.Capacity(), Photos: p.store.List()}
+	peerAlloc := selection.Alloc{Node: theirs.Node, P: theirs.DeliveryProb, Capacity: theirs.Capacity, Photos: peerPhotos}
+	var res selection.Result
+	var mySel model.PhotoList
+	if initiator {
+		res = selection.Reallocate(p.fpc, selCfg, ccPhotos, background, myAlloc, peerAlloc)
+		mySel = res.ASel
+	} else {
+		res = selection.Reallocate(p.fpc, selCfg, ccPhotos, background, peerAlloc, myAlloc)
+		mySel = res.BSel
+	}
+
+	// Request the selected photos this node lacks.
+	var want []model.PhotoID
+	for _, photo := range mySel {
+		if !p.store.Has(photo.ID) {
+			want = append(want, photo.ID)
+		}
+	}
+	if initiator {
+		if err := wire.Write(conn, wire.PhotoRequest{IDs: want}); err != nil {
+			return err
+		}
+		theirReq, err := readAs[wire.PhotoRequest](conn)
+		if err != nil {
+			return err
+		}
+		if err := p.sendPhotos(conn, theirReq.IDs); err != nil {
+			return err
+		}
+		received, err := p.receivePhotos(conn)
+		if err != nil {
+			return err
+		}
+		return p.applyPlan(conn, mySel, received, true)
+	}
+	theirReq, err := readAs[wire.PhotoRequest](conn)
+	if err != nil {
+		return err
+	}
+	if err := wire.Write(conn, wire.PhotoRequest{IDs: want}); err != nil {
+		return err
+	}
+	received, err := p.receivePhotos(conn)
+	if err != nil {
+		return err
+	}
+	if err := p.sendPhotos(conn, theirReq.IDs); err != nil {
+		return err
+	}
+	return p.applyPlan(conn, mySel, received, false)
+}
+
+// applyPlan replaces the collection with the selection (kept ∪ received)
+// and closes the contact.
+func (p *Peer) applyPlan(conn io.ReadWriter, sel model.PhotoList, received map[model.PhotoID]model.Photo, initiator bool) error {
+	final := make(model.PhotoList, 0, len(sel))
+	for _, photo := range sel {
+		if p.store.Has(photo.ID) {
+			final = append(final, photo)
+		} else if got, ok := received[photo.ID]; ok {
+			final = append(final, got)
+		}
+	}
+	if err := p.store.ReplaceAll(final); err != nil {
+		return fmt.Errorf("peer %v: apply plan: %w", p.id, err)
+	}
+	if initiator {
+		if err := wire.Write(conn, wire.Bye{}); err != nil {
+			return err
+		}
+		_, err := readAs[wire.Bye](conn)
+		return err
+	}
+	if _, err := readAs[wire.Bye](conn); err != nil {
+		return err
+	}
+	return wire.Write(conn, wire.Bye{})
+}
+
+// sendPhotos streams the requested photos this node holds, terminated by an
+// Ack listing what was actually sent.
+func (p *Peer) sendPhotos(conn io.ReadWriter, ids []model.PhotoID) error {
+	var sent []model.PhotoID
+	for _, id := range ids {
+		photo, ok := p.store.Get(id)
+		if !ok {
+			continue
+		}
+		data := wire.PhotoData{Photo: photo}
+		if p.payload > 0 {
+			data.Payload = make([]byte, p.payload)
+		}
+		if err := wire.Write(conn, data); err != nil {
+			return err
+		}
+		sent = append(sent, id)
+	}
+	return wire.Write(conn, wire.Ack{IDs: sent})
+}
+
+// receivePhotos reads PhotoData frames until the terminating Ack.
+func (p *Peer) receivePhotos(conn io.ReadWriter) (map[model.PhotoID]model.Photo, error) {
+	out := make(map[model.PhotoID]model.Photo)
+	for {
+		msg, err := wire.Read(conn)
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case wire.PhotoData:
+			out[m.Photo.ID] = m.Photo
+		case wire.Ack:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("%w: %v during photo transfer", ErrProtocol, msg.Type())
+		}
+	}
+}
+
+// uploadLocked sends the command center the photos that improve its
+// coverage, in marginal-gain order, then frees the delivered copies.
+func (p *Peer) uploadLocked(conn io.ReadWriter, session float64) error {
+	ccEntry, _ := p.cache.Get(model.CommandCenter)
+	plan := selection.SelectForUpload(p.fpc, p.selCfg, ccEntry.Photos, p.store.List())
+	var ids []model.PhotoID
+	for _, photo := range plan {
+		ids = append(ids, photo.ID)
+	}
+	if err := p.sendPhotos(conn, ids); err != nil {
+		return err
+	}
+	ack, err := readAs[wire.Ack](conn)
+	if err != nil {
+		return err
+	}
+	acked := model.PhotoList{}
+	for _, id := range ack.IDs {
+		if photo, ok := p.store.Get(id); ok {
+			acked = append(acked, photo)
+			p.store.Remove(id)
+		}
+	}
+	// Fold the acknowledgement into the command-center cache entry.
+	entry, _ := p.cache.Get(model.CommandCenter)
+	p.cache.Put(metadata.Entry{
+		Node:      model.CommandCenter,
+		Photos:    append(entry.Photos.Clone(), acked...),
+		Timestamp: session,
+	})
+	_, err = readAs[wire.Bye](conn)
+	if err != nil {
+		return err
+	}
+	return wire.Write(conn, wire.Bye{})
+}
+
+// receiveUploadLocked is the command-center side of an upload.
+func (p *Peer) receiveUploadLocked(conn io.ReadWriter) error {
+	received, err := p.receivePhotos(conn)
+	if err != nil {
+		return err
+	}
+	var ids []model.PhotoID
+	for id, photo := range received {
+		if !p.store.Has(id) {
+			if err := p.store.Add(photo); err != nil {
+				return fmt.Errorf("peer %v: store upload: %w", p.id, err)
+			}
+		}
+		ids = append(ids, id)
+	}
+	if err := wire.Write(conn, wire.Ack{IDs: ids}); err != nil {
+		return err
+	}
+	if err := wire.Write(conn, wire.Bye{}); err != nil {
+		return err
+	}
+	_, err = readAs[wire.Bye](conn)
+	return err
+}
+
+// readAs reads one message and asserts its concrete type.
+func readAs[M wire.Message](r io.Reader) (M, error) {
+	var zero M
+	msg, err := wire.Read(r)
+	if err != nil {
+		return zero, err
+	}
+	m, ok := msg.(M)
+	if !ok {
+		return zero, fmt.Errorf("%w: got %v, want %v", ErrProtocol, msg.Type(), zero.Type())
+	}
+	return m, nil
+}

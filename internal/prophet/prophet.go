@@ -1,0 +1,165 @@
+// Package prophet implements the PROPHET routing protocol's delivery
+// predictability metric (Lindgren, Doria, Schelén — "Probabilistic routing
+// in intermittently connected networks"), which §III-C of the paper uses to
+// estimate how likely a node can deliver photos to the command center.
+//
+// The metric follows the three heuristics the paper cites:
+//
+//  1. Encounter: P(a,b) = P_old + (1 − P_old)·P_init.
+//  2. Aging:     P(a,b) = P_old·γ^k, k aging units since the last update.
+//  3. Transitivity: P(a,c) = max(P_old, P(a,b)·P(b,c)·β).
+package prophet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"photodtn/internal/model"
+)
+
+// Config holds the PROPHET constants. Table I of the paper uses
+// P_init = 0.75, β = 0.25, γ = 0.98.
+type Config struct {
+	// PInit is the encounter reinforcement constant in (0, 1].
+	PInit float64
+	// Beta is the transitivity damping constant in [0, 1].
+	Beta float64
+	// Gamma is the per-aging-unit decay constant in (0, 1].
+	Gamma float64
+	// AgingUnit is the wall-clock length of one aging unit in seconds.
+	AgingUnit float64
+}
+
+// DefaultConfig returns the Table I constants with a one-hour aging unit,
+// which suits the multi-hundred-hour traces of the evaluation.
+func DefaultConfig() Config {
+	return Config{PInit: 0.75, Beta: 0.25, Gamma: 0.98, AgingUnit: 3600}
+}
+
+// ErrBadConfig reports invalid PROPHET constants.
+var ErrBadConfig = errors.New("prophet: bad config")
+
+// Validate checks the constants are in their legal ranges.
+func (c Config) Validate() error {
+	switch {
+	case !(c.PInit > 0 && c.PInit <= 1):
+		return fmt.Errorf("%w: PInit %v outside (0,1]", ErrBadConfig, c.PInit)
+	case !(c.Beta >= 0 && c.Beta <= 1):
+		return fmt.Errorf("%w: Beta %v outside [0,1]", ErrBadConfig, c.Beta)
+	case !(c.Gamma > 0 && c.Gamma <= 1):
+		return fmt.Errorf("%w: Gamma %v outside (0,1]", ErrBadConfig, c.Gamma)
+	case !(c.AgingUnit > 0):
+		return fmt.Errorf("%w: AgingUnit %v must be positive", ErrBadConfig, c.AgingUnit)
+	}
+	return nil
+}
+
+// Table is one node's delivery-predictability table: P(owner, x) for every
+// destination x the node knows about. The zero value is not usable; call
+// NewTable. Table is not safe for concurrent use.
+type Table struct {
+	cfg      Config
+	owner    model.NodeID
+	p        map[model.NodeID]float64
+	lastAged float64
+}
+
+// NewTable returns an empty table for the owner node.
+func NewTable(owner model.NodeID, cfg Config) *Table {
+	return &Table{cfg: cfg, owner: owner, p: make(map[model.NodeID]float64)}
+}
+
+// Owner returns the node the table belongs to.
+func (t *Table) Owner() model.NodeID { return t.owner }
+
+// P returns the delivery predictability from the owner to dst. Unknown
+// destinations have probability 0; the owner reaches itself with
+// probability 1.
+func (t *Table) P(dst model.NodeID) float64 {
+	if dst == t.owner {
+		return 1
+	}
+	return t.p[dst]
+}
+
+// Age decays every entry according to the time elapsed since the last aging.
+// It is idempotent for the same timestamp and tolerates time going backwards
+// (no-op).
+func (t *Table) Age(now float64) {
+	if now <= t.lastAged {
+		return
+	}
+	k := (now - t.lastAged) / t.cfg.AgingUnit
+	t.lastAged = now
+	decay := math.Pow(t.cfg.Gamma, k)
+	for dst, v := range t.p {
+		v *= decay
+		if v < 1e-12 {
+			delete(t.p, dst)
+			continue
+		}
+		t.p[dst] = v
+	}
+}
+
+// Encounter records a direct contact with peer at the given time, applying
+// aging first and then the encounter reinforcement.
+func (t *Table) Encounter(peer model.NodeID, now float64) {
+	if peer == t.owner {
+		return
+	}
+	t.Age(now)
+	old := t.p[peer]
+	t.p[peer] = old + (1-old)*t.cfg.PInit
+}
+
+// Transitive folds in the peer's table after an encounter: for every
+// destination d the peer can reach, P(owner,d) is raised to at least
+// P(owner,peer)·P(peer,d)·β.
+func (t *Table) Transitive(peer model.NodeID, peerP map[model.NodeID]float64) {
+	through := t.P(peer)
+	if through == 0 {
+		return
+	}
+	for dst, pd := range peerP {
+		if dst == t.owner {
+			continue
+		}
+		if v := through * pd * t.cfg.Beta; v > t.p[dst] {
+			t.p[dst] = v
+		}
+	}
+}
+
+// Snapshot returns a copy of the table's entries, suitable for sending to a
+// peer during a contact.
+func (t *Table) Snapshot() map[model.NodeID]float64 {
+	out := make(map[model.NodeID]float64, len(t.p))
+	for dst, v := range t.p {
+		out[dst] = v
+	}
+	return out
+}
+
+// DeliveryProb returns the predictability of reaching the command center,
+// the p_i of §III-C. The command center itself reports 1.
+func (t *Table) DeliveryProb(now float64) float64 {
+	if t.owner.IsCommandCenter() {
+		return 1
+	}
+	t.Age(now)
+	return t.P(model.CommandCenter)
+}
+
+// Exchange performs the full PROPHET update for a contact between two nodes:
+// both age, both reinforce the direct link, then both apply transitivity
+// with the other's (post-reinforcement) table. This mirrors the beacon
+// exchange of the protocol.
+func Exchange(a, b *Table, now float64) {
+	a.Encounter(b.owner, now)
+	b.Encounter(a.owner, now)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	a.Transitive(b.owner, sb)
+	b.Transitive(a.owner, sa)
+}

@@ -1,0 +1,220 @@
+package prophet
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"photodtn/internal/model"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero pinit", func(c *Config) { c.PInit = 0 }},
+		{"pinit too big", func(c *Config) { c.PInit = 1.1 }},
+		{"negative beta", func(c *Config) { c.Beta = -0.1 }},
+		{"beta too big", func(c *Config) { c.Beta = 1.5 }},
+		{"zero gamma", func(c *Config) { c.Gamma = 0 }},
+		{"gamma too big", func(c *Config) { c.Gamma = 2 }},
+		{"zero aging unit", func(c *Config) { c.AgingUnit = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestEncounterReinforcement(t *testing.T) {
+	tab := NewTable(1, DefaultConfig())
+	if got := tab.P(2); got != 0 {
+		t.Fatalf("initial P = %v", got)
+	}
+	tab.Encounter(2, 0)
+	if got := tab.P(2); got != 0.75 {
+		t.Fatalf("after one encounter P = %v, want 0.75", got)
+	}
+	tab.Encounter(2, 0)
+	want := 0.75 + 0.25*0.75
+	if got := tab.P(2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("after two encounters P = %v, want %v", got, want)
+	}
+}
+
+func TestEncounterSelfIgnored(t *testing.T) {
+	tab := NewTable(1, DefaultConfig())
+	tab.Encounter(1, 0)
+	if tab.P(1) != 1 {
+		t.Fatal("self predictability must stay 1")
+	}
+	if len(tab.Snapshot()) != 0 {
+		t.Fatal("self encounter should not create entries")
+	}
+}
+
+func TestAging(t *testing.T) {
+	cfg := DefaultConfig()
+	tab := NewTable(1, cfg)
+	tab.Encounter(2, 0)
+	tab.Age(10 * cfg.AgingUnit)
+	want := 0.75 * math.Pow(cfg.Gamma, 10)
+	if got := tab.P(2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("aged P = %v, want %v", got, want)
+	}
+}
+
+func TestAgingIdempotentAndMonotonic(t *testing.T) {
+	cfg := DefaultConfig()
+	tab := NewTable(1, cfg)
+	tab.Encounter(2, 0)
+	tab.Age(3600)
+	p1 := tab.P(2)
+	tab.Age(3600) // same time: no-op
+	if tab.P(2) != p1 {
+		t.Fatal("aging at the same timestamp changed P")
+	}
+	tab.Age(1000) // time going backwards: no-op
+	if tab.P(2) != p1 {
+		t.Fatal("aging backwards changed P")
+	}
+}
+
+func TestAgingDropsTinyEntries(t *testing.T) {
+	cfg := DefaultConfig()
+	tab := NewTable(1, cfg)
+	tab.Encounter(2, 0)
+	tab.Age(1e9) // enormous gap: entry should be garbage collected
+	if len(tab.Snapshot()) != 0 {
+		t.Fatal("tiny entries not dropped")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	cfg := DefaultConfig()
+	a := NewTable(1, cfg)
+	b := NewTable(2, cfg)
+	// b knows the command center well.
+	b.Encounter(model.CommandCenter, 0)
+	// a meets b.
+	Exchange(a, b, 0)
+	// P(a,cc) ≥ P(a,b)·P(b,cc)·β = 0.75·0.75·0.25.
+	want := 0.75 * 0.75 * 0.25
+	if got := a.P(model.CommandCenter); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("transitive P = %v, want %v", got, want)
+	}
+	// Transitivity never lowers an existing value.
+	a.Transitive(2, map[model.NodeID]float64{model.CommandCenter: 0.0001})
+	if got := a.P(model.CommandCenter); got < want {
+		t.Fatalf("transitivity lowered P to %v", got)
+	}
+}
+
+func TestTransitiveSkipsOwner(t *testing.T) {
+	a := NewTable(1, DefaultConfig())
+	a.Encounter(2, 0)
+	a.Transitive(2, map[model.NodeID]float64{1: 0.9})
+	if got := a.P(1); got != 1 {
+		t.Fatalf("owner P = %v", got)
+	}
+	if _, ok := a.Snapshot()[1]; ok {
+		t.Fatal("owner entry created by transitivity")
+	}
+}
+
+func TestTransitiveUnknownPeer(t *testing.T) {
+	a := NewTable(1, DefaultConfig())
+	// Never met node 5: transitivity through it contributes nothing.
+	a.Transitive(5, map[model.NodeID]float64{3: 0.9})
+	if got := a.P(3); got != 0 {
+		t.Fatalf("P = %v, want 0", got)
+	}
+}
+
+func TestDeliveryProb(t *testing.T) {
+	cfg := DefaultConfig()
+	cc := NewTable(model.CommandCenter, cfg)
+	if cc.DeliveryProb(0) != 1 {
+		t.Fatal("command center delivery prob must be 1")
+	}
+	n := NewTable(3, cfg)
+	if n.DeliveryProb(0) != 0 {
+		t.Fatal("fresh node delivery prob must be 0")
+	}
+	n.Encounter(model.CommandCenter, 0)
+	if got := n.DeliveryProb(0); got != 0.75 {
+		t.Fatalf("delivery prob = %v", got)
+	}
+	// DeliveryProb applies aging.
+	if got := n.DeliveryProb(100 * cfg.AgingUnit); got >= 0.75 {
+		t.Fatalf("delivery prob did not age: %v", got)
+	}
+}
+
+func TestProbabilitiesStayInRange(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(17))
+	tables := make([]*Table, 10)
+	for i := range tables {
+		tables[i] = NewTable(model.NodeID(i), cfg)
+	}
+	now := 0.0
+	for step := 0; step < 2000; step++ {
+		now += rng.ExpFloat64() * 1800
+		i, j := rng.Intn(10), rng.Intn(10)
+		if i == j {
+			continue
+		}
+		Exchange(tables[i], tables[j], now)
+		for _, tab := range tables {
+			for dst, p := range tab.Snapshot() {
+				if p < 0 || p > 1 {
+					t.Fatalf("P(%v,%v) = %v out of range", tab.owner, dst, p)
+				}
+			}
+		}
+	}
+}
+
+func TestFrequentPairDominates(t *testing.T) {
+	// Node 1 meets node 2 often and node 3 rarely; P(1,2) must exceed P(1,3).
+	cfg := DefaultConfig()
+	a := NewTable(1, cfg)
+	now := 0.0
+	for i := 0; i < 50; i++ {
+		now += 3600
+		a.Encounter(2, now)
+		if i%10 == 0 {
+			a.Encounter(3, now)
+		}
+	}
+	if a.P(2) <= a.P(3) {
+		t.Fatalf("P(1,2)=%v should exceed P(1,3)=%v", a.P(2), a.P(3))
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	a := NewTable(1, DefaultConfig())
+	a.Encounter(2, 0)
+	s := a.Snapshot()
+	s[2] = 0
+	if a.P(2) != 0.75 {
+		t.Fatal("snapshot mutation leaked into table")
+	}
+}
+
+func TestOwner(t *testing.T) {
+	if got := NewTable(7, DefaultConfig()).Owner(); got != 7 {
+		t.Fatalf("Owner = %v", got)
+	}
+}

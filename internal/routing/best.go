@@ -1,0 +1,63 @@
+package routing
+
+import (
+	"photodtn/internal/model"
+	"photodtn/internal/sim"
+)
+
+// BestPossible is the §V-B upper bound: epidemic replication with no
+// storage or bandwidth constraint — the only limit is contact opportunity.
+// Every useful photo floods to everyone, so the command center receives
+// everything that is temporally reachable before the deadline.
+type BestPossible struct {
+	w *sim.World
+}
+
+var _ sim.Scheme = (*BestPossible)(nil)
+
+// NewBestPossible returns the upper-bound scheme.
+func NewBestPossible() *BestPossible { return &BestPossible{} }
+
+// Name implements sim.Scheme.
+func (s *BestPossible) Name() string { return "BestPossible" }
+
+// Unconstrained implements sim.Scheme: the engine lifts storage and budget
+// limits for this scheme.
+func (s *BestPossible) Unconstrained() bool { return true }
+
+// Init implements sim.Scheme.
+func (s *BestPossible) Init(w *sim.World) { s.w = w }
+
+// OnPhoto implements sim.Scheme.
+func (s *BestPossible) OnPhoto(node model.NodeID, p model.Photo) {
+	_ = s.w.Storage(node).Add(p)
+}
+
+// OnContact implements sim.Scheme: full bidirectional replication; the
+// command center receives everything it does not already have.
+func (s *BestPossible) OnContact(sess *sim.Session) {
+	if sess.A.IsCommandCenter() || sess.B.IsCommandCenter() {
+		node := sess.A
+		if node.IsCommandCenter() {
+			node = sess.B
+		}
+		st := s.w.Storage(node)
+		for _, p := range st.List() {
+			if !s.w.CCHas(p.ID) {
+				_ = sess.Transfer(model.CommandCenter, p)
+			}
+		}
+		return
+	}
+	stA, stB := s.w.Storage(sess.A), s.w.Storage(sess.B)
+	for _, p := range stA.List() {
+		if !stB.Has(p.ID) {
+			_ = sess.Transfer(sess.B, p)
+		}
+	}
+	for _, p := range stB.List() {
+		if !stA.Has(p.ID) {
+			_ = sess.Transfer(sess.A, p)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"photodtn/internal/model"
+	"photodtn/internal/sim"
+	"photodtn/internal/trace"
+	"photodtn/internal/workload"
+)
+
+func TestComputeBestPossibleTimeRespecting(t *testing.T) {
+	// Contact 2→CC happens BEFORE 1→2, so node 1's photo must not be
+	// deliverable (paths must respect time).
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 2, B: 0},
+		{Start: 30, End: 40, A: 1, B: 2},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 1, Seed: 1,
+		Photos: []sim.PhotoEvent{{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)}},
+	}
+	res, err := ComputeBestPossible(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Delivered != 0 {
+		t.Fatalf("delivered = %d, want 0", res.Final.Delivered)
+	}
+	// Reversed contact order delivers.
+	tr.Contacts = []trace.Contact{
+		{Start: 10, End: 20, A: 1, B: 2},
+		{Start: 30, End: 40, A: 2, B: 0},
+	}
+	res, err = ComputeBestPossible(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", res.Final.Delivered)
+	}
+}
+
+func TestComputeBestPossiblePhotoAfterPathGone(t *testing.T) {
+	// Photo taken after the node's last useful contact never arrives.
+	tr := &trace.Trace{Nodes: 1, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 1, B: 0},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 1, Seed: 1,
+		Photos: []sim.PhotoEvent{{Time: 50, Node: 1, Photo: viewFrom(1, 0, 0)}},
+	}
+	res, err := ComputeBestPossible(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Delivered != 0 {
+		t.Fatalf("delivered = %d, want 0", res.Final.Delivered)
+	}
+}
+
+// TestComputeBestPossibleMatchesSimulation is the key equivalence check:
+// the analytic evaluator must reproduce the literal epidemic simulation
+// sample for sample on randomized scenarios.
+func TestComputeBestPossibleMatchesSimulation(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := randomScenario(t, seed)
+		exact, err := ComputeBestPossible(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simres, err := sim.Run(cfg, NewBestPossible())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exact.Samples) != len(simres.Samples) {
+			t.Fatalf("seed %d: sample counts differ: %d vs %d", seed, len(exact.Samples), len(simres.Samples))
+		}
+		for i := range exact.Samples {
+			e, s := exact.Samples[i], simres.Samples[i]
+			if e.Delivered != s.Delivered {
+				t.Fatalf("seed %d sample %d: delivered %d vs %d", seed, i, e.Delivered, s.Delivered)
+			}
+			if math.Abs(e.PointFrac-s.PointFrac) > 1e-9 || math.Abs(e.AspectRad-s.AspectRad) > 1e-9 {
+				t.Fatalf("seed %d sample %d: coverage (%v,%v) vs (%v,%v)",
+					seed, i, e.PointFrac, e.AspectRad, s.PointFrac, s.AspectRad)
+			}
+		}
+		if exact.Final.Delivered != simres.Final.Delivered {
+			t.Fatalf("seed %d: final delivered %d vs %d", seed, exact.Final.Delivered, simres.Final.Delivered)
+		}
+	}
+}
+
+// randomScenario builds a small but non-trivial random scenario: 12 nodes,
+// 60 hours, gateway uploads, random workload.
+func randomScenario(t *testing.T, seed int64) sim.Config {
+	t.Helper()
+	tr, err := trace.Generate(trace.SynthConfig{
+		Nodes: 12, Span: 60 * 3600, Communities: 3,
+		IntraRate: 0.3 / 3600, InterRate: 0.02 / 3600,
+		RateJitter: 0.5, MeanContactDur: 300, ScanInterval: 60, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1000))
+	wl := workload.Default(tr.Nodes, tr.Duration())
+	wl.PhotosPerHour = 40
+	wl.NumPoIs = 30
+	pois := workload.GeneratePoIs(wl, rng)
+	photos := workload.GeneratePhotos(wl, rng)
+	return sim.Config{
+		Trace:           tr,
+		Map:             mapOf(pois),
+		Photos:          photos,
+		StorageBytes:    1 << 30,
+		Gateways:        []model.NodeID{1, 7},
+		GatewayInterval: 2 * 3600,
+		GatewayDuration: 600,
+		SampleInterval:  10 * 3600,
+		Seed:            seed,
+	}
+}

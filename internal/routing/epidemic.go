@@ -1,0 +1,205 @@
+package routing
+
+import (
+	"sort"
+
+	"photodtn/internal/model"
+	"photodtn/internal/prophet"
+	"photodtn/internal/sim"
+)
+
+// Epidemic is constrained epidemic routing (Vahdat & Becker), the classic
+// flooding baseline the DTN-routing literature the paper cites starts from:
+// replicate everything to everyone, limited only by the actual storage and
+// bandwidth. Content-blind: FIFO transmission, oldest-first eviction on a
+// full storage. Unlike BestPossible it obeys the resource constraints, so
+// it shows what flooding does when resources really are scarce.
+type Epidemic struct {
+	w *sim.World
+}
+
+var _ sim.Scheme = (*Epidemic)(nil)
+
+// NewEpidemic returns the constrained flooding baseline.
+func NewEpidemic() *Epidemic { return &Epidemic{} }
+
+// Name implements sim.Scheme.
+func (s *Epidemic) Name() string { return "Epidemic" }
+
+// Unconstrained implements sim.Scheme.
+func (s *Epidemic) Unconstrained() bool { return false }
+
+// Init implements sim.Scheme.
+func (s *Epidemic) Init(w *sim.World) { s.w = w }
+
+// OnPhoto implements sim.Scheme: store, evicting the oldest photos to make
+// room (newest data is most likely not yet replicated anywhere).
+func (s *Epidemic) OnPhoto(node model.NodeID, p model.Photo) {
+	st := s.w.Storage(node)
+	if !evictOldestFor(st, p) {
+		return
+	}
+	_ = st.Add(p)
+}
+
+// evictOldestFor frees space for p by dropping oldest-arrived photos.
+// It reports false if p cannot fit at all.
+func evictOldestFor(st *sim.Storage, p model.Photo) bool {
+	if p.Size > st.Capacity() {
+		return false
+	}
+	for p.Size > st.Free() {
+		list := st.List() // FIFO order
+		st.Remove(list[0].ID)
+	}
+	return true
+}
+
+// OnContact implements sim.Scheme.
+func (s *Epidemic) OnContact(sess *sim.Session) {
+	if sess.A.IsCommandCenter() || sess.B.IsCommandCenter() {
+		node := sess.A
+		if node.IsCommandCenter() {
+			node = sess.B
+		}
+		st := s.w.Storage(node)
+		for _, p := range st.List() {
+			if s.w.CCHas(p.ID) {
+				continue
+			}
+			if err := sess.Transfer(model.CommandCenter, p); err != nil {
+				return
+			}
+		}
+		return
+	}
+	stA, stB := s.w.Storage(sess.A), s.w.Storage(sess.B)
+	// Alternate directions for budget fairness; exchange summary vectors
+	// implicitly via Has checks.
+	qa := missing(stA, stB)
+	qb := missing(stB, stA)
+	ia, ib := 0, 0
+	for (ia < len(qa) || ib < len(qb)) && !sess.Exhausted() {
+		if ia < len(qa) {
+			if !stB.Has(qa[ia].ID) && evictOldestFor(stB, qa[ia]) {
+				_ = sess.Transfer(sess.B, qa[ia])
+			}
+			ia++
+		}
+		if ib < len(qb) && !sess.Exhausted() {
+			if !stA.Has(qb[ib].ID) && evictOldestFor(stA, qb[ib]) {
+				_ = sess.Transfer(sess.A, qb[ib])
+			}
+			ib++
+		}
+	}
+}
+
+// missing lists src photos absent at dst, FIFO order.
+func missing(src, dst *sim.Storage) model.PhotoList {
+	var out model.PhotoList
+	for _, p := range src.List() {
+		if !dst.Has(p.ID) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ProphetRouting is the PROPHET protocol itself used as a photo router: a
+// node replicates a photo to a peer only when the peer's delivery
+// predictability to the command center exceeds its own. Content-blind like
+// Spray&Wait, but mobility-aware like our scheme's delivery model — so it
+// isolates how much of our scheme's win comes from coverage awareness
+// rather than from PROPHET.
+type ProphetRouting struct {
+	w      *sim.World
+	cfg    prophet.Config
+	tables []*prophet.Table
+}
+
+var _ sim.Scheme = (*ProphetRouting)(nil)
+
+// NewProphetRouting returns the PROPHET forwarding baseline with Table I
+// constants.
+func NewProphetRouting() *ProphetRouting {
+	return &ProphetRouting{cfg: prophet.DefaultConfig()}
+}
+
+// Name implements sim.Scheme.
+func (s *ProphetRouting) Name() string { return "PROPHET" }
+
+// Unconstrained implements sim.Scheme.
+func (s *ProphetRouting) Unconstrained() bool { return false }
+
+// Init implements sim.Scheme.
+func (s *ProphetRouting) Init(w *sim.World) {
+	s.w = w
+	s.tables = make([]*prophet.Table, w.NumNodes()+1)
+	for i := range s.tables {
+		s.tables[i] = prophet.NewTable(model.NodeID(i), s.cfg)
+	}
+}
+
+// OnPhoto implements sim.Scheme.
+func (s *ProphetRouting) OnPhoto(node model.NodeID, p model.Photo) {
+	st := s.w.Storage(node)
+	if !evictOldestFor(st, p) {
+		return
+	}
+	_ = st.Add(p)
+}
+
+// OnContact implements sim.Scheme.
+func (s *ProphetRouting) OnContact(sess *sim.Session) {
+	now := sess.Time
+	if sess.A.IsCommandCenter() || sess.B.IsCommandCenter() {
+		node := sess.A
+		if node.IsCommandCenter() {
+			node = sess.B
+		}
+		prophet.Exchange(s.tables[node], s.tables[model.CommandCenter], now)
+		st := s.w.Storage(node)
+		for _, p := range st.List() {
+			if s.w.CCHas(p.ID) {
+				st.Remove(p.ID)
+				continue
+			}
+			if err := sess.Transfer(model.CommandCenter, p); err != nil {
+				return
+			}
+			st.Remove(p.ID) // delivered to the destination
+		}
+		return
+	}
+	ta, tb := s.tables[sess.A], s.tables[sess.B]
+	prophet.Exchange(ta, tb, now)
+	pa := ta.DeliveryProb(now)
+	pb := tb.DeliveryProb(now)
+	// Replicate toward the better relay only.
+	switch {
+	case pb > pa:
+		s.replicate(sess, sess.A, sess.B)
+	case pa > pb:
+		s.replicate(sess, sess.B, sess.A)
+	}
+}
+
+// replicate copies photos from src to dst (keeping the source copy, as
+// PROPHET does), oldest first for determinism, respecting dst's storage.
+func (s *ProphetRouting) replicate(sess *sim.Session, from, to model.NodeID) {
+	stFrom, stTo := s.w.Storage(from), s.w.Storage(to)
+	queue := missing(stFrom, stTo)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].TakenAt < queue[j].TakenAt })
+	for _, p := range queue {
+		if sess.Exhausted() {
+			return
+		}
+		if p.Size > stTo.Free() {
+			continue // no eviction: the receiver's photos are as valuable
+		}
+		if err := sess.Transfer(to, p); err != nil {
+			return
+		}
+	}
+}

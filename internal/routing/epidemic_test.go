@@ -1,0 +1,144 @@
+package routing
+
+import (
+	"testing"
+
+	"photodtn/internal/model"
+	"photodtn/internal/sim"
+	"photodtn/internal/trace"
+)
+
+func TestEpidemicFloodsWithinLimits(t *testing.T) {
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 1, B: 2},
+		{Start: 30, End: 40, A: 2, B: 0},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Seed: 1,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)},
+			{Time: 2, Node: 1, Photo: farAway(1, 1)},
+		},
+	}
+	s := NewEpidemic()
+	res := mustRun(t, cfg, s)
+	// Both photos replicate to node 2 and then deliver (content-blind).
+	if res.Final.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", res.Final.Delivered)
+	}
+	// Node 1 keeps its copies (no copy budget in epidemic routing).
+	if s.w.Storage(1).Len() != 2 {
+		t.Fatalf("node 1 photos = %d, want 2", s.w.Storage(1).Len())
+	}
+}
+
+func TestEpidemicRespectsBudget(t *testing.T) {
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 12, A: 1, B: 2}, // 4 MB budget at 2 MB/s: one photo
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Bandwidth: 2 * float64(mb), Seed: 1,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)},
+			{Time: 2, Node: 1, Photo: viewFrom(1, 1, 90)},
+			{Time: 3, Node: 2, Photo: viewFrom(2, 0, 180)},
+		},
+	}
+	s := NewEpidemic()
+	mustRun(t, cfg, s)
+	// One photo moved in total (budget), alternating starts with A→B.
+	if got := s.w.Storage(2).Len(); got != 2 { // own photo + one received
+		t.Fatalf("node 2 photos = %d, want 2", got)
+	}
+}
+
+func TestEpidemicEvictsOldest(t *testing.T) {
+	tr := &trace.Trace{Nodes: 1}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 8 * mb, Seed: 1, Span: 10,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)},
+			{Time: 2, Node: 1, Photo: viewFrom(1, 1, 90)},
+			{Time: 3, Node: 1, Photo: viewFrom(1, 2, 180)}, // evicts photo 0
+		},
+	}
+	s := NewEpidemic()
+	mustRun(t, cfg, s)
+	st := s.w.Storage(1)
+	if st.Has(model.MakePhotoID(1, 0)) {
+		t.Fatal("oldest photo not evicted")
+	}
+	if !st.Has(model.MakePhotoID(1, 2)) {
+		t.Fatal("newest photo missing")
+	}
+}
+
+func TestProphetRoutingForwardsUphill(t *testing.T) {
+	// Node 2 meets the CC regularly → high predictability. When 1 meets 2,
+	// 1's photos must replicate to 2 — and not the other way around.
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 2, B: 0},
+		{Start: 30, End: 40, A: 2, B: 0},
+		{Start: 50, End: 60, A: 1, B: 2},
+		{Start: 70, End: 80, A: 2, B: 0},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Seed: 1,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)},
+			{Time: 2, Node: 2, Photo: viewFrom(2, 0, 90)},
+		},
+	}
+	s := NewProphetRouting()
+	res := mustRun(t, cfg, s)
+	if res.Final.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", res.Final.Delivered)
+	}
+	// Node 1 must NOT have received node 2's photo (2 is the better relay).
+	if s.w.Storage(1).Has(model.MakePhotoID(2, 0)) {
+		t.Fatal("photo replicated downhill")
+	}
+}
+
+func TestProphetRoutingEqualProbabilitiesNoTransfer(t *testing.T) {
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 1, B: 2}, // neither has met the CC: p=p=0... after exchange both 0
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Seed: 1,
+		Photos: []sim.PhotoEvent{{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)}},
+	}
+	s := NewProphetRouting()
+	res := mustRun(t, cfg, s)
+	if res.TransferredPhotos != 0 {
+		t.Fatalf("transfers = %d, want 0 for equal predictabilities", res.TransferredPhotos)
+	}
+}
+
+func TestProphetRoutingDropsDeliveredAtCC(t *testing.T) {
+	tr := &trace.Trace{Nodes: 1, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 1, B: 0},
+		{Start: 30, End: 40, A: 1, B: 0},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Seed: 1,
+		Photos: []sim.PhotoEvent{{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)}},
+	}
+	s := NewProphetRouting()
+	res := mustRun(t, cfg, s)
+	if res.Final.Delivered != 1 || res.TransferredPhotos != 1 {
+		t.Fatalf("delivered=%d transfers=%d", res.Final.Delivered, res.TransferredPhotos)
+	}
+	if s.w.Storage(1).Len() != 0 {
+		t.Fatal("delivered photo not removed at the source")
+	}
+}
+
+func TestNewBaselineNames(t *testing.T) {
+	if NewEpidemic().Name() != "Epidemic" || NewProphetRouting().Name() != "PROPHET" {
+		t.Fatal("names wrong")
+	}
+	if NewEpidemic().Unconstrained() || NewProphetRouting().Unconstrained() {
+		t.Fatal("constrained baselines must report constrained")
+	}
+}

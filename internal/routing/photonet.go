@@ -1,0 +1,196 @@
+package routing
+
+import (
+	"math"
+
+	"photodtn/internal/model"
+	"photodtn/internal/sim"
+)
+
+// PhotoNet is the picture delivery service of Uddin et al. that the
+// prototype demo (§IV-B) compares against: it prioritises the transmission
+// of photos so as to maximise the "diversity" of the receiver's collection,
+// where diversity is measured in a feature space of location, time stamp,
+// and colour difference. It has no notion of PoIs, viewing directions, or
+// delivery probability.
+type PhotoNet struct {
+	// LocScale and TimeScale normalise the location (metres) and time
+	// (seconds) components of the photo distance.
+	LocScale  float64
+	TimeScale float64
+	// WLoc, WTime, WColor weigh the three components.
+	WLoc   float64
+	WTime  float64
+	WColor float64
+
+	w *sim.World
+}
+
+var _ sim.Scheme = (*PhotoNet)(nil)
+
+// NewPhotoNet returns PhotoNet with balanced feature weights scaled for a
+// town-sized region and day-scale crowdsourcing.
+func NewPhotoNet() *PhotoNet {
+	return &PhotoNet{
+		LocScale:  1000,
+		TimeScale: 6 * 3600,
+		WLoc:      1,
+		WTime:     1,
+		WColor:    1,
+	}
+}
+
+// Name implements sim.Scheme.
+func (s *PhotoNet) Name() string { return "PhotoNet" }
+
+// Unconstrained implements sim.Scheme.
+func (s *PhotoNet) Unconstrained() bool { return false }
+
+// Init implements sim.Scheme.
+func (s *PhotoNet) Init(w *sim.World) { s.w = w }
+
+// dist is the PhotoNet feature distance between two photos.
+func (s *PhotoNet) dist(p, q model.Photo) float64 {
+	return s.WLoc*p.Location.Dist(q.Location)/s.LocScale +
+		s.WTime*math.Abs(p.TakenAt-q.TakenAt)/s.TimeScale +
+		s.WColor*p.Hist.Distance(q.Hist)
+}
+
+// minDist returns the distance from p to the nearest photo of set (+Inf for
+// an empty set): p's diversity contribution if added to set.
+func (s *PhotoNet) minDist(p model.Photo, set model.PhotoList) float64 {
+	best := math.Inf(1)
+	for _, q := range set {
+		if q.ID == p.ID {
+			continue
+		}
+		if d := s.dist(p, q); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// OnPhoto implements sim.Scheme: keep the collection as diverse as
+// possible. When full, the photo contributing least diversity (possibly
+// the new one) is evicted.
+func (s *PhotoNet) OnPhoto(node model.NodeID, p model.Photo) {
+	st := s.w.Storage(node)
+	if p.Size > st.Capacity() {
+		return
+	}
+	for p.Size > st.Free() {
+		all := append(st.List(), p)
+		victim := s.leastDiverse(all)
+		if victim == p.ID {
+			return
+		}
+		st.Remove(victim)
+	}
+	_ = st.Add(p)
+}
+
+// leastDiverse returns the photo whose removal least hurts diversity: the
+// one with the smallest distance to its nearest neighbour (ties by ID).
+func (s *PhotoNet) leastDiverse(set model.PhotoList) model.PhotoID {
+	bestID := set[0].ID
+	best := math.Inf(1)
+	for _, p := range set {
+		d := s.minDist(p, set)
+		if d < best || (d == best && p.ID < bestID) {
+			best, bestID = d, p.ID
+		}
+	}
+	return bestID
+}
+
+// OnContact implements sim.Scheme: each side repeatedly sends the photo
+// that would add the most diversity to the receiver's collection.
+func (s *PhotoNet) OnContact(sess *sim.Session) {
+	if sess.A.IsCommandCenter() || sess.B.IsCommandCenter() {
+		node := sess.A
+		if node.IsCommandCenter() {
+			node = sess.B
+		}
+		s.upload(sess, node)
+		return
+	}
+	// Bound the exchange: receiver-side evictions could otherwise make two
+	// full storages trade the same photos back and forth forever on an
+	// unlimited-budget contact.
+	maxTransfers := s.w.Storage(sess.A).Len() + s.w.Storage(sess.B).Len()
+	for i := 0; i <= maxTransfers && !sess.Exhausted(); i++ {
+		moved := s.sendMostDiverse(sess, sess.A, sess.B)
+		if !sess.Exhausted() {
+			moved = s.sendMostDiverse(sess, sess.B, sess.A) || moved
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// sendMostDiverse transfers one photo from src to dst: the one maximising
+// distance to dst's current collection, provided dst benefits (the receiver
+// evicts its least diverse photo to make room when that improves
+// diversity). Reports whether a transfer happened.
+func (s *PhotoNet) sendMostDiverse(sess *sim.Session, from, to model.NodeID) bool {
+	stFrom, stTo := s.w.Storage(from), s.w.Storage(to)
+	toList := stTo.List()
+	var (
+		best     model.Photo
+		bestGain = -1.0
+		found    bool
+	)
+	for _, p := range stFrom.List() {
+		if stTo.Has(p.ID) {
+			continue
+		}
+		g := s.minDist(p, toList)
+		if g > bestGain {
+			best, bestGain, found = p, g, true
+		}
+	}
+	if !found {
+		return false
+	}
+	// Make room at the receiver if eviction improves diversity.
+	for best.Size > stTo.Free() {
+		victim := s.leastDiverse(append(stTo.List(), best))
+		if victim == best.ID {
+			return false
+		}
+		stTo.Remove(victim)
+	}
+	return sess.Transfer(to, best) == nil
+}
+
+// upload sends the command center the photos most diverse with respect to
+// what it already received.
+func (s *PhotoNet) upload(sess *sim.Session, node model.NodeID) {
+	st := s.w.Storage(node)
+	for !sess.Exhausted() {
+		cc := s.w.CCPhotos()
+		var (
+			best     model.Photo
+			bestGain = -1.0
+			found    bool
+		)
+		for _, p := range st.List() {
+			if s.w.CCHas(p.ID) {
+				st.Remove(p.ID)
+				continue
+			}
+			if g := s.minDist(p, cc); g > bestGain {
+				best, bestGain, found = p, g, true
+			}
+		}
+		if !found {
+			return
+		}
+		if err := sess.Transfer(model.CommandCenter, best); err != nil {
+			return
+		}
+		st.Remove(best.ID)
+	}
+}

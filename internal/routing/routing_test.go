@@ -1,0 +1,344 @@
+package routing
+
+import (
+	"testing"
+
+	"photodtn/internal/coverage"
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+	"photodtn/internal/sim"
+	"photodtn/internal/trace"
+)
+
+const mb = int64(1) << 20
+
+func poiMap() *coverage.Map {
+	return coverage.NewMap([]model.PoI{model.NewPoI(0, geo.Vec{})}, geo.Radians(30))
+}
+
+func viewFrom(owner model.NodeID, seq uint32, deg float64) model.Photo {
+	loc := geo.FromAngle(geo.Radians(deg)).Scale(60)
+	return model.Photo{
+		ID:          model.MakePhotoID(owner, seq),
+		Owner:       owner,
+		Location:    loc,
+		Range:       120,
+		FOV:         geo.Radians(60),
+		Orientation: geo.Radians(deg + 180),
+		Size:        4 * mb,
+	}
+}
+
+func farAway(owner model.NodeID, seq uint32) model.Photo {
+	p := viewFrom(owner, seq, 0)
+	p.Location = geo.Vec{X: 1e6, Y: 1e6}
+	return p
+}
+
+func mustRun(t *testing.T, cfg sim.Config, s sim.Scheme) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSprayAndWaitBinarySplitting(t *testing.T) {
+	// 1 creates a photo (4 copies), meets 2, 2 meets 3, 3 meets 4.
+	tr := &trace.Trace{Nodes: 4, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 1, B: 2},
+		{Start: 30, End: 40, A: 2, B: 3},
+		{Start: 50, End: 60, A: 3, B: 4},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Seed: 1,
+		Photos: []sim.PhotoEvent{{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)}},
+	}
+	s := NewSprayAndWait()
+	mustRun(t, cfg, s)
+	id := model.MakePhotoID(1, 0)
+	// Copies: 1 has 2, 2 has 1, 3 has 1; node 4 must NOT have received it
+	// (node 3 held a single copy: wait phase).
+	if got := s.w.Storage(1).Copies(id); got != 2 {
+		t.Fatalf("node 1 copies = %d, want 2", got)
+	}
+	if got := s.w.Storage(2).Copies(id); got != 1 {
+		t.Fatalf("node 2 copies = %d, want 1", got)
+	}
+	if got := s.w.Storage(3).Copies(id); got != 1 {
+		t.Fatalf("node 3 copies = %d, want 1", got)
+	}
+	if s.w.Storage(4).Has(id) {
+		t.Fatal("single-copy holder must not spray")
+	}
+}
+
+func TestSprayAndWaitDeliversToCC(t *testing.T) {
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 1, B: 2},
+		{Start: 30, End: 40, A: 2, B: 0},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Seed: 1,
+		Photos: []sim.PhotoEvent{{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)}},
+	}
+	s := NewSprayAndWait()
+	res := mustRun(t, cfg, s)
+	if res.Final.Delivered != 1 {
+		t.Fatalf("delivered = %d", res.Final.Delivered)
+	}
+	// Node 2 removed its copy after delivery.
+	if s.w.Storage(2).Len() != 0 {
+		t.Fatal("delivered photo not removed from carrier")
+	}
+}
+
+func TestSprayAndWaitContentBlind(t *testing.T) {
+	// A worthless photo arrives first and fills the storage; Spray&Wait
+	// rejects the useful one (no eviction policy).
+	tr := &trace.Trace{Nodes: 1}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 4 * mb, Seed: 1, Span: 10,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: farAway(1, 0)},
+			{Time: 2, Node: 1, Photo: viewFrom(1, 1, 0)},
+		},
+	}
+	s := NewSprayAndWait()
+	mustRun(t, cfg, s)
+	st := s.w.Storage(1)
+	if !st.Has(model.MakePhotoID(1, 0)) || st.Has(model.MakePhotoID(1, 1)) {
+		t.Fatal("Spray&Wait must keep the first-come photo")
+	}
+}
+
+func TestSprayAndWaitSkipsAlreadyDelivered(t *testing.T) {
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 1, B: 2}, // spray to 2
+		{Start: 30, End: 40, A: 1, B: 0}, // 1 delivers
+		{Start: 50, End: 60, A: 2, B: 0}, // 2's copy is redundant
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Seed: 1,
+		Photos: []sim.PhotoEvent{{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)}},
+	}
+	s := NewSprayAndWait()
+	res := mustRun(t, cfg, s)
+	if res.Final.Delivered != 1 {
+		t.Fatalf("delivered = %d", res.Final.Delivered)
+	}
+	// Redundant copy dropped without spending transfer budget: transfers
+	// are 1→2 and 1→CC only.
+	if res.TransferredPhotos != 2 {
+		t.Fatalf("transfers = %d, want 2", res.TransferredPhotos)
+	}
+	if s.w.Storage(2).Len() != 0 {
+		t.Fatal("redundant copy should be dropped at CC contact")
+	}
+}
+
+func TestModifiedSprayPrioritisesCoverage(t *testing.T) {
+	// Budget allows one photo per contact; the high-coverage photo (covers
+	// the PoI) must be transmitted before the worthless one.
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 12, A: 1, B: 2}, // 2 s × 2 MB/s = one 4 MB photo
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Bandwidth: 2 * float64(mb), Seed: 1,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: farAway(1, 0)},
+			{Time: 2, Node: 1, Photo: viewFrom(1, 1, 0)},
+		},
+	}
+	s := NewModifiedSpray()
+	mustRun(t, cfg, s)
+	st2 := s.w.Storage(2)
+	if !st2.Has(model.MakePhotoID(1, 1)) {
+		t.Fatal("high-coverage photo not prioritised")
+	}
+	if st2.Has(model.MakePhotoID(1, 0)) {
+		t.Fatal("worthless photo transmitted within a one-photo budget")
+	}
+}
+
+func TestModifiedSprayEvictsLowestCoverage(t *testing.T) {
+	tr := &trace.Trace{Nodes: 1}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 4 * mb, Seed: 1, Span: 10,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: farAway(1, 0)},
+			{Time: 2, Node: 1, Photo: viewFrom(1, 1, 0)}, // evicts the worthless one
+		},
+	}
+	s := NewModifiedSpray()
+	mustRun(t, cfg, s)
+	st := s.w.Storage(1)
+	if st.Has(model.MakePhotoID(1, 0)) || !st.Has(model.MakePhotoID(1, 1)) {
+		t.Fatal("eviction policy wrong")
+	}
+}
+
+func TestModifiedSprayDeliversBestFirst(t *testing.T) {
+	// CC contact with a one-photo budget: the covering photo goes first.
+	tr := &trace.Trace{Nodes: 1, Contacts: []trace.Contact{
+		{Start: 10, End: 12, A: 1, B: 0},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Bandwidth: 2 * float64(mb), Seed: 1,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: farAway(1, 0)},
+			{Time: 2, Node: 1, Photo: viewFrom(1, 1, 0)},
+		},
+	}
+	s := NewModifiedSpray()
+	res := mustRun(t, cfg, s)
+	if res.Final.Delivered != 1 || res.Final.PointFrac != 1 {
+		t.Fatalf("delivered = %d, point = %v", res.Final.Delivered, res.Final.PointFrac)
+	}
+}
+
+func TestModifiedSprayRespectsCopyLimit(t *testing.T) {
+	// Like Spray&Wait, the copy budget limits replication depth.
+	tr := &trace.Trace{Nodes: 4, Contacts: []trace.Contact{
+		{Start: 10, End: 20, A: 1, B: 2},
+		{Start: 30, End: 40, A: 2, B: 3},
+		{Start: 50, End: 60, A: 3, B: 4},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Seed: 1,
+		Photos: []sim.PhotoEvent{{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)}},
+	}
+	s := NewModifiedSpray()
+	mustRun(t, cfg, s)
+	if s.w.Storage(4).Has(model.MakePhotoID(1, 0)) {
+		t.Fatal("copy limit violated")
+	}
+}
+
+func TestPhotoNetUploadsMostDiverseFirst(t *testing.T) {
+	// Two nearly identical photos and one distinct; budget of two photos.
+	// PhotoNet should deliver one of the near-duplicates and the distinct
+	// one, not both duplicates.
+	near1 := viewFrom(1, 0, 0)
+	near2 := viewFrom(1, 1, 0)
+	near2.Location.X += 1
+	distinct := viewFrom(1, 2, 180)
+	distinct.TakenAt = 90000
+	distinct.Hist[0] = 0.9
+	tr := &trace.Trace{Nodes: 1, Contacts: []trace.Contact{
+		{Start: 100, End: 104, A: 1, B: 0}, // 4 s × 1 MB/s... set below
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 40 * mb, Bandwidth: 2 * float64(mb), Seed: 1,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: near1},
+			{Time: 2, Node: 1, Photo: near2},
+			{Time: 3, Node: 1, Photo: distinct},
+		},
+	}
+	s := NewPhotoNet()
+	res := mustRun(t, cfg, s)
+	if res.Final.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", res.Final.Delivered)
+	}
+	if !s.w.CCHas(distinct.ID) {
+		t.Fatal("the distinct photo must be among the deliveries")
+	}
+	if s.w.CCHas(near1.ID) && s.w.CCHas(near2.ID) {
+		t.Fatal("both near-duplicates delivered: diversity ordering broken")
+	}
+}
+
+func TestPhotoNetEvictionKeepsDiversity(t *testing.T) {
+	near1 := viewFrom(1, 0, 0)
+	near2 := viewFrom(1, 1, 0)
+	near2.Location.X += 1
+	distinct := viewFrom(1, 2, 180)
+	distinct.TakenAt = 90000
+	distinct.Hist[0] = 0.9
+	tr := &trace.Trace{Nodes: 1}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 8 * mb, Seed: 1, Span: 10,
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: near1},
+			{Time: 2, Node: 1, Photo: near2},
+			{Time: 3, Node: 1, Photo: distinct}, // must evict a near-dup
+		},
+	}
+	s := NewPhotoNet()
+	mustRun(t, cfg, s)
+	st := s.w.Storage(1)
+	if !st.Has(distinct.ID) {
+		t.Fatal("distinct photo rejected")
+	}
+	if st.Has(near1.ID) && st.Has(near2.ID) {
+		t.Fatal("kept both near-duplicates")
+	}
+}
+
+func TestPhotoNetPeerExchangeTerminates(t *testing.T) {
+	// Regression guard: two full storages with unlimited budget must not
+	// trade photos forever.
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 1e6, A: 1, B: 2},
+	}}
+	var events []sim.PhotoEvent
+	for i := uint32(0); i < 3; i++ {
+		events = append(events, sim.PhotoEvent{Time: float64(i + 1), Node: 1, Photo: viewFrom(1, i, float64(i)*10)})
+		events = append(events, sim.PhotoEvent{Time: float64(i + 1), Node: 2, Photo: viewFrom(2, i, float64(i)*10+180)})
+	}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 12 * mb, Seed: 1,
+		Photos: events,
+	}
+	s := NewPhotoNet()
+	mustRun(t, cfg, s) // must return
+}
+
+func TestBestPossibleFloodsAndIgnoresLimits(t *testing.T) {
+	tr := &trace.Trace{Nodes: 2, Contacts: []trace.Contact{
+		{Start: 10, End: 10.001, A: 1, B: 2}, // ridiculously short contact
+		{Start: 20, End: 20.001, A: 2, B: 0},
+	}}
+	cfg := sim.Config{
+		Trace: tr, Map: poiMap(), StorageBytes: 1, Bandwidth: 1, Seed: 1, // absurd limits
+		Photos: []sim.PhotoEvent{
+			{Time: 1, Node: 1, Photo: viewFrom(1, 0, 0)},
+			{Time: 2, Node: 1, Photo: viewFrom(1, 1, 90)},
+			{Time: 3, Node: 1, Photo: farAway(1, 2)},
+		},
+	}
+	s := NewBestPossible()
+	res := mustRun(t, cfg, s)
+	// Everything (even the irrelevant photo) floods through.
+	if res.Final.Delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", res.Final.Delivered)
+	}
+	if !s.Unconstrained() {
+		t.Fatal("BestPossible must be unconstrained")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	tests := []struct {
+		s    sim.Scheme
+		want string
+	}{
+		{NewSprayAndWait(), "Spray&Wait"},
+		{NewModifiedSpray(), "ModifiedSpray"},
+		{NewPhotoNet(), "PhotoNet"},
+		{NewBestPossible(), "BestPossible"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// mapOf builds a coverage map with the default effective angle over the
+// given PoIs.
+func mapOf(pois []model.PoI) *coverage.Map {
+	return coverage.NewMap(pois, geo.Radians(30))
+}

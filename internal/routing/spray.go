@@ -1,0 +1,281 @@
+// Package routing implements the baseline schemes the paper compares
+// against (§IV-B, §V-B): binary Spray&Wait, the coverage-aware
+// ModifiedSpray variant, the diversity-driven PhotoNet service, and the
+// unconstrained BestPossible (epidemic) upper bound.
+package routing
+
+import (
+	"sort"
+
+	"photodtn/internal/coverage"
+	"photodtn/internal/model"
+	"photodtn/internal/sim"
+)
+
+// DefaultCopies is the spray copy budget L used in the paper ("binary
+// spray and wait protocol with four allowed copies").
+const DefaultCopies = 4
+
+// SprayAndWait is binary Spray&Wait (Spyropoulos et al.): every photo is
+// created with L logical copies; a node holding more than one copy hands
+// half to nodes it meets; a node holding the last copy waits for the
+// destination (the command center). Photos are treated as opaque data:
+// transmission order is FIFO and a full storage rejects new photos.
+type SprayAndWait struct {
+	// Copies is the initial copy budget L (DefaultCopies if 0).
+	Copies int
+
+	w *sim.World
+}
+
+var _ sim.Scheme = (*SprayAndWait)(nil)
+
+// NewSprayAndWait returns the protocol with the paper's L = 4.
+func NewSprayAndWait() *SprayAndWait { return &SprayAndWait{Copies: DefaultCopies} }
+
+// Name implements sim.Scheme.
+func (s *SprayAndWait) Name() string { return "Spray&Wait" }
+
+// Unconstrained implements sim.Scheme.
+func (s *SprayAndWait) Unconstrained() bool { return false }
+
+// Init implements sim.Scheme.
+func (s *SprayAndWait) Init(w *sim.World) {
+	s.w = w
+	if s.Copies <= 0 {
+		s.Copies = DefaultCopies
+	}
+}
+
+// OnPhoto implements sim.Scheme: store with the full copy budget, or drop
+// if the storage is full (content-blind schemes have no eviction policy).
+func (s *SprayAndWait) OnPhoto(node model.NodeID, p model.Photo) {
+	st := s.w.Storage(node)
+	if err := st.Add(p); err != nil {
+		return
+	}
+	st.SetCopies(p.ID, s.Copies)
+}
+
+// OnContact implements sim.Scheme.
+func (s *SprayAndWait) OnContact(sess *sim.Session) {
+	if sess.A.IsCommandCenter() || sess.B.IsCommandCenter() {
+		node := sess.A
+		if node.IsCommandCenter() {
+			node = sess.B
+		}
+		s.uploadFIFO(sess, node)
+		return
+	}
+	sprayBothWays(sess, s.w, fifoOrder(s.w))
+}
+
+// uploadFIFO delivers everything to the command center in FIFO order.
+func (s *SprayAndWait) uploadFIFO(sess *sim.Session, node model.NodeID) {
+	st := s.w.Storage(node)
+	for _, p := range st.List() {
+		if s.w.CCHas(p.ID) {
+			st.Remove(p.ID) // already delivered by another copy
+			continue
+		}
+		if err := sess.Transfer(model.CommandCenter, p); err != nil {
+			break
+		}
+		st.Remove(p.ID)
+	}
+}
+
+// orderFunc ranks a node's photos into transmission order.
+type orderFunc func(st *sim.Storage) model.PhotoList
+
+// fifoOrder transmits in arrival order (content-blind).
+func fifoOrder(*sim.World) orderFunc {
+	return func(st *sim.Storage) model.PhotoList { return st.List() }
+}
+
+// sprayBothWays performs the binary spray exchange in both directions,
+// alternating single-photo transfers for budget fairness.
+func sprayBothWays(sess *sim.Session, w *sim.World, order orderFunc) {
+	stA, stB := w.Storage(sess.A), w.Storage(sess.B)
+	qa := sprayables(stA, stB, order)
+	qb := sprayables(stB, stA, order)
+	ia, ib := 0, 0
+	for (ia < len(qa) || ib < len(qb)) && !sess.Exhausted() {
+		if ia < len(qa) {
+			spray(sess, stA, stB, sess.B, qa[ia])
+			ia++
+		}
+		if ib < len(qb) && !sess.Exhausted() {
+			spray(sess, stB, stA, sess.A, qb[ib])
+			ib++
+		}
+	}
+}
+
+// sprayables lists the photos of src eligible for spraying to dst: more
+// than one copy remaining and not already held by dst.
+func sprayables(src, dst *sim.Storage, order orderFunc) model.PhotoList {
+	var out model.PhotoList
+	for _, p := range order(src) {
+		if src.Copies(p.ID) > 1 && !dst.Has(p.ID) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// spray hands half of the copies of p to the receiver if it fits.
+func spray(sess *sim.Session, src, dst *sim.Storage, to model.NodeID, p model.Photo) {
+	if dst.Has(p.ID) || p.Size > dst.Free() {
+		return
+	}
+	c := src.Copies(p.ID)
+	if c <= 1 {
+		return
+	}
+	if err := sess.Transfer(to, p); err != nil {
+		return
+	}
+	half := c / 2
+	src.SetCopies(p.ID, c-half)
+	dst.SetCopies(p.ID, half)
+}
+
+// ModifiedSpray is the paper's coverage-aware Spray&Wait variant: identical
+// spray mechanics, but photos are transmitted in descending order of their
+// individual photo coverage, and a full storage evicts the photo with the
+// least individual coverage. Like earlier utility-based routing it ignores
+// the overlap between photos — which is exactly what our scheme improves
+// on.
+type ModifiedSpray struct {
+	// Copies is the initial copy budget L (DefaultCopies if 0).
+	Copies int
+
+	w    *sim.World
+	solo map[model.PhotoID]coverage.Coverage
+}
+
+var _ sim.Scheme = (*ModifiedSpray)(nil)
+
+// NewModifiedSpray returns the variant with the paper's L = 4.
+func NewModifiedSpray() *ModifiedSpray { return &ModifiedSpray{Copies: DefaultCopies} }
+
+// Name implements sim.Scheme.
+func (s *ModifiedSpray) Name() string { return "ModifiedSpray" }
+
+// Unconstrained implements sim.Scheme.
+func (s *ModifiedSpray) Unconstrained() bool { return false }
+
+// Init implements sim.Scheme.
+func (s *ModifiedSpray) Init(w *sim.World) {
+	s.w = w
+	s.solo = make(map[model.PhotoID]coverage.Coverage)
+	if s.Copies <= 0 {
+		s.Copies = DefaultCopies
+	}
+}
+
+func (s *ModifiedSpray) soloCov(p model.Photo) coverage.Coverage {
+	if c, ok := s.solo[p.ID]; ok {
+		return c
+	}
+	c := s.w.Map.SoloCoverage(p)
+	s.solo[p.ID] = c
+	return c
+}
+
+// coverageOrder transmits highest individual coverage first.
+func (s *ModifiedSpray) coverageOrder(st *sim.Storage) model.PhotoList {
+	photos := st.List()
+	sort.SliceStable(photos, func(i, j int) bool {
+		ci, cj := s.soloCov(photos[i]), s.soloCov(photos[j])
+		if c := ci.Cmp(cj); c != 0 {
+			return c > 0
+		}
+		return photos[i].ID < photos[j].ID
+	})
+	return photos
+}
+
+// OnPhoto implements sim.Scheme: store the photo, evicting the least
+// individually covering photos while the new one is more valuable.
+func (s *ModifiedSpray) OnPhoto(node model.NodeID, p model.Photo) {
+	st := s.w.Storage(node)
+	if !s.makeRoom(st, p) {
+		return
+	}
+	if err := st.Add(p); err != nil {
+		return
+	}
+	st.SetCopies(p.ID, s.Copies)
+}
+
+// makeRoom evicts lowest-coverage photos until p fits; it reports false if
+// p itself is the least valuable (and should be rejected).
+func (s *ModifiedSpray) makeRoom(st *sim.Storage, p model.Photo) bool {
+	if p.Size > st.Capacity() {
+		return false
+	}
+	for p.Size > st.Free() {
+		photos := s.coverageOrder(st)
+		victim := photos[len(photos)-1]
+		if !s.soloCov(victim).Less(s.soloCov(p)) {
+			return false
+		}
+		st.Remove(victim.ID)
+	}
+	return true
+}
+
+// OnContact implements sim.Scheme.
+func (s *ModifiedSpray) OnContact(sess *sim.Session) {
+	if sess.A.IsCommandCenter() || sess.B.IsCommandCenter() {
+		node := sess.A
+		if node.IsCommandCenter() {
+			node = sess.B
+		}
+		s.upload(sess, node)
+		return
+	}
+	order := func(st *sim.Storage) model.PhotoList { return s.coverageOrder(st) }
+	sprayBothWaysModified(sess, s, order)
+}
+
+// upload delivers photos best-coverage-first.
+func (s *ModifiedSpray) upload(sess *sim.Session, node model.NodeID) {
+	st := s.w.Storage(node)
+	for _, p := range s.coverageOrder(st) {
+		if s.w.CCHas(p.ID) {
+			st.Remove(p.ID)
+			continue
+		}
+		if err := sess.Transfer(model.CommandCenter, p); err != nil {
+			break
+		}
+		st.Remove(p.ID)
+	}
+}
+
+// sprayBothWaysModified is the spray exchange with coverage ordering and
+// receiver-side eviction.
+func sprayBothWaysModified(sess *sim.Session, s *ModifiedSpray, order orderFunc) {
+	w := s.w
+	stA, stB := w.Storage(sess.A), w.Storage(sess.B)
+	qa := sprayables(stA, stB, order)
+	qb := sprayables(stB, stA, order)
+	ia, ib := 0, 0
+	for (ia < len(qa) || ib < len(qb)) && !sess.Exhausted() {
+		if ia < len(qa) {
+			if s.makeRoom(stB, qa[ia]) {
+				spray(sess, stA, stB, sess.B, qa[ia])
+			}
+			ia++
+		}
+		if ib < len(qb) && !sess.Exhausted() {
+			if s.makeRoom(stA, qb[ib]) {
+				spray(sess, stB, stA, sess.A, qb[ib])
+			}
+			ib++
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package selection implements the heart of the paper: expected coverage
+// (Definition 2, §III-C) and the greedy photo reallocation algorithm
+// (§III-D) that two nodes run when they are in contact.
+//
+// Expected coverage is an expectation over delivery outcomes B ∈ {0,1}^m of
+// the photo coverage the command center would obtain. Its exact evaluation
+// is exponential in the number of probabilistic nodes, so the Evaluator
+// enumerates outcomes exactly up to a configurable limit and switches to
+// common-random-number Monte Carlo sampling beyond it. Common random
+// numbers matter: every candidate photo is ranked against the same sampled
+// outcomes, which removes sampling noise from the comparisons the greedy
+// makes.
+package selection
+
+import (
+	"math/rand"
+	"sort"
+
+	"photodtn/internal/coverage"
+	"photodtn/internal/model"
+)
+
+// Config tunes the expected-coverage evaluation.
+type Config struct {
+	// ExactLimit is the largest number of probabilistic background nodes
+	// for which delivery outcomes are enumerated exactly (2^ExactLimit
+	// scenarios). Beyond it, Monte Carlo sampling is used.
+	ExactLimit int
+	// Samples is the number of Monte Carlo scenarios.
+	Samples int
+	// Seed drives scenario sampling; callers should derive it
+	// deterministically (e.g. from the contact) for reproducibility.
+	Seed int64
+}
+
+// DefaultConfig returns evaluation parameters that keep per-contact cost
+// low while leaving ranking quality indistinguishable from exact in
+// simulation.
+func DefaultConfig() Config {
+	return Config{ExactLimit: 5, Samples: 24}
+}
+
+func (c Config) normalized() Config {
+	if c.ExactLimit < 0 {
+		c.ExactLimit = 0
+	}
+	if c.Samples <= 0 {
+		c.Samples = 24
+	}
+	return c
+}
+
+// Participant is one node of the node set M of Definition 2: a photo
+// collection that reaches the command center with probability P.
+type Participant struct {
+	Node   model.NodeID
+	Photos model.PhotoList
+	// P is the node's delivery probability p_i to the command center.
+	P float64
+}
+
+// bgNode is a background participant reduced to its useful footprints.
+type bgNode struct {
+	p   float64
+	fps []coverage.Footprint
+}
+
+// scenario is one delivery outcome: the coverage state the command center
+// ends with, weighted by the outcome's probability.
+type scenario struct {
+	w  float64
+	st *coverage.State
+}
+
+// Evaluator computes expected coverage and expected marginal gains for
+// photos being selected onto a single target node, against a fixed
+// background of probabilistic nodes plus the command center's own
+// collection (which is always "delivered", b_0 = 1).
+type Evaluator struct {
+	m    *coverage.Map
+	scen []scenario
+}
+
+// NewEvaluator builds an evaluator. ccFPs are the footprints of the photos
+// already at the command center; background holds the other nodes of M with
+// their delivery probabilities and the footprints of their photos.
+func NewEvaluator(m *coverage.Map, cfg Config, ccFPs []coverage.Footprint, background []bgNode) *Evaluator {
+	cfg = cfg.normalized()
+	base := m.NewState()
+	for _, fp := range ccFPs {
+		base.Add(fp)
+	}
+	// Nodes that deliver surely belong in the base; nodes that never
+	// deliver or have no useful photos can be dropped.
+	live := make([]bgNode, 0, len(background))
+	for _, b := range background {
+		if len(b.fps) == 0 || b.p <= 0 {
+			continue
+		}
+		if b.p >= 1 {
+			for _, fp := range b.fps {
+				base.Add(fp)
+			}
+			continue
+		}
+		live = append(live, b)
+	}
+	ev := &Evaluator{m: m}
+	if len(live) <= cfg.ExactLimit {
+		ev.enumerate(base, live)
+	} else {
+		ev.sample(base, live, cfg)
+	}
+	return ev
+}
+
+// enumerate builds all 2^k delivery outcomes of the live background nodes.
+func (e *Evaluator) enumerate(base *coverage.State, live []bgNode) {
+	n := len(live)
+	total := 1 << n
+	e.scen = make([]scenario, 0, total)
+	for mask := 0; mask < total; mask++ {
+		w := 1.0
+		for i, b := range live {
+			if mask&(1<<i) != 0 {
+				w *= b.p
+			} else {
+				w *= 1 - b.p
+			}
+		}
+		if w <= 0 {
+			continue
+		}
+		st := base.Clone()
+		for i, b := range live {
+			if mask&(1<<i) != 0 {
+				for _, fp := range b.fps {
+					st.Add(fp)
+				}
+			}
+		}
+		e.scen = append(e.scen, scenario{w: w, st: st})
+	}
+}
+
+// sample builds Monte Carlo delivery outcomes with common random numbers.
+func (e *Evaluator) sample(base *coverage.State, live []bgNode, cfg Config) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := 1.0 / float64(cfg.Samples)
+	e.scen = make([]scenario, 0, cfg.Samples)
+	for s := 0; s < cfg.Samples; s++ {
+		st := base.Clone()
+		for _, b := range live {
+			if rng.Float64() < b.p {
+				for _, fp := range b.fps {
+					st.Add(fp)
+				}
+			}
+		}
+		e.scen = append(e.scen, scenario{w: w, st: st})
+	}
+}
+
+// Gain returns the expected marginal coverage gain of the footprint,
+// conditioned on the target node delivering its photos. Scaling by the
+// target's own delivery probability is left to the caller: the scale is
+// common to every candidate, so it affects neither ranking nor the
+// "no more benefit" stopping rule.
+func (e *Evaluator) Gain(fp coverage.Footprint) coverage.Coverage {
+	var g coverage.Coverage
+	for _, s := range e.scen {
+		g = g.Add(s.st.Gain(fp).Scale(s.w))
+	}
+	return g
+}
+
+// Commit adds the footprint to every scenario: the target node now holds
+// the photo in all outcomes where it delivers (which, within one selection
+// phase, is the conditional world Gain already lives in).
+func (e *Evaluator) Commit(fp coverage.Footprint) {
+	for _, s := range e.scen {
+		s.st.Add(fp)
+	}
+}
+
+// Expected returns the expected coverage of the current scenario set,
+// E_B[C_ph(∪ delivered)].
+func (e *Evaluator) Expected() coverage.Coverage {
+	var c coverage.Coverage
+	for _, s := range e.scen {
+		c = c.Add(s.st.Coverage().Scale(s.w))
+	}
+	return c
+}
+
+// Scenarios returns the number of delivery outcomes the evaluator tracks.
+func (e *Evaluator) Scenarios() int { return len(e.scen) }
+
+// footprintsOf compiles the useful (non-empty) footprints of a collection
+// through the memoizing cache.
+func footprintsOf(fpc *coverage.FootprintCache, photos model.PhotoList) []coverage.Footprint {
+	var out []coverage.Footprint
+	for _, p := range photos {
+		if fp := fpc.Of(p); !fp.IsEmpty() {
+			out = append(out, fp)
+		}
+	}
+	return out
+}
+
+// ExpectedCoverage evaluates Definition 2 for a node set M: the command
+// center's photos (delivered with certainty) plus participants that each
+// deliver independently with their probability. It uses the same
+// exact/Monte-Carlo machinery as the selection algorithm.
+func ExpectedCoverage(m *coverage.Map, cfg Config, ccPhotos model.PhotoList, parts []Participant) coverage.Coverage {
+	fpc := coverage.NewFootprintCache(m)
+	bg := make([]bgNode, 0, len(parts))
+	for _, p := range parts {
+		bg = append(bg, bgNode{p: p.P, fps: footprintsOf(fpc, p.Photos)})
+	}
+	return NewEvaluator(m, cfg, footprintsOf(fpc, ccPhotos), bg).Expected()
+}
+
+// ExactExpectedCoverage evaluates Definition 2 by direct enumeration of all
+// 2^m outcomes, independent of the Evaluator machinery. It exists as an
+// oracle for tests and ablation benchmarks; cost is exponential in
+// len(parts).
+func ExactExpectedCoverage(m *coverage.Map, ccPhotos model.PhotoList, parts []Participant) coverage.Coverage {
+	var total coverage.Coverage
+	n := len(parts)
+	for mask := 0; mask < 1<<n; mask++ {
+		w := 1.0
+		photos := ccPhotos.Clone()
+		for i, p := range parts {
+			if mask&(1<<i) != 0 {
+				w *= p.P
+				photos = append(photos, p.Photos...)
+			} else {
+				w *= 1 - p.P
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		total = total.Add(m.Of(photos).Scale(w))
+	}
+	return total
+}
+
+// sortParticipants orders participants by descending delivery probability,
+// breaking ties by node ID (deterministic).
+func sortParticipants(parts []Participant) {
+	sort.SliceStable(parts, func(i, j int) bool {
+		if parts[i].P != parts[j].P {
+			return parts[i].P > parts[j].P
+		}
+		return parts[i].Node < parts[j].Node
+	})
+}

@@ -1,0 +1,161 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Gravity is the gravitational acceleration in m/s².
+const Gravity = 9.81
+
+// Noise holds the simulated sensor noise levels (standard deviations).
+type Noise struct {
+	// Accel is the accelerometer noise per axis in m/s².
+	Accel float64
+	// Mag is the magnetometer noise per axis in µT.
+	Mag float64
+	// Gyro is the gyroscope noise per axis in rad/s.
+	Gyro float64
+	// GyroBias is a constant per-axis gyroscope bias in rad/s (the reason
+	// gyro-only integration drifts).
+	GyroBias float64
+}
+
+// DefaultNoise returns noise levels typical of 2012-era smartphone sensors
+// (the prototype's Nexus 4).
+func DefaultNoise() Noise {
+	return Noise{Accel: 0.15, Mag: 1.0, Gyro: 0.02, GyroBias: 0.01}
+}
+
+// Device simulates a smartphone's true orientation plus its noisy inertial
+// and magnetic sensors. The orientation matrix maps device coordinates to
+// world coordinates (world X = east, Y = north, Z = up); its rows are the
+// world axes expressed in the device frame's dual — see Fusion for how the
+// estimates are reconstructed.
+type Device struct {
+	// R is the true device→world rotation.
+	R Mat3
+
+	noise Noise
+	bias  Vec3
+	rng   *rand.Rand
+	// field is the geomagnetic field in world coordinates (north and
+	// downward-tilted by the inclination angle).
+	field Vec3
+}
+
+// NewDevice returns a device at identity orientation with the given sensor
+// noise, a 60° magnetic inclination (mid-latitudes), and a random constant
+// gyro bias.
+func NewDevice(seed int64, noise Noise) *Device {
+	rng := rand.New(rand.NewSource(seed))
+	incl := 60 * math.Pi / 180
+	return &Device{
+		R:     Identity(),
+		noise: noise,
+		rng:   rng,
+		bias: Vec3{
+			X: noise.GyroBias * rng.NormFloat64(),
+			Y: noise.GyroBias * rng.NormFloat64(),
+			Z: noise.GyroBias * rng.NormFloat64(),
+		},
+		field: Vec3{X: 0, Y: 50 * math.Cos(incl), Z: -50 * math.Sin(incl)},
+	}
+}
+
+// Rotate turns the true orientation by the given device-frame angular
+// velocity over dt seconds and returns the noisy gyroscope reading for the
+// interval.
+func (d *Device) Rotate(omega Vec3, dt float64) Vec3 {
+	if a := omega.Norm() * dt; a > 0 {
+		d.R = d.R.Mul(RotationAxis(omega, a))
+	}
+	return Vec3{
+		X: omega.X + d.bias.X + d.noise.Gyro*d.rng.NormFloat64(),
+		Y: omega.Y + d.bias.Y + d.noise.Gyro*d.rng.NormFloat64(),
+		Z: omega.Z + d.bias.Z + d.noise.Gyro*d.rng.NormFloat64(),
+	}
+}
+
+// ReadAccel returns the noisy accelerometer reading: the reaction to
+// gravity (pointing up in world coordinates) expressed in the device frame.
+func (d *Device) ReadAccel() Vec3 {
+	up := d.R.Transpose().Apply(Vec3{Z: Gravity})
+	return Vec3{
+		X: up.X + d.noise.Accel*d.rng.NormFloat64(),
+		Y: up.Y + d.noise.Accel*d.rng.NormFloat64(),
+		Z: up.Z + d.noise.Accel*d.rng.NormFloat64(),
+	}
+}
+
+// ReadMag returns the noisy magnetometer reading: the geomagnetic field in
+// the device frame.
+func (d *Device) ReadMag() Vec3 {
+	m := d.R.Transpose().Apply(d.field)
+	return Vec3{
+		X: m.X + d.noise.Mag*d.rng.NormFloat64(),
+		Y: m.Y + d.noise.Mag*d.rng.NormFloat64(),
+		Z: m.Z + d.noise.Mag*d.rng.NormFloat64(),
+	}
+}
+
+// TrueHeading returns the true camera heading.
+func (d *Device) TrueHeading() float64 { return d.R.Heading() }
+
+// FromAccelMag reconstructs an absolute orientation estimate from one
+// accelerometer and one magnetometer reading — the first estimate of the
+// paper's pipeline ("these two measurements can be used to calculate an
+// estimate of orientation"). It mirrors Android's
+// SensorManager.getRotationMatrix.
+func FromAccelMag(accel, mag Vec3) Mat3 {
+	up := accel.Unit()
+	east := mag.Cross(up).Unit()
+	north := up.Cross(east)
+	var m Mat3
+	m.setRow(0, east)
+	m.setRow(1, north)
+	m.setRow(2, up)
+	return m
+}
+
+// Fusion is the paper's orientation estimator: gyroscope integration
+// provides a smooth relative estimate, the accelerometer+magnetometer pair
+// provides an absolute but noisy estimate, and each update linearly blends
+// the two ("the two estimates can be linearly combined to produce a more
+// reliable result") before orthonormalising back onto a rotation.
+type Fusion struct {
+	// GyroWeight is the blend weight of the gyro-propagated estimate,
+	// in [0, 1).
+	GyroWeight float64
+
+	est  Mat3
+	init bool
+}
+
+// NewFusion returns a fusion filter; weight 0.98 reproduces the paper's
+// ≤5° error under DefaultNoise.
+func NewFusion(gyroWeight float64) *Fusion {
+	return &Fusion{GyroWeight: gyroWeight}
+}
+
+// Update feeds one sensor epoch (readings plus the gyro integration
+// interval) and returns the current orientation estimate.
+func (f *Fusion) Update(accel, mag, gyro Vec3, dt float64) Mat3 {
+	am := FromAccelMag(accel, mag)
+	if !f.init {
+		f.est = am
+		f.init = true
+		return f.est
+	}
+	// Gyroscope propagation: rate × interval = orientation change.
+	g := f.est
+	if a := gyro.Norm() * dt; a > 0 {
+		g = f.est.Mul(RotationAxis(gyro, a))
+	}
+	blended := g.Scale(f.GyroWeight).Add(am.Scale(1 - f.GyroWeight))
+	f.est = blended.Orthonormalize()
+	return f.est
+}
+
+// Heading returns the current estimated camera heading.
+func (f *Fusion) Heading() float64 { return f.est.Heading() }

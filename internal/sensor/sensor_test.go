@@ -1,0 +1,228 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func headingErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+func TestVec3Basics(t *testing.T) {
+	v, w := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if v.Add(w) != (Vec3{5, 7, 9}) || v.Sub(w) != (Vec3{-3, -3, -3}) {
+		t.Fatal("add/sub wrong")
+	}
+	if v.Dot(w) != 32 {
+		t.Fatal("dot wrong")
+	}
+	if got := (Vec3{1, 0, 0}).Cross(Vec3{0, 1, 0}); got != (Vec3{0, 0, 1}) {
+		t.Fatalf("cross = %v", got)
+	}
+	if !almostEqual((Vec3{3, 4, 0}).Norm(), 5, eps) {
+		t.Fatal("norm wrong")
+	}
+	if (Vec3{}).Unit() != (Vec3{}) {
+		t.Fatal("zero unit wrong")
+	}
+}
+
+func TestMat3Identity(t *testing.T) {
+	id := Identity()
+	v := Vec3{1, 2, 3}
+	if id.Apply(v) != v {
+		t.Fatal("identity apply wrong")
+	}
+	if id.Mul(id) != id {
+		t.Fatal("identity multiply wrong")
+	}
+}
+
+func TestRotationZ(t *testing.T) {
+	r := RotationZ(math.Pi / 2)
+	got := r.Apply(Vec3{1, 0, 0})
+	if !almostEqual(got.X, 0, eps) || !almostEqual(got.Y, 1, eps) {
+		t.Fatalf("RotationZ apply = %v", got)
+	}
+}
+
+func TestRotationAxisMatchesRotationZ(t *testing.T) {
+	for _, a := range []float64{0.3, 1.2, -0.7} {
+		rz := RotationZ(a)
+		ra := RotationAxis(Vec3{Z: 1}, a)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if !almostEqual(rz[i][j], ra[i][j], 1e-12) {
+					t.Fatalf("angle %v entry (%d,%d): %v vs %v", a, i, j, rz[i][j], ra[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeIsInverse(t *testing.T) {
+	r := RotationAxis(Vec3{1, 2, 3}, 0.9)
+	p := r.Mul(r.Transpose())
+	id := Identity()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEqual(p[i][j], id[i][j], 1e-12) {
+				t.Fatalf("R·Rᵀ ≠ I at (%d,%d): %v", i, j, p[i][j])
+			}
+		}
+	}
+}
+
+func TestOrthonormalize(t *testing.T) {
+	r := RotationAxis(Vec3{1, 1, 0}, 0.5)
+	// Perturb.
+	r[0][1] += 0.05
+	r[2][0] -= 0.03
+	o := r.Orthonormalize()
+	for i := 0; i < 3; i++ {
+		if !almostEqual(o.Row(i).Norm(), 1, 1e-12) {
+			t.Fatalf("row %d not unit", i)
+		}
+		for j := i + 1; j < 3; j++ {
+			if !almostEqual(o.Row(i).Dot(o.Row(j)), 0, 1e-12) {
+				t.Fatalf("rows %d,%d not orthogonal", i, j)
+			}
+		}
+	}
+	// Right-handed: r2 = r0 × r1.
+	if o.Row(0).Cross(o.Row(1)).Sub(o.Row(2)).Norm() > 1e-12 {
+		t.Fatal("not right handed")
+	}
+}
+
+func TestHeadingConvention(t *testing.T) {
+	// At identity the camera looks straight down (heading degenerate), so
+	// first pitch the device up 90° — making the camera look north — and
+	// then yaw to each target heading.
+	for _, wantDeg := range []float64{0, 45, 90, 180, 270} {
+		want := wantDeg * math.Pi / 180
+		base := RotationAxis(Vec3{X: 1}, math.Pi/2)
+		look := base.Apply(Vec3{Z: -1})
+		if !almostEqual(look.Y, 1, 1e-9) {
+			t.Fatalf("base orientation: camera looks at %v, want +Y", look)
+		}
+		// Then yaw from north to the target heading (north = 90°).
+		r := RotationZ(want - math.Pi/2).Mul(base)
+		if got := r.Heading(); headingErr(got, want) > 1e-9 {
+			t.Fatalf("heading = %v°, want %v°", got*180/math.Pi, wantDeg)
+		}
+	}
+}
+
+func TestFromAccelMagNoiseless(t *testing.T) {
+	d := NewDevice(1, Noise{}) // no noise
+	// Random true orientation.
+	d.R = RotationAxis(Vec3{0.3, -0.5, 0.8}, 1.1).Mul(RotationAxis(Vec3{X: 1}, math.Pi/2))
+	est := FromAccelMag(d.ReadAccel(), d.ReadMag())
+	if headingErr(est.Heading(), d.TrueHeading()) > 1e-9 {
+		t.Fatalf("noiseless reconstruction heading error %v", headingErr(est.Heading(), d.TrueHeading()))
+	}
+	// The full matrix must match, not just the heading.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEqual(est[i][j], d.R[i][j], 1e-9) {
+				t.Fatalf("matrix mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// runFusion simulates a handheld camera-aiming episode and returns the
+// final heading errors of the fused, gyro-only, and accel/mag-only
+// estimators.
+func runFusion(t *testing.T, seed int64, steps int) (fused, gyroOnly, amOnly float64) {
+	t.Helper()
+	d := NewDevice(seed, DefaultNoise())
+	// Camera starts level, looking north.
+	d.R = RotationAxis(Vec3{X: 1}, math.Pi/2)
+	rng := rand.New(rand.NewSource(seed + 99))
+
+	f := NewFusion(0.98)
+	g := NewFusion(1.0)  // pure gyro after initialisation
+	am := NewFusion(0.0) // pure accel/mag
+	const dt = 0.02      // 50 Hz sensors
+	for i := 0; i < steps; i++ {
+		// Slow handheld wobble plus deliberate panning.
+		omega := Vec3{
+			X: 0.2 * rng.NormFloat64(),
+			Y: 0.2 * rng.NormFloat64(),
+			Z: 0.3 + 0.2*rng.NormFloat64(),
+		}
+		gyro := d.Rotate(omega, dt)
+		accel, mag := d.ReadAccel(), d.ReadMag()
+		f.Update(accel, mag, gyro, dt)
+		g.Update(accel, mag, gyro, dt)
+		am.Update(accel, mag, gyro, dt)
+	}
+	truth := d.TrueHeading()
+	return headingErr(f.Heading(), truth), headingErr(g.Heading(), truth), headingErr(am.Heading(), truth)
+}
+
+func TestFusionMeetsPaperErrorBound(t *testing.T) {
+	// The paper: "the final outcome achieves a maximum error of five
+	// degrees". Check the bound across seeds.
+	fiveDeg := 5 * math.Pi / 180
+	worst := 0.0
+	for seed := int64(0); seed < 20; seed++ {
+		fused, _, _ := runFusion(t, seed, 500)
+		if fused > worst {
+			worst = fused
+		}
+	}
+	if worst > fiveDeg {
+		t.Fatalf("fused heading error %.2f° exceeds the 5° bound", worst*180/math.Pi)
+	}
+}
+
+func TestGyroOnlyDrifts(t *testing.T) {
+	// Integrating a biased gyro for long enough must drift beyond the
+	// fused estimator's error.
+	var fusedSum, gyroSum float64
+	for seed := int64(0); seed < 10; seed++ {
+		fused, gyro, _ := runFusion(t, seed, 3000) // 60 s of integration
+		fusedSum += fused
+		gyroSum += gyro
+	}
+	if gyroSum <= fusedSum {
+		t.Fatalf("gyro-only (%.3f rad avg) should drift beyond fused (%.3f rad avg)", gyroSum/10, fusedSum/10)
+	}
+}
+
+func TestFusionBeatsAccelMagOnAverage(t *testing.T) {
+	var fusedSum, amSum float64
+	const trials = 30
+	for seed := int64(0); seed < trials; seed++ {
+		fused, _, am := runFusion(t, seed, 300)
+		fusedSum += fused
+		amSum += am
+	}
+	if fusedSum >= amSum {
+		t.Fatalf("fusion (%.4f rad avg) not better than accel/mag alone (%.4f rad avg)",
+			fusedSum/trials, amSum/trials)
+	}
+}
+
+func TestFusionFirstUpdateInitialises(t *testing.T) {
+	d := NewDevice(3, Noise{})
+	d.R = RotationAxis(Vec3{X: 1}, math.Pi/2)
+	f := NewFusion(0.98)
+	est := f.Update(d.ReadAccel(), d.ReadMag(), Vec3{}, 0.02)
+	if headingErr(est.Heading(), d.TrueHeading()) > 1e-9 {
+		t.Fatal("first update should adopt the absolute estimate")
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"photodtn/internal/coverage"
+	"photodtn/internal/model"
+	"photodtn/internal/trace"
+)
+
+// Scheme is a routing/selection policy under evaluation. The engine calls
+// Init once, then OnPhoto for every generated photo and OnContact for every
+// contact (including gateway–command-center contacts), in time order.
+type Scheme interface {
+	// Name identifies the scheme in results.
+	Name() string
+	// Init binds the scheme to a world before any event fires.
+	Init(w *World)
+	// OnPhoto is invoked when a node takes a photo. The scheme decides
+	// whether and how to store it.
+	OnPhoto(node model.NodeID, p model.Photo)
+	// OnContact is invoked at the start of a contact, with a session whose
+	// budget reflects the contact duration and radio bandwidth.
+	OnContact(s *Session)
+	// Unconstrained reports whether the scheme ignores storage and
+	// bandwidth limits (the BestPossible upper bound of §V-B).
+	Unconstrained() bool
+}
+
+// PhotoEvent is one workload item: node takes photo p at time Time.
+type PhotoEvent struct {
+	Time  float64
+	Node  model.NodeID
+	Photo model.Photo
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Trace supplies the node-to-node contacts.
+	Trace *trace.Trace
+	// Map is the PoI coverage map.
+	Map *coverage.Map
+	// Photos is the generation workload, sorted by time.
+	Photos []PhotoEvent
+	// StorageBytes is each participant's storage capacity S_i.
+	StorageBytes int64
+	// Bandwidth is the radio bandwidth in bytes/second; 0 means contacts
+	// are never budget-limited (the paper's default assumption).
+	Bandwidth float64
+	// Gateways lists the nodes able to reach the command center (the ~2%
+	// with satellite links or data-mule duty).
+	Gateways []model.NodeID
+	// GatewayInterval is the period of gateway→command-center contacts in
+	// seconds.
+	GatewayInterval float64
+	// GatewayDuration is the duration of each gateway contact in seconds
+	// (relevant only when Bandwidth > 0).
+	GatewayDuration float64
+	// SampleInterval is the metric sampling period in seconds.
+	SampleInterval float64
+	// Span is the simulation end time; 0 means the trace duration.
+	Span float64
+	// Seed drives the run's RNG.
+	Seed int64
+}
+
+// ErrBadSimConfig reports an invalid simulation configuration.
+var ErrBadSimConfig = errors.New("sim: bad config")
+
+func (c Config) validate() error {
+	switch {
+	case c.Trace == nil:
+		return fmt.Errorf("%w: nil trace", ErrBadSimConfig)
+	case c.Map == nil:
+		return fmt.Errorf("%w: nil map", ErrBadSimConfig)
+	case c.StorageBytes <= 0:
+		return fmt.Errorf("%w: non-positive storage", ErrBadSimConfig)
+	case c.Bandwidth < 0:
+		return fmt.Errorf("%w: negative bandwidth", ErrBadSimConfig)
+	case len(c.Gateways) > 0 && c.GatewayInterval <= 0:
+		return fmt.Errorf("%w: gateways need a positive interval", ErrBadSimConfig)
+	}
+	for _, g := range c.Gateways {
+		if g.IsCommandCenter() || int(g) > c.Trace.Nodes || g < 0 {
+			return fmt.Errorf("%w: gateway %v out of range", ErrBadSimConfig, g)
+		}
+	}
+	return nil
+}
+
+// Sample is one metrics observation.
+type Sample struct {
+	// Time is the observation time in seconds.
+	Time float64
+	// PointFrac is the normalized point coverage: covered PoI weight over
+	// total weight.
+	PointFrac float64
+	// AspectRad is the mean covered aspect per PoI in radians.
+	AspectRad float64
+	// Delivered is the number of distinct photos at the command center.
+	Delivered int
+}
+
+// Result summarises one run.
+type Result struct {
+	Scheme  string
+	Samples []Sample
+	Final   Sample
+	// TransferredBytes and TransferredPhotos count every transfer over DTN
+	// and gateway links (including duplicates).
+	TransferredBytes  int64
+	TransferredPhotos int64
+	// DeliveredPhotos is the command center's final collection.
+	DeliveredPhotos model.PhotoList
+}
+
+// event is the engine's internal tagged union.
+type event struct {
+	time float64
+	kind eventKind
+	// photo events
+	pe PhotoEvent
+	// contact events
+	contact trace.Contact
+}
+
+type eventKind int
+
+const (
+	evPhoto eventKind = iota + 1
+	evContact
+	evSample
+)
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config, scheme Scheme) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	span := cfg.Span
+	if span <= 0 {
+		span = cfg.Trace.Duration()
+	}
+	capacity := cfg.StorageBytes
+	bandwidth := cfg.Bandwidth
+	if scheme.Unconstrained() {
+		capacity = math.MaxInt64 / 4
+		bandwidth = 0
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := newWorld(cfg.Map, cfg.Trace.Nodes, capacity, rng)
+	scheme.Init(w)
+
+	events := buildEvents(cfg, span)
+	res := &Result{Scheme: scheme.Name()}
+	for _, ev := range events {
+		w.now = ev.time
+		switch ev.kind {
+		case evPhoto:
+			scheme.OnPhoto(ev.pe.Node, ev.pe.Photo)
+		case evContact:
+			s := &Session{
+				w: w, A: ev.contact.A, B: ev.contact.B, Time: ev.time,
+				unlimited: bandwidth == 0,
+			}
+			if !s.unlimited {
+				s.budget = int64(ev.contact.Duration() * bandwidth)
+			}
+			scheme.OnContact(s)
+		case evSample:
+			res.Samples = append(res.Samples, sampleNow(w))
+		}
+	}
+	w.now = span
+	res.Final = sampleNow(w)
+	res.TransferredBytes = w.transferredBytes
+	res.TransferredPhotos = w.transferredPhotos
+	res.DeliveredPhotos = w.CCPhotos().Clone()
+	return res, nil
+}
+
+func sampleNow(w *World) Sample {
+	pt, as := w.Map.Normalized(w.CCCoverage())
+	return Sample{Time: w.now, PointFrac: pt, AspectRad: as, Delivered: w.DeliveredCount()}
+}
+
+// GatewayContacts enumerates the periodic gateway→command-center contacts
+// the configuration implies, up to the span.
+func GatewayContacts(cfg Config, span float64) []trace.Contact {
+	var out []trace.Contact
+	for _, g := range cfg.Gateways {
+		for t := cfg.GatewayInterval; t <= span; t += cfg.GatewayInterval {
+			out = append(out, trace.Contact{
+				Start: t, End: t + cfg.GatewayDuration, A: g, B: model.CommandCenter,
+			})
+		}
+	}
+	return out
+}
+
+// buildEvents merges the photo workload, the trace contacts, the gateway
+// contacts, and the sampling clock into one time-ordered stream. Ties are
+// broken photo < contact < sample so a photo taken at a contact instant can
+// ride that contact, and samples observe a settled state.
+func buildEvents(cfg Config, span float64) []event {
+	var events []event
+	for _, pe := range cfg.Photos {
+		if pe.Time > span {
+			continue
+		}
+		events = append(events, event{time: pe.Time, kind: evPhoto, pe: pe})
+	}
+	for _, c := range cfg.Trace.Contacts {
+		if c.Start > span {
+			continue
+		}
+		events = append(events, event{time: c.Start, kind: evContact, contact: c})
+	}
+	for _, c := range GatewayContacts(cfg, span) {
+		events = append(events, event{time: c.Start, kind: evContact, contact: c})
+	}
+	if cfg.SampleInterval > 0 {
+		for t := cfg.SampleInterval; t <= span; t += cfg.SampleInterval {
+			events = append(events, event{time: t, kind: evSample})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].time != events[j].time {
+			return events[i].time < events[j].time
+		}
+		return events[i].kind < events[j].kind
+	})
+	return events
+}

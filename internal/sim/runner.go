@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunFunc builds a fresh, independent (Config, Scheme) pair for one run.
+// The seed parameterises everything random in the run (workload, gateway
+// choice, Monte Carlo sampling, ...), so runs are reproducible and
+// independent.
+type RunFunc func(seed int64) (Config, Scheme, error)
+
+// AvgSample is a Sample averaged over runs (Delivered becomes fractional).
+type AvgSample struct {
+	Time      float64
+	PointFrac float64
+	AspectRad float64
+	Delivered float64
+}
+
+// Average aggregates the results of repeated runs of one scheme, mirroring
+// the paper's "each data point is the average of 50 simulation runs".
+type Average struct {
+	Scheme            string
+	Runs              int
+	Samples           []AvgSample
+	Final             AvgSample
+	TransferredPhotos float64
+	TransferredBytes  float64
+}
+
+// ErrNoRuns is returned when RunMany is asked for zero runs.
+var ErrNoRuns = errors.New("sim: need at least one run")
+
+// RunMany executes runs independent simulations in parallel (bounded by
+// GOMAXPROCS) with seeds baseSeed, baseSeed+1, ... and averages their
+// metrics. All runs must produce the same sample count.
+func RunMany(runs int, baseSeed int64, f RunFunc) (*Average, error) {
+	if runs <= 0 {
+		return nil, ErrNoRuns
+	}
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg, scheme, err := f(baseSeed + int64(i))
+			if err != nil {
+				errs[i] = fmt.Errorf("run %d: %w", i, err)
+				return
+			}
+			res, err := Run(cfg, scheme)
+			if err != nil {
+				errs[i] = fmt.Errorf("run %d: %w", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return AverageResults(results)
+}
+
+// AverageResults averages pre-computed run results; all runs must share a
+// sample layout. It is used by RunMany and by analytic evaluators (e.g.
+// the BestPossible fast path) that bypass the engine.
+func AverageResults(results []*Result) (*Average, error) {
+	n := len(results)
+	avg := &Average{Scheme: results[0].Scheme, Runs: n}
+	sampleCount := len(results[0].Samples)
+	for _, r := range results {
+		if len(r.Samples) != sampleCount {
+			return nil, fmt.Errorf("sim: sample counts differ across runs (%d vs %d)", len(r.Samples), sampleCount)
+		}
+	}
+	avg.Samples = make([]AvgSample, sampleCount)
+	inv := 1 / float64(n)
+	for _, r := range results {
+		for i, s := range r.Samples {
+			avg.Samples[i].Time = s.Time
+			avg.Samples[i].PointFrac += s.PointFrac * inv
+			avg.Samples[i].AspectRad += s.AspectRad * inv
+			avg.Samples[i].Delivered += float64(s.Delivered) * inv
+		}
+		avg.Final.Time = r.Final.Time
+		avg.Final.PointFrac += r.Final.PointFrac * inv
+		avg.Final.AspectRad += r.Final.AspectRad * inv
+		avg.Final.Delivered += float64(r.Final.Delivered) * inv
+		avg.TransferredPhotos += float64(r.TransferredPhotos) * inv
+		avg.TransferredBytes += float64(r.TransferredBytes) * inv
+	}
+	return avg, nil
+}

@@ -1,0 +1,152 @@
+// Package sim provides the discrete-event DTN simulator the evaluation
+// (§V) runs on: node storages with byte capacities, contact sessions with
+// bandwidth budgets, a pluggable routing/selection Scheme interface, and an
+// engine that replays a contact trace against a photo-generation workload
+// while sampling the command center's coverage over time.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"photodtn/internal/model"
+)
+
+// Storage errors.
+var (
+	// ErrNoSpace is returned when a photo does not fit in the remaining
+	// capacity.
+	ErrNoSpace = errors.New("sim: storage full")
+	// ErrDuplicate is returned when the photo is already stored.
+	ErrDuplicate = errors.New("sim: photo already stored")
+)
+
+// Storage is a node's photo store with a byte capacity. It also tracks a
+// per-photo copy counter for spray-based schemes (unused counters stay 0).
+// Storage is not safe for concurrent use.
+type Storage struct {
+	capacity int64
+	used     int64
+	photos   map[model.PhotoID]model.Photo
+	copies   map[model.PhotoID]int
+	arrival  map[model.PhotoID]int64 // insertion order for FIFO policies
+	nextSeq  int64
+}
+
+// NewStorage returns an empty storage with the given byte capacity.
+func NewStorage(capacity int64) *Storage {
+	return &Storage{
+		capacity: capacity,
+		photos:   make(map[model.PhotoID]model.Photo),
+		copies:   make(map[model.PhotoID]int),
+		arrival:  make(map[model.PhotoID]int64),
+	}
+}
+
+// Capacity returns the byte capacity.
+func (s *Storage) Capacity() int64 { return s.capacity }
+
+// Used returns the bytes in use.
+func (s *Storage) Used() int64 { return s.used }
+
+// Free returns the remaining bytes.
+func (s *Storage) Free() int64 { return s.capacity - s.used }
+
+// Len returns the number of stored photos.
+func (s *Storage) Len() int { return len(s.photos) }
+
+// Has reports whether the photo is stored.
+func (s *Storage) Has(id model.PhotoID) bool {
+	_, ok := s.photos[id]
+	return ok
+}
+
+// Get returns a stored photo.
+func (s *Storage) Get(id model.PhotoID) (model.Photo, bool) {
+	p, ok := s.photos[id]
+	return p, ok
+}
+
+// Add stores a photo. It fails with ErrNoSpace if the photo does not fit
+// and ErrDuplicate if it is already present.
+func (s *Storage) Add(p model.Photo) error {
+	if s.Has(p.ID) {
+		return fmt.Errorf("%w: %v", ErrDuplicate, p.ID)
+	}
+	if p.Size > s.Free() {
+		return fmt.Errorf("%w: need %d bytes, have %d", ErrNoSpace, p.Size, s.Free())
+	}
+	s.photos[p.ID] = p
+	s.used += p.Size
+	s.arrival[p.ID] = s.nextSeq
+	s.nextSeq++
+	return nil
+}
+
+// Remove drops a photo (and its copy counter); it is a no-op for absent
+// photos.
+func (s *Storage) Remove(id model.PhotoID) {
+	p, ok := s.photos[id]
+	if !ok {
+		return
+	}
+	s.used -= p.Size
+	delete(s.photos, id)
+	delete(s.copies, id)
+	delete(s.arrival, id)
+}
+
+// Copies returns the spray copy counter of a photo (0 if untracked).
+func (s *Storage) Copies(id model.PhotoID) int { return s.copies[id] }
+
+// SetCopies sets the spray copy counter of a stored photo.
+func (s *Storage) SetCopies(id model.PhotoID, n int) {
+	if s.Has(id) {
+		s.copies[id] = n
+	}
+}
+
+// List returns the stored photos ordered by insertion (FIFO order).
+func (s *Storage) List() model.PhotoList {
+	out := make(model.PhotoList, 0, len(s.photos))
+	for _, p := range s.photos {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return s.arrival[out[i].ID] < s.arrival[out[j].ID]
+	})
+	return out
+}
+
+// ReplaceAll atomically replaces the whole collection (the reallocation
+// semantics of §III-D). It fails with ErrNoSpace if the new collection does
+// not fit; the storage is unchanged on error.
+func (s *Storage) ReplaceAll(photos model.PhotoList) error {
+	var total int64
+	seen := make(map[model.PhotoID]bool, len(photos))
+	for _, p := range photos {
+		if seen[p.ID] {
+			continue
+		}
+		seen[p.ID] = true
+		total += p.Size
+	}
+	if total > s.capacity {
+		return fmt.Errorf("%w: collection needs %d bytes, capacity %d", ErrNoSpace, total, s.capacity)
+	}
+	s.photos = make(map[model.PhotoID]model.Photo, len(photos))
+	s.copies = make(map[model.PhotoID]int)
+	s.arrival = make(map[model.PhotoID]int64, len(photos))
+	s.used = 0
+	for _, p := range photos {
+		if s.Has(p.ID) {
+			continue
+		}
+		s.photos[p.ID] = p
+		s.used += p.Size
+		s.arrival[p.ID] = s.nextSeq
+		s.nextSeq++
+	}
+	return nil
+}

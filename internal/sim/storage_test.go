@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"photodtn/internal/model"
+)
+
+func photoN(owner model.NodeID, seq uint32, size int64) model.Photo {
+	return model.Photo{
+		ID: model.MakePhotoID(owner, seq), Owner: owner,
+		Range: 100, FOV: 1, Size: size,
+	}
+}
+
+func TestStorageAddRemove(t *testing.T) {
+	st := NewStorage(10)
+	p := photoN(1, 0, 4)
+	if err := st.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has(p.ID) || st.Used() != 4 || st.Free() != 6 || st.Len() != 1 {
+		t.Fatalf("state after add: used=%d free=%d len=%d", st.Used(), st.Free(), st.Len())
+	}
+	got, ok := st.Get(p.ID)
+	if !ok || got.ID != p.ID {
+		t.Fatal("Get failed")
+	}
+	st.Remove(p.ID)
+	if st.Has(p.ID) || st.Used() != 0 {
+		t.Fatal("Remove failed")
+	}
+	st.Remove(p.ID) // no-op
+}
+
+func TestStorageNoSpace(t *testing.T) {
+	st := NewStorage(10)
+	if err := st.Add(photoN(1, 0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	err := st.Add(photoN(1, 1, 4))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if st.Len() != 1 {
+		t.Fatal("failed add changed state")
+	}
+}
+
+func TestStorageDuplicate(t *testing.T) {
+	st := NewStorage(100)
+	p := photoN(1, 0, 4)
+	if err := st.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(p); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	if st.Used() != 4 {
+		t.Fatal("duplicate add changed used bytes")
+	}
+}
+
+func TestStorageCopies(t *testing.T) {
+	st := NewStorage(100)
+	p := photoN(1, 0, 4)
+	if st.Copies(p.ID) != 0 {
+		t.Fatal("copies of absent photo should be 0")
+	}
+	st.SetCopies(p.ID, 4) // not stored: ignored
+	if st.Copies(p.ID) != 0 {
+		t.Fatal("SetCopies on absent photo should be ignored")
+	}
+	_ = st.Add(p)
+	st.SetCopies(p.ID, 4)
+	if st.Copies(p.ID) != 4 {
+		t.Fatal("SetCopies failed")
+	}
+	st.Remove(p.ID)
+	if st.Copies(p.ID) != 0 {
+		t.Fatal("copies not cleared on remove")
+	}
+}
+
+func TestStorageListFIFO(t *testing.T) {
+	st := NewStorage(100)
+	for i := uint32(0); i < 5; i++ {
+		_ = st.Add(photoN(1, 4-i, 4)) // insert in reverse ID order
+	}
+	list := st.List()
+	if len(list) != 5 {
+		t.Fatalf("len = %d", len(list))
+	}
+	for i := range list {
+		if list[i].ID.Seq() != uint32(4-i) {
+			t.Fatalf("FIFO order broken: %v", list.IDs())
+		}
+	}
+}
+
+func TestStorageReplaceAll(t *testing.T) {
+	st := NewStorage(12)
+	_ = st.Add(photoN(1, 0, 4))
+	_ = st.Add(photoN(1, 1, 4))
+	repl := model.PhotoList{photoN(2, 0, 4), photoN(2, 1, 4), photoN(2, 2, 4)}
+	if err := st.ReplaceAll(repl); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 3 || st.Used() != 12 || st.Has(model.MakePhotoID(1, 0)) {
+		t.Fatalf("ReplaceAll state wrong: len=%d used=%d", st.Len(), st.Used())
+	}
+}
+
+func TestStorageReplaceAllTooBig(t *testing.T) {
+	st := NewStorage(8)
+	_ = st.Add(photoN(1, 0, 4))
+	err := st.ReplaceAll(model.PhotoList{photoN(2, 0, 4), photoN(2, 1, 8)})
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+	if !st.Has(model.MakePhotoID(1, 0)) {
+		t.Fatal("failed ReplaceAll mutated storage")
+	}
+}
+
+func TestStorageReplaceAllDedupes(t *testing.T) {
+	st := NewStorage(8)
+	p := photoN(1, 0, 4)
+	if err := st.ReplaceAll(model.PhotoList{p, p, p}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 || st.Used() != 4 {
+		t.Fatalf("dedup failed: len=%d used=%d", st.Len(), st.Used())
+	}
+}

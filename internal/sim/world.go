@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"photodtn/internal/coverage"
+	"photodtn/internal/model"
+)
+
+// World is the simulation state a Scheme operates on: the PoI map, per-node
+// storages, the command center's received collection, and the clock.
+type World struct {
+	// Map is the PoI coverage map of the crowdsourcing task.
+	Map *coverage.Map
+	// Rand is the run's deterministic RNG; schemes needing randomness must
+	// use it (never the global source).
+	Rand *rand.Rand
+
+	now      float64
+	storages []*Storage // index 1..numNodes; index 0 unused (CC is unbounded)
+	ccPhotos model.PhotoList
+	ccSet    map[model.PhotoID]bool
+	ccState  *coverage.State
+
+	// Aggregate transfer statistics.
+	transferredBytes  int64
+	transferredPhotos int64
+}
+
+// newWorld builds a world with numNodes participant storages of the given
+// capacity.
+func newWorld(m *coverage.Map, numNodes int, capacity int64, rng *rand.Rand) *World {
+	w := &World{
+		Map:      m,
+		Rand:     rng,
+		storages: make([]*Storage, numNodes+1),
+		ccSet:    make(map[model.PhotoID]bool),
+		ccState:  m.NewState(),
+	}
+	for i := 1; i <= numNodes; i++ {
+		w.storages[i] = NewStorage(capacity)
+	}
+	return w
+}
+
+// Now returns the current simulation time in seconds.
+func (w *World) Now() float64 { return w.now }
+
+// NumNodes returns the number of participant nodes.
+func (w *World) NumNodes() int { return len(w.storages) - 1 }
+
+// Storage returns the storage of a participant node. It panics for the
+// command center (which has no capacity-bound storage) or out-of-range IDs;
+// that is a programming error in a scheme, not a runtime condition.
+func (w *World) Storage(n model.NodeID) *Storage {
+	if n.IsCommandCenter() || int(n) >= len(w.storages) || n < 0 {
+		panic(fmt.Sprintf("sim: no storage for node %v", n))
+	}
+	return w.storages[n]
+}
+
+// CCPhotos returns the photos the command center has received so far. The
+// returned slice must not be mutated.
+func (w *World) CCPhotos() model.PhotoList { return w.ccPhotos }
+
+// CCHas reports whether the command center already received the photo.
+func (w *World) CCHas(id model.PhotoID) bool { return w.ccSet[id] }
+
+// CCCoverage returns the command center's current photo coverage — the
+// objective the whole system maximises.
+func (w *World) CCCoverage() coverage.Coverage { return w.ccState.Coverage() }
+
+// CCState exposes the command center's coverage state (read-only use).
+func (w *World) CCState() *coverage.State { return w.ccState }
+
+// DeliveredCount returns the number of distinct photos delivered.
+func (w *World) DeliveredCount() int { return len(w.ccPhotos) }
+
+// deliver hands a photo to the command center. Duplicates are ignored.
+func (w *World) deliver(p model.Photo) {
+	if w.ccSet[p.ID] {
+		return
+	}
+	w.ccSet[p.ID] = true
+	w.ccPhotos = append(w.ccPhotos, p)
+	w.ccState.AddPhoto(p)
+}
+
+// Session errors.
+var (
+	// ErrBudget is returned when the contact's transfer budget is
+	// exhausted; the in-flight photo is discarded per §III-D.
+	ErrBudget = errors.New("sim: contact budget exhausted")
+)
+
+// Session is one contact between two nodes (one of which may be the command
+// center), with a byte budget derived from the contact duration and the
+// radio bandwidth.
+type Session struct {
+	w *World
+	// A and B are the contact endpoints.
+	A model.NodeID
+	B model.NodeID
+	// Time is the contact start time.
+	Time float64
+
+	budget    int64
+	unlimited bool
+}
+
+// World returns the world the session belongs to.
+func (s *Session) World() *World { return s.w }
+
+// Remaining returns the remaining transfer budget in bytes; it is
+// meaningless when the session is unlimited.
+func (s *Session) Remaining() int64 { return s.budget }
+
+// Unlimited reports whether the contact has no transfer budget (the
+// paper's "contact duration is long enough" assumption).
+func (s *Session) Unlimited() bool { return s.unlimited }
+
+// Exhausted reports whether no further transfer can succeed.
+func (s *Session) Exhausted() bool { return !s.unlimited && s.budget <= 0 }
+
+// Peer returns the other endpoint of the session.
+func (s *Session) Peer(n model.NodeID) model.NodeID {
+	if n == s.A {
+		return s.B
+	}
+	return s.A
+}
+
+// Transfer moves a photo from one endpoint to the other, debiting the
+// budget. Transfers to the command center deliver the photo. Transfers to a
+// node require free space (ErrNoSpace otherwise — the scheme must evict
+// first). When the budget cannot cover the photo, the remaining budget is
+// consumed by the aborted partial transfer and ErrBudget is returned.
+func (s *Session) Transfer(to model.NodeID, p model.Photo) error {
+	if !to.IsCommandCenter() {
+		// Receiver-side checks come first: a transfer that could never
+		// start must not consume budget.
+		st := s.w.Storage(to)
+		if st.Has(p.ID) {
+			return fmt.Errorf("%w: %v", ErrDuplicate, p.ID)
+		}
+		if p.Size > st.Free() {
+			return fmt.Errorf("%w: photo %v needs %d bytes at %v", ErrNoSpace, p.ID, p.Size, to)
+		}
+	}
+	if !s.unlimited && p.Size > s.budget {
+		s.budget = 0
+		return fmt.Errorf("%w: photo %v (%d bytes)", ErrBudget, p.ID, p.Size)
+	}
+	s.debit(p.Size)
+	if to.IsCommandCenter() {
+		s.w.deliver(p)
+		return nil
+	}
+	if err := s.w.Storage(to).Add(p); err != nil {
+		return err // unreachable given the checks above, but stay honest
+	}
+	return nil
+}
+
+func (s *Session) debit(n int64) {
+	if !s.unlimited {
+		s.budget -= n
+	}
+	s.w.transferredBytes += n
+	s.w.transferredPhotos++
+}

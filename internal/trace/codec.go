@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"photodtn/internal/model"
+)
+
+// The text format is line-oriented:
+//
+//	# comment
+//	nodes 97
+//	<start> <end> <a> <b>
+//
+// Times are seconds as decimal floats; node IDs are integers (0 = command
+// center). Contacts must appear sorted by start time.
+
+// Write serialises the trace in the text format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# photodtn contact trace: %d contacts\nnodes %d\n", len(t.Contacts), t.Nodes); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, c := range t.Contacts {
+		if _, err := fmt.Fprintf(bw, "%s %s %d %d\n",
+			strconv.FormatFloat(c.Start, 'f', -1, 64),
+			strconv.FormatFloat(c.End, 'f', -1, 64),
+			int32(c.A), int32(c.B)); err != nil {
+			return fmt.Errorf("trace: write contact: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Read parses a trace in the text format and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	t := &Trace{}
+	lineNo := 0
+	sawNodes := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "nodes" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: malformed nodes directive", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad node count %q", lineNo, fields[1])
+			}
+			t.Nodes = n
+			sawNodes = true
+			continue
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		start, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad start: %w", lineNo, err)
+		}
+		end, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad end: %w", lineNo, err)
+		}
+		a, err := strconv.ParseInt(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node a: %w", lineNo, err)
+		}
+		b, err := strconv.ParseInt(fields[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node b: %w", lineNo, err)
+		}
+		t.Contacts = append(t.Contacts, Contact{
+			Start: start, End: end,
+			A: model.NodeID(a), B: model.NodeID(b),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	if !sawNodes {
+		// Infer the population from the highest node ID seen.
+		for _, c := range t.Contacts {
+			if int(c.A) > t.Nodes {
+				t.Nodes = int(c.A)
+			}
+			if int(c.B) > t.Nodes {
+				t.Nodes = int(c.B)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds the text codec arbitrary input: it must never panic, and
+// everything it accepts must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("nodes 3\n0 1 1 2\n5 6.5 2 3\n")
+	f.Add("# comment\n\n0 1 1 7\n")
+	f.Add("nodes x\n")
+	f.Add("0 1 2\n")
+	f.Add(strings.Repeat("0 1 1 2\n", 100))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed contact count: %d vs %d", back.Len(), tr.Len())
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"sort"
+
+	"photodtn/internal/model"
+)
+
+// Stats summarises a trace: per-node and per-pair contact counts and
+// maximum-likelihood exponential inter-contact rates. These are exactly the
+// quantities the paper's metadata-management scheme (§III-B) learns online;
+// the offline versions here exist for analysis and tests.
+type Stats struct {
+	// Span is the observation window in seconds (the trace duration).
+	Span float64
+	// ContactCount maps each node to its number of contacts.
+	ContactCount map[model.NodeID]int
+	// PairCount maps each unordered pair to its number of contacts.
+	PairCount map[[2]model.NodeID]int
+}
+
+// pairKey returns the canonical (sorted) key for an unordered node pair.
+func pairKey(a, b model.NodeID) [2]model.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]model.NodeID{a, b}
+}
+
+// Analyze computes summary statistics for the trace.
+func Analyze(t *Trace) *Stats {
+	s := &Stats{
+		Span:         t.Duration(),
+		ContactCount: make(map[model.NodeID]int),
+		PairCount:    make(map[[2]model.NodeID]int),
+	}
+	for _, c := range t.Contacts {
+		s.ContactCount[c.A]++
+		s.ContactCount[c.B]++
+		s.PairCount[pairKey(c.A, c.B)]++
+	}
+	return s
+}
+
+// PairRate returns the MLE contact rate λ_ab (contacts per second) of the
+// pair under the exponential inter-contact assumption: count over span.
+func (s *Stats) PairRate(a, b model.NodeID) float64 {
+	if s.Span <= 0 {
+		return 0
+	}
+	return float64(s.PairCount[pairKey(a, b)]) / s.Span
+}
+
+// NodeRate returns the aggregate rate λ_a = Σ_b λ_ab at which node a meets
+// anyone (contacts per second).
+func (s *Stats) NodeRate(a model.NodeID) float64 {
+	if s.Span <= 0 {
+		return 0
+	}
+	return float64(s.ContactCount[a]) / s.Span
+}
+
+// InterContactTimes returns the gaps between successive contact starts of
+// the pair, in seconds, in chronological order.
+func InterContactTimes(t *Trace, a, b model.NodeID) []float64 {
+	var starts []float64
+	for _, c := range t.Contacts {
+		if (c.A == a && c.B == b) || (c.A == b && c.B == a) {
+			starts = append(starts, c.Start)
+		}
+	}
+	sort.Float64s(starts)
+	if len(starts) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(starts)-1)
+	for i := 1; i < len(starts); i++ {
+		out = append(out, starts[i]-starts[i-1])
+	}
+	return out
+}
+
+// MeanContactDuration returns the average contact duration in seconds, or 0
+// for an empty trace.
+func MeanContactDuration(t *Trace) float64 {
+	if len(t.Contacts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range t.Contacts {
+		sum += c.Duration()
+	}
+	return sum / float64(len(t.Contacts))
+}

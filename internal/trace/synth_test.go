@@ -1,0 +1,347 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"photodtn/internal/model"
+)
+
+func smallConfig(seed int64) SynthConfig {
+	return SynthConfig{
+		Nodes:          20,
+		Span:           100 * hour,
+		Communities:    4,
+		IntraRate:      0.1 / hour,
+		InterRate:      0.005 / hour,
+		RateJitter:     0.5,
+		MeanContactDur: 300,
+		ScanInterval:   60,
+		Seed:           seed,
+	}
+}
+
+func TestGenerateValidTrace(t *testing.T) {
+	tr, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("generated zero contacts")
+	}
+	if tr.Nodes != 20 {
+		t.Fatalf("Nodes = %d", tr.Nodes)
+	}
+	for _, c := range tr.Contacts {
+		if c.A == 0 || c.B == 0 {
+			t.Fatal("generator must not involve the command center")
+		}
+		if c.End > 100*hour+1e-9 {
+			t.Fatalf("contact exceeds span: %+v", c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatalf("contact %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(smallConfig(1))
+	b, _ := Generate(smallConfig(2))
+	if a.Len() == b.Len() {
+		same := true
+		for i := range a.Contacts {
+			if a.Contacts[i] != b.Contacts[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateCommunityStructure(t *testing.T) {
+	cfg := smallConfig(7)
+	cfg.RateJitter = 0 // isolate the community effect
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(tr)
+	var intra, inter, intraPairs, interPairs float64
+	for a := 1; a <= cfg.Nodes; a++ {
+		for b := a + 1; b <= cfg.Nodes; b++ {
+			n := float64(s.PairCount[pairKey(model.NodeID(a), model.NodeID(b))])
+			if (a-1)%cfg.Communities == (b-1)%cfg.Communities {
+				intra += n
+				intraPairs++
+			} else {
+				inter += n
+				interPairs++
+			}
+		}
+	}
+	intraMean := intra / intraPairs
+	interMean := inter / interPairs
+	if intraMean < 5*interMean {
+		t.Fatalf("community structure too weak: intra %.2f vs inter %.2f contacts/pair", intraMean, interMean)
+	}
+}
+
+func TestGenerateRateCalibration(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.RateJitter = 0
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(tr)
+	// Expected contacts: intra pairs × rate × span + inter pairs × rate × span.
+	intraPairs, interPairs := 0.0, 0.0
+	for a := 1; a <= cfg.Nodes; a++ {
+		for b := a + 1; b <= cfg.Nodes; b++ {
+			if (a-1)%cfg.Communities == (b-1)%cfg.Communities {
+				intraPairs++
+			} else {
+				interPairs++
+			}
+		}
+	}
+	want := (intraPairs*cfg.IntraRate + interPairs*cfg.InterRate) * cfg.Span
+	got := 0.0
+	for _, n := range s.PairCount {
+		got += float64(n)
+	}
+	// Overlap merging removes a few; allow 25% tolerance.
+	if math.Abs(got-want) > 0.25*want {
+		t.Fatalf("contact count %v too far from expectation %v", got, want)
+	}
+}
+
+func TestGenerateScanQuantization(t *testing.T) {
+	cfg := smallConfig(9)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantized := 0
+	candidates := 0
+	for _, c := range tr.Contacts {
+		if c.End >= cfg.Span {
+			continue // clipped at span end
+		}
+		d := c.Duration()
+		if d < cfg.ScanInterval-1e-9 {
+			t.Fatalf("duration %v below scan interval", d)
+		}
+		candidates++
+		if r := math.Mod(d, cfg.ScanInterval); r < 1e-6 || cfg.ScanInterval-r < 1e-6 {
+			quantized++
+		}
+	}
+	// Merged overlapping contacts may break the multiple-of-interval shape,
+	// but the overwhelming majority of contacts must be quantized.
+	if candidates == 0 || float64(quantized) < 0.8*float64(candidates) {
+		t.Fatalf("only %d/%d contacts quantized to the scan interval", quantized, candidates)
+	}
+}
+
+func TestGeneratePairContactsDisjoint(t *testing.T) {
+	tr, err := Generate(smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[[2]model.NodeID]float64)
+	for _, c := range tr.Contacts {
+		k := pairKey(c.A, c.B)
+		if end, ok := last[k]; ok && c.Start < end {
+			t.Fatalf("overlapping contacts for pair %v", k)
+		}
+		if c.End > last[k] {
+			last[k] = c.End
+		}
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*SynthConfig)
+	}{
+		{"too few nodes", func(c *SynthConfig) { c.Nodes = 1 }},
+		{"zero span", func(c *SynthConfig) { c.Span = 0 }},
+		{"zero communities", func(c *SynthConfig) { c.Communities = 0 }},
+		{"negative rate", func(c *SynthConfig) { c.IntraRate = -1 }},
+		{"zero duration", func(c *SynthConfig) { c.MeanContactDur = 0 }},
+		{"negative scan", func(c *SynthConfig) { c.ScanInterval = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallConfig(1)
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestMITLikePreset(t *testing.T) {
+	cfg := MITLike(1)
+	if cfg.Nodes != 97 || cfg.Span != 300*hour || cfg.ScanInterval != 300 {
+		t.Fatalf("MITLike preset wrong: %+v", cfg)
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: sparse (like the real 300-hour MIT Reality slice) but alive.
+	if tr.Len() < 400 || tr.Len() > 5000 {
+		t.Fatalf("MIT-like trace contact count out of band: %d", tr.Len())
+	}
+	s := Analyze(tr)
+	perNodePerHour := 0.0
+	for n := 1; n <= cfg.Nodes; n++ {
+		perNodePerHour += s.NodeRate(model.NodeID(n)) * hour
+	}
+	perNodePerHour /= float64(cfg.Nodes)
+	if perNodePerHour < 0.02 || perNodePerHour > 5 {
+		t.Fatalf("per-node contact rate %.2f/h outside plausible band", perNodePerHour)
+	}
+}
+
+func TestCambridgeLikePreset(t *testing.T) {
+	cfg := CambridgeLike(1)
+	if cfg.Nodes != 54 || cfg.Span != 200*hour || cfg.ScanInterval != 120 {
+		t.Fatalf("CambridgeLike preset wrong: %+v", cfg)
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 300 || tr.Len() > 4000 {
+		t.Fatalf("Cambridge-like trace contact count out of band: %d", tr.Len())
+	}
+}
+
+func TestGenerateExponentialInterContacts(t *testing.T) {
+	// With jitter disabled, per-pair inter-contact times should look
+	// exponential: coefficient of variation near 1.
+	cfg := SynthConfig{
+		Nodes: 2, Span: 20000 * hour, Communities: 1,
+		IntraRate: 0.5 / hour, InterRate: 0,
+		MeanContactDur: 60, ScanInterval: 0, Seed: 5,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := InterContactTimes(tr, 1, 2)
+	if len(gaps) < 1000 {
+		t.Fatalf("too few gaps: %d", len(gaps))
+	}
+	var sum, sumsq float64
+	for _, g := range gaps {
+		sum += g
+		sumsq += g * g
+	}
+	n := float64(len(gaps))
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	cv := std / mean
+	if cv < 0.85 || cv > 1.15 {
+		t.Fatalf("inter-contact CV = %.3f, want ≈1 (exponential)", cv)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr, err := Generate(smallConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != tr.Nodes || got.Len() != tr.Len() {
+		t.Fatalf("round trip shape mismatch: %d/%d vs %d/%d", got.Nodes, got.Len(), tr.Nodes, tr.Len())
+	}
+	for i := range tr.Contacts {
+		if got.Contacts[i] != tr.Contacts[i] {
+			t.Fatalf("contact %d mismatch: %+v vs %+v", i, got.Contacts[i], tr.Contacts[i])
+		}
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	in := "# hello\n\nnodes 3\n0 1 1 2\n# mid comment\n5 6.5 2 3\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 3 || tr.Len() != 2 || tr.Contacts[1].End != 6.5 {
+		t.Fatalf("parsed = %+v", tr)
+	}
+}
+
+func TestReadInfersNodes(t *testing.T) {
+	tr, err := Read(strings.NewReader("0 1 1 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 7 {
+		t.Fatalf("inferred nodes = %d, want 7", tr.Nodes)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"bad field count", "0 1 2\n"},
+		{"bad start", "x 1 1 2\n"},
+		{"bad end", "0 x 1 2\n"},
+		{"bad node a", "0 1 x 2\n"},
+		{"bad node b", "0 1 1 x\n"},
+		{"bad nodes directive", "nodes\n"},
+		{"bad nodes count", "nodes x\n"},
+		{"unsorted", "nodes 3\n10 11 1 2\n0 1 2 3\n"},
+		{"self contact", "nodes 3\n0 1 2 2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.in)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Nodes: 3,
+		Contacts: []Contact{
+			{Start: 0, End: 10, A: 1, B: 2},
+			{Start: 5, End: 20, A: 2, B: 3},
+			{Start: 30, End: 40, A: 1, B: 3},
+			{Start: 50, End: 55, A: 0, B: 1},
+		},
+	}
+}
+
+func TestContactBasics(t *testing.T) {
+	c := Contact{Start: 5, End: 20, A: 1, B: 2}
+	if c.Duration() != 15 {
+		t.Fatalf("Duration = %v", c.Duration())
+	}
+	if !c.Involves(1) || !c.Involves(2) || c.Involves(3) {
+		t.Fatal("Involves wrong")
+	}
+	if c.Peer(1) != 2 || c.Peer(2) != 1 || c.Peer(7) != 7 {
+		t.Fatal("Peer wrong")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Trace)
+		wantErr error
+	}{
+		{"valid", func(*Trace) {}, nil},
+		{"unsorted", func(tr *Trace) { tr.Contacts[0].Start, tr.Contacts[0].End = 100, 200 }, ErrUnsorted},
+		{"end before start", func(tr *Trace) { tr.Contacts[1].End = 1 }, ErrBadInterval},
+		{"self contact", func(tr *Trace) { tr.Contacts[0].B = 1 }, ErrSelfContact},
+		{"node too big", func(tr *Trace) { tr.Contacts[0].B = 9 }, ErrBadNode},
+		{"negative node", func(tr *Trace) { tr.Contacts[0].A = -1 }, ErrBadNode},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := sampleTrace()
+			tt.mutate(tr)
+			err := tr.Validate()
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTraceSortDuration(t *testing.T) {
+	tr := sampleTrace()
+	tr.Contacts[0], tr.Contacts[2] = tr.Contacts[2], tr.Contacts[0]
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("sorted trace invalid: %v", err)
+	}
+	if tr.Duration() != 55 {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestTraceClone(t *testing.T) {
+	tr := sampleTrace()
+	c := tr.Clone()
+	c.Contacts[0].Start = 99
+	if tr.Contacts[0].Start == 99 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestTraceWindow(t *testing.T) {
+	tr := sampleTrace()
+	w := tr.Window(5, 45)
+	if w.Len() != 2 {
+		t.Fatalf("window len = %d, want 2", w.Len())
+	}
+	if w.Contacts[0].Start != 0 || w.Contacts[0].End != 15 {
+		t.Fatalf("rebased contact = %+v", w.Contacts[0])
+	}
+	if w.Contacts[1].Start != 25 {
+		t.Fatalf("second contact start = %v", w.Contacts[1].Start)
+	}
+}
+
+func TestTraceWindowClampsEnd(t *testing.T) {
+	tr := sampleTrace()
+	w := tr.Window(0, 7)
+	if w.Len() != 2 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if w.Contacts[0].End != 7 || w.Contacts[1].End != 7 {
+		t.Fatalf("ends not clamped: %+v", w.Contacts)
+	}
+}
+
+func TestTraceLast(t *testing.T) {
+	tr := sampleTrace()
+	last := tr.Last(2)
+	if last.Len() != 2 || last.Contacts[0].Start != 30 {
+		t.Fatalf("Last(2) = %+v", last.Contacts)
+	}
+	if got := tr.Last(100); got.Len() != 4 {
+		t.Fatalf("Last over length = %d", got.Len())
+	}
+}
+
+func TestTraceFilter(t *testing.T) {
+	tr := sampleTrace()
+	cc := tr.Filter(func(c Contact) bool { return c.Involves(0) })
+	if cc.Len() != 1 || cc.Contacts[0].A != 0 {
+		t.Fatalf("Filter = %+v", cc.Contacts)
+	}
+}
+
+func TestTraceCapDurations(t *testing.T) {
+	tr := sampleTrace()
+	capped := tr.CapDurations(5)
+	for _, c := range capped.Contacts {
+		if c.Duration() > 5 {
+			t.Fatalf("duration %v exceeds cap", c.Duration())
+		}
+	}
+	// Original untouched.
+	if tr.Contacts[1].Duration() != 15 {
+		t.Fatal("CapDurations mutated the original")
+	}
+	// Short contacts unchanged.
+	if capped.Contacts[3].Duration() != 5 {
+		t.Fatalf("short contact changed: %v", capped.Contacts[3])
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tr := sampleTrace()
+	s := Analyze(tr)
+	if s.Span != 55 {
+		t.Fatalf("Span = %v", s.Span)
+	}
+	if s.ContactCount[1] != 3 || s.ContactCount[2] != 2 || s.ContactCount[0] != 1 {
+		t.Fatalf("ContactCount = %v", s.ContactCount)
+	}
+	if s.PairCount[pairKey(2, 1)] != 1 {
+		t.Fatalf("PairCount = %v", s.PairCount)
+	}
+	if got := s.PairRate(1, 2); math.Abs(got-1.0/55) > 1e-12 {
+		t.Fatalf("PairRate = %v", got)
+	}
+	if got := s.PairRate(2, 1); got != s.PairRate(1, 2) {
+		t.Fatal("PairRate not symmetric")
+	}
+	if got := s.NodeRate(1); math.Abs(got-3.0/55) > 1e-12 {
+		t.Fatalf("NodeRate = %v", got)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(&Trace{Nodes: 5})
+	if s.NodeRate(1) != 0 || s.PairRate(1, 2) != 0 {
+		t.Fatal("rates on empty trace should be 0")
+	}
+}
+
+func TestInterContactTimes(t *testing.T) {
+	tr := &Trace{Nodes: 2, Contacts: []Contact{
+		{Start: 0, End: 1, A: 1, B: 2},
+		{Start: 10, End: 11, A: 2, B: 1},
+		{Start: 25, End: 26, A: 1, B: 2},
+	}}
+	got := InterContactTimes(tr, 1, 2)
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("InterContactTimes = %v", got)
+	}
+	if InterContactTimes(tr, 1, 0) != nil {
+		t.Fatal("expected nil for pair with <2 contacts")
+	}
+}
+
+func TestMeanContactDuration(t *testing.T) {
+	tr := sampleTrace()
+	want := (10.0 + 15 + 10 + 5) / 4
+	if got := MeanContactDuration(tr); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanContactDuration = %v, want %v", got, want)
+	}
+	if MeanContactDuration(&Trace{}) != 0 {
+		t.Fatal("empty trace mean should be 0")
+	}
+}

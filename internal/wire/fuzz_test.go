@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"photodtn/internal/model"
+)
+
+// FuzzRead hammers the frame decoder with arbitrary bytes: it must never
+// panic and never allocate absurdly, only return messages or errors.
+func FuzzRead(f *testing.F) {
+	// Seed with every valid message type.
+	seed := []Message{
+		Hello{Node: 1, Lambda: 0.1, DeliveryProb: 0.5, Time: 10, Nonce: 7, Capacity: 1 << 20},
+		Metadata{Entries: []MetaEntry{{Node: 2, Photos: model.PhotoList{samplePhoto(2, 0)}}}},
+		PhotoRequest{IDs: []model.PhotoID{1, 2, 3}},
+		PhotoData{Photo: samplePhoto(1, 1), Payload: []byte{9, 9}},
+		Ack{IDs: []model.PhotoID{4}},
+		Bye{},
+	}
+	for _, msg := range seed {
+		var buf bytes.Buffer
+		if err := Write(&buf, msg); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 8; i++ { // bounded stream decode
+			msg, err := Read(r)
+			if err != nil {
+				return
+			}
+			// Any decoded message must re-encode without error.
+			if err := Write(bytes.NewBuffer(nil), msg); err != nil {
+				t.Fatalf("re-encode of fuzz-decoded %v failed: %v", msg.Type(), err)
+			}
+		}
+	})
+}

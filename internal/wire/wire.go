@@ -1,0 +1,365 @@
+// Package wire defines the binary contact protocol two nodes speak when
+// they meet — the live counterpart of the simulator's contact sessions and
+// the transport the Android prototype would use over Bluetooth/Wi-Fi
+// Direct.
+//
+// Every message is a frame:
+//
+//	[4-byte little-endian body length][1-byte message type][body]
+//
+// Bodies are fixed layouts built from the model package's binary photo
+// codec. The protocol is symmetric and runs in rounds; see package peer for
+// the session state machine.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"photodtn/internal/model"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgHello opens a contact: identity, learned rate, delivery
+	// probability, local time, and a nonce for deterministic joint
+	// computations.
+	MsgHello MsgType = iota + 1
+	// MsgMetadata carries metadata cache entries (including the sender's
+	// own collection as the first entry).
+	MsgMetadata
+	// MsgPhotoRequest asks the peer for the listed photos.
+	MsgPhotoRequest
+	// MsgPhotoData delivers one photo: metadata plus (optionally) payload
+	// bytes standing in for the image file.
+	MsgPhotoData
+	// MsgAck acknowledges received photos (the command center's delivery
+	// ACK).
+	MsgAck
+	// MsgBye closes the contact.
+	MsgBye
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "Hello"
+	case MsgMetadata:
+		return "Metadata"
+	case MsgPhotoRequest:
+		return "PhotoRequest"
+	case MsgPhotoData:
+		return "PhotoData"
+	case MsgAck:
+		return "Ack"
+	case MsgBye:
+		return "Bye"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// MaxFrame bounds a frame body; larger frames are rejected as corrupt.
+const MaxFrame = 64 << 20
+
+// Protocol errors.
+var (
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
+	ErrBadMessage  = errors.New("wire: malformed message")
+)
+
+// Message is any protocol message.
+type Message interface {
+	// Type returns the message type tag.
+	Type() MsgType
+	// appendBody serialises the body.
+	appendBody(dst []byte) []byte
+}
+
+// Hello opens a contact.
+type Hello struct {
+	Node model.NodeID
+	// Lambda is the sender's learned aggregate contact rate λ (per second).
+	Lambda float64
+	// DeliveryProb is the sender's PROPHET probability of reaching the
+	// command center.
+	DeliveryProb float64
+	// Time is the sender's clock in seconds.
+	Time float64
+	// Nonce seeds joint deterministic computations for this contact.
+	Nonce uint64
+	// Capacity is the sender's storage capacity in bytes.
+	Capacity int64
+}
+
+// Type implements Message.
+func (Hello) Type() MsgType { return MsgHello }
+
+func (h Hello) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, uint32(h.Node))
+	dst = appendF64(dst, h.Lambda)
+	dst = appendF64(dst, h.DeliveryProb)
+	dst = appendF64(dst, h.Time)
+	dst = appendU64(dst, h.Nonce)
+	return appendU64(dst, uint64(h.Capacity))
+}
+
+func decodeHello(b []byte) (Hello, error) {
+	if len(b) != 4+8*5 {
+		return Hello{}, fmt.Errorf("%w: hello body %d bytes", ErrBadMessage, len(b))
+	}
+	return Hello{
+		Node:         model.NodeID(binary.LittleEndian.Uint32(b)),
+		Lambda:       f64(b[4:]),
+		DeliveryProb: f64(b[12:]),
+		Time:         f64(b[20:]),
+		Nonce:        binary.LittleEndian.Uint64(b[28:]),
+		Capacity:     int64(binary.LittleEndian.Uint64(b[36:])),
+	}, nil
+}
+
+// MetaEntry is one metadata snapshot on the wire.
+type MetaEntry struct {
+	Node      model.NodeID
+	Lambda    float64
+	P         float64
+	Timestamp float64
+	Photos    model.PhotoList
+}
+
+// Metadata carries cache entries; by convention the sender's own collection
+// is the first entry.
+type Metadata struct {
+	Entries []MetaEntry
+}
+
+// Type implements Message.
+func (Metadata) Type() MsgType { return MsgMetadata }
+
+func (m Metadata) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		dst = appendU32(dst, uint32(e.Node))
+		dst = appendF64(dst, e.Lambda)
+		dst = appendF64(dst, e.P)
+		dst = appendF64(dst, e.Timestamp)
+		dst = e.Photos.AppendBinary(dst)
+	}
+	return dst
+}
+
+func decodeMetadata(b []byte) (Metadata, error) {
+	if len(b) < 4 {
+		return Metadata{}, fmt.Errorf("%w: metadata header", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	// Never trust the claimed count for allocation: each entry needs at
+	// least its fixed header, so the body length bounds the real count.
+	const minEntry = 4 + 8*3 + 4
+	capHint := uint32(len(b) / minEntry)
+	if n < capHint {
+		capHint = n
+	}
+	out := Metadata{Entries: make([]MetaEntry, 0, capHint)}
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4+8*3 {
+			return Metadata{}, fmt.Errorf("%w: metadata entry %d", ErrBadMessage, i)
+		}
+		e := MetaEntry{
+			Node:      model.NodeID(binary.LittleEndian.Uint32(b)),
+			Lambda:    f64(b[4:]),
+			P:         f64(b[12:]),
+			Timestamp: f64(b[20:]),
+		}
+		var err error
+		e.Photos, b, err = model.DecodePhotoList(b[28:])
+		if err != nil {
+			return Metadata{}, fmt.Errorf("%w: metadata entry %d photos: %v", ErrBadMessage, i, err)
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	if len(b) != 0 {
+		return Metadata{}, fmt.Errorf("%w: %d trailing metadata bytes", ErrBadMessage, len(b))
+	}
+	return out, nil
+}
+
+// PhotoRequest asks for photos by ID.
+type PhotoRequest struct {
+	IDs []model.PhotoID
+}
+
+// Type implements Message.
+func (PhotoRequest) Type() MsgType { return MsgPhotoRequest }
+
+func (r PhotoRequest) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, uint32(len(r.IDs)))
+	for _, id := range r.IDs {
+		dst = appendU64(dst, uint64(id))
+	}
+	return dst
+}
+
+func decodePhotoRequest(b []byte) (PhotoRequest, error) {
+	if len(b) < 4 {
+		return PhotoRequest{}, fmt.Errorf("%w: request header", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint64(len(b)) != uint64(n)*8 {
+		return PhotoRequest{}, fmt.Errorf("%w: request claims %d ids with %d bytes", ErrBadMessage, n, len(b))
+	}
+	out := PhotoRequest{IDs: make([]model.PhotoID, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		out.IDs = append(out.IDs, model.PhotoID(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return out, nil
+}
+
+// PhotoData delivers one photo. Payload carries the (possibly truncated or
+// synthetic) image bytes; the coverage model never reads it.
+type PhotoData struct {
+	Photo   model.Photo
+	Payload []byte
+}
+
+// Type implements Message.
+func (PhotoData) Type() MsgType { return MsgPhotoData }
+
+func (d PhotoData) appendBody(dst []byte) []byte {
+	dst = d.Photo.AppendBinary(dst)
+	dst = appendU32(dst, uint32(len(d.Payload)))
+	return append(dst, d.Payload...)
+}
+
+func decodePhotoData(b []byte) (PhotoData, error) {
+	photo, rest, err := model.DecodePhoto(b)
+	if err != nil {
+		return PhotoData{}, fmt.Errorf("%w: photo data: %v", ErrBadMessage, err)
+	}
+	if len(rest) < 4 {
+		return PhotoData{}, fmt.Errorf("%w: payload header", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(len(rest)) != uint64(n) {
+		return PhotoData{}, fmt.Errorf("%w: payload claims %d bytes, has %d", ErrBadMessage, n, len(rest))
+	}
+	out := PhotoData{Photo: photo}
+	if n > 0 {
+		out.Payload = append([]byte(nil), rest...)
+	}
+	return out, nil
+}
+
+// Ack acknowledges photo receipt.
+type Ack struct {
+	IDs []model.PhotoID
+}
+
+// Type implements Message.
+func (Ack) Type() MsgType { return MsgAck }
+
+func (a Ack) appendBody(dst []byte) []byte {
+	return PhotoRequest{IDs: a.IDs}.appendBody(dst)
+}
+
+// Bye closes the contact.
+type Bye struct{}
+
+// Type implements Message.
+func (Bye) Type() MsgType { return MsgBye }
+
+func (Bye) appendBody(dst []byte) []byte { return dst }
+
+// Write serialises one message as a frame. Header and body go out in a
+// single Write call: one syscall per frame, and no zero-length body writes
+// (which block forever on fully synchronous transports like net.Pipe).
+func Write(w io.Writer, msg Message) error {
+	frame := msg.appendBody(make([]byte, 5))
+	body := len(frame) - 5
+	if body > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, body)
+	}
+	binary.LittleEndian.PutUint32(frame[:4], uint32(body))
+	frame[4] = byte(msg.Type())
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// Read decodes the next frame.
+func Read(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	switch t := MsgType(hdr[4]); t {
+	case MsgHello:
+		return retErr(decodeHello(body))
+	case MsgMetadata:
+		return retErr(decodeMetadata(body))
+	case MsgPhotoRequest:
+		return retErr(decodePhotoRequest(body))
+	case MsgPhotoData:
+		return retErr(decodePhotoData(body))
+	case MsgAck:
+		req, err := decodePhotoRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		return Ack{IDs: req.IDs}, nil
+	case MsgBye:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: bye with body", ErrBadMessage)
+		}
+		return Bye{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, hdr[4])
+	}
+}
+
+// retErr adapts a concrete (value, error) pair to (Message, error).
+func retErr[M Message](m M, err error) (Message, error) {
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+func f64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

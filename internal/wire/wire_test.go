@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+)
+
+func samplePhoto(owner model.NodeID, seq uint32) model.Photo {
+	return model.Photo{
+		ID: model.MakePhotoID(owner, seq), Owner: owner,
+		TakenAt: 3.5, Location: geo.Vec{X: 1, Y: 2},
+		Range: 100, FOV: 1, Orientation: 2, Size: 4 << 20,
+	}
+}
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left after read", buf.Len())
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	msg := Hello{Node: 7, Lambda: 0.001, DeliveryProb: 0.4, Time: 1234.5, Nonce: 0xDEADBEEF, Capacity: 5 << 30}
+	got := roundTrip(t, msg)
+	if got != msg {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	msg := Metadata{Entries: []MetaEntry{
+		{Node: 1, Lambda: 0.01, P: 0.5, Timestamp: 10, Photos: model.PhotoList{samplePhoto(1, 0), samplePhoto(1, 1)}},
+		{Node: 2, Lambda: 0.02, P: 0.6, Timestamp: 20, Photos: nil},
+	}}
+	got := roundTrip(t, msg).(Metadata)
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	if got.Entries[0].Node != 1 || len(got.Entries[0].Photos) != 2 || got.Entries[0].Photos[1] != samplePhoto(1, 1) {
+		t.Fatalf("entry 0 = %+v", got.Entries[0])
+	}
+	if got.Entries[1].P != 0.6 || len(got.Entries[1].Photos) != 0 {
+		t.Fatalf("entry 1 = %+v", got.Entries[1])
+	}
+}
+
+func TestPhotoRequestRoundTrip(t *testing.T) {
+	msg := PhotoRequest{IDs: []model.PhotoID{1, 99, model.MakePhotoID(5, 7)}}
+	got := roundTrip(t, msg).(PhotoRequest)
+	if !reflect.DeepEqual(got, msg) {
+		t.Fatalf("got %+v", got)
+	}
+	empty := roundTrip(t, PhotoRequest{}).(PhotoRequest)
+	if len(empty.IDs) != 0 {
+		t.Fatal("empty request round trip failed")
+	}
+}
+
+func TestPhotoDataRoundTrip(t *testing.T) {
+	msg := PhotoData{Photo: samplePhoto(3, 9), Payload: []byte{1, 2, 3, 4}}
+	got := roundTrip(t, msg).(PhotoData)
+	if got.Photo != msg.Photo || !bytes.Equal(got.Payload, msg.Payload) {
+		t.Fatalf("got %+v", got)
+	}
+	noPayload := roundTrip(t, PhotoData{Photo: samplePhoto(3, 10)}).(PhotoData)
+	if noPayload.Payload != nil {
+		t.Fatal("empty payload should decode as nil")
+	}
+}
+
+func TestAckAndByeRoundTrip(t *testing.T) {
+	ack := roundTrip(t, Ack{IDs: []model.PhotoID{42}}).(Ack)
+	if len(ack.IDs) != 1 || ack.IDs[0] != 42 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if _, ok := roundTrip(t, Bye{}).(Bye); !ok {
+		t.Fatal("bye round trip failed")
+	}
+}
+
+func TestMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		Hello{Node: 1, Nonce: 5},
+		Metadata{Entries: []MetaEntry{{Node: 1, Photos: model.PhotoList{samplePhoto(1, 0)}}}},
+		PhotoRequest{IDs: []model.PhotoID{7}},
+		PhotoData{Photo: samplePhoto(2, 0), Payload: bytes.Repeat([]byte{0xAB}, 1024)},
+		Ack{IDs: []model.PhotoID{7}},
+		Bye{},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("message %d: type %v, want %v", i, got.Type(), want.Type())
+		}
+	}
+	if _, err := Read(&buf); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadRejectsCorruptFrames(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"unknown type", []byte{0, 0, 0, 0, 99}},
+		{"hello short body", []byte{2, 0, 0, 0, byte(MsgHello), 1, 2}},
+		{"bye with body", []byte{1, 0, 0, 0, byte(MsgBye), 0}},
+		{"oversize frame", []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgHello)}},
+		{"truncated header", []byte{1, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(bytes.NewReader(tt.data)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestReadRejectsCorruptBodies(t *testing.T) {
+	// A metadata message whose inner photo list is truncated.
+	var buf bytes.Buffer
+	if err := Write(&buf, Metadata{Entries: []MetaEntry{{Node: 1, Photos: model.PhotoList{samplePhoto(1, 0)}}}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Chop the last 10 bytes of the body and fix up the length.
+	body := data[5 : len(data)-10]
+	var hdr [5]byte
+	copy(hdr[:], data[:5])
+	hdr[0] = byte(len(body))
+	corrupted := append(hdr[:], body...)
+	if _, err := Read(bytes.NewReader(corrupted)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestWriteRejectsHugeFrame(t *testing.T) {
+	big := PhotoData{Photo: samplePhoto(1, 0), Payload: make([]byte, MaxFrame)}
+	if err := Write(io.Discard, big); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	names := map[MsgType]string{
+		MsgHello: "Hello", MsgMetadata: "Metadata", MsgPhotoRequest: "PhotoRequest",
+		MsgPhotoData: "PhotoData", MsgAck: "Ack", MsgBye: "Bye", MsgType(77): "MsgType(77)",
+	}
+	for tpe, want := range names {
+		if got := tpe.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", tpe, got, want)
+		}
+	}
+}

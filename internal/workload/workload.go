@@ -1,0 +1,186 @@
+// Package workload generates the simulation inputs of §V-A: a PoI list
+// placed uniformly in the deployment region, and a Poisson photo-generation
+// process whose metadata follows Table I of the paper (uniform orientation,
+// 30–60° field-of-view, coverage range r = c·cot(φ/2) with c ∈ [50, 100] m,
+// 4 MB photos).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+	"photodtn/internal/sim"
+)
+
+// Config parameterises the workload.
+type Config struct {
+	// Region is the deployment area (6300 m × 6300 m in the paper).
+	Region geo.Rect
+	// NumPoIs is the size of the command center's PoI list (250).
+	NumPoIs int
+	// Nodes is the participant population; each photo is taken by a
+	// uniformly random participant.
+	Nodes int
+	// PhotosPerHour is the aggregate generation rate (250/h in Fig. 5).
+	PhotosPerHour float64
+	// Span is the generation horizon in seconds.
+	Span float64
+	// PhotoSize is the photo file size in bytes (4 MB).
+	PhotoSize int64
+	// FOVMin and FOVMax bound the field-of-view in radians ([30°, 60°]).
+	FOVMin float64
+	FOVMax float64
+	// RangeCoefMin and RangeCoefMax bound the coefficient c of the
+	// coverage-range law r = c·cot(φ/2) ([50, 100] m).
+	RangeCoefMin float64
+	RangeCoefMax float64
+}
+
+// Default returns the Table I workload for the given population and span.
+func Default(nodes int, span float64) Config {
+	return Config{
+		Region:        geo.Square(6300),
+		NumPoIs:       250,
+		Nodes:         nodes,
+		PhotosPerHour: 250,
+		Span:          span,
+		PhotoSize:     4 << 20,
+		FOVMin:        geo.Radians(30),
+		FOVMax:        geo.Radians(60),
+		RangeCoefMin:  50,
+		RangeCoefMax:  100,
+	}
+}
+
+// ErrBadWorkload reports an invalid workload configuration.
+var ErrBadWorkload = errors.New("workload: bad config")
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Region.Area() <= 0:
+		return fmt.Errorf("%w: empty region", ErrBadWorkload)
+	case c.NumPoIs <= 0:
+		return fmt.Errorf("%w: need PoIs", ErrBadWorkload)
+	case c.Nodes <= 0:
+		return fmt.Errorf("%w: need nodes", ErrBadWorkload)
+	case c.PhotosPerHour < 0:
+		return fmt.Errorf("%w: negative photo rate", ErrBadWorkload)
+	case c.Span <= 0:
+		return fmt.Errorf("%w: non-positive span", ErrBadWorkload)
+	case c.PhotoSize <= 0:
+		return fmt.Errorf("%w: non-positive photo size", ErrBadWorkload)
+	case c.FOVMin <= 0 || c.FOVMax < c.FOVMin:
+		return fmt.Errorf("%w: bad FOV bounds", ErrBadWorkload)
+	case c.RangeCoefMin <= 0 || c.RangeCoefMax < c.RangeCoefMin:
+		return fmt.Errorf("%w: bad range coefficient bounds", ErrBadWorkload)
+	}
+	return nil
+}
+
+// GeneratePoIs places NumPoIs unit-weight PoIs uniformly in the region.
+func GeneratePoIs(cfg Config, rng *rand.Rand) []model.PoI {
+	out := make([]model.PoI, 0, cfg.NumPoIs)
+	for i := 0; i < cfg.NumPoIs; i++ {
+		out = append(out, model.NewPoI(i, randPoint(cfg.Region, rng)))
+	}
+	return out
+}
+
+// GeneratePhotos draws the photo workload: a Poisson arrival process at
+// PhotosPerHour, each photo owned by a uniform participant with Table I
+// metadata. Events are returned sorted by time.
+func GeneratePhotos(cfg Config, rng *rand.Rand) []sim.PhotoEvent {
+	rate := cfg.PhotosPerHour / 3600
+	if rate <= 0 {
+		return nil
+	}
+	var events []sim.PhotoEvent
+	seq := make(map[model.NodeID]uint32, cfg.Nodes)
+	for t := rng.ExpFloat64() / rate; t < cfg.Span; t += rng.ExpFloat64() / rate {
+		owner := model.NodeID(1 + rng.Intn(cfg.Nodes))
+		events = append(events, sim.PhotoEvent{
+			Time:  t,
+			Node:  owner,
+			Photo: randPhoto(cfg, rng, owner, seq[owner], t),
+		})
+		seq[owner]++
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return events
+}
+
+// randPhoto draws one photo's metadata per Table I.
+func randPhoto(cfg Config, rng *rand.Rand, owner model.NodeID, seq uint32, t float64) model.Photo {
+	fov := cfg.FOVMin + rng.Float64()*(cfg.FOVMax-cfg.FOVMin)
+	c := cfg.RangeCoefMin + rng.Float64()*(cfg.RangeCoefMax-cfg.RangeCoefMin)
+	loc := randPoint(cfg.Region, rng)
+	orient := rng.Float64() * geo.TwoPi
+	p := model.Photo{
+		ID:          model.MakePhotoID(owner, seq),
+		Owner:       owner,
+		TakenAt:     t,
+		Location:    loc,
+		Range:       c / math.Tan(fov/2), // r = c·cot(φ/2)
+		FOV:         fov,
+		Orientation: orient,
+		Size:        cfg.PhotoSize,
+	}
+	p.Hist = SyntheticHistogram(loc, orient, rng)
+	return p
+}
+
+// SyntheticHistogram fabricates a colour histogram for the PhotoNet
+// baseline: photos taken nearby with similar orientations get similar
+// histograms (they see similar scenery), plus a little noise. No pixels
+// exist anywhere in this system, so this stands in for PhotoNet's
+// colour-difference feature; see DESIGN.md.
+func SyntheticHistogram(loc geo.Vec, orient float64, rng *rand.Rand) model.Histogram {
+	var h model.Histogram
+	var sum float64
+	for k := range h {
+		fk := float64(k)
+		v := math.Exp(
+			math.Sin(loc.X/500+fk) +
+				math.Cos(loc.Y/500+2*fk) +
+				0.3*math.Cos(orient+fk))
+		v *= 1 + 0.1*rng.Float64()
+		h[k] = v
+		sum += v
+	}
+	for k := range h {
+		h[k] /= sum
+	}
+	return h
+}
+
+// PickGateways selects about frac of the participants (at least one) as
+// gateway nodes able to reach the command center.
+func PickGateways(nodes int, frac float64, rng *rand.Rand) []model.NodeID {
+	count := int(math.Round(float64(nodes) * frac))
+	if count < 1 {
+		count = 1
+	}
+	if count > nodes {
+		count = nodes
+	}
+	perm := rng.Perm(nodes)
+	out := make([]model.NodeID, 0, count)
+	for _, idx := range perm[:count] {
+		out = append(out, model.NodeID(idx+1))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func randPoint(r geo.Rect, rng *rand.Rand) geo.Vec {
+	return geo.Vec{
+		X: r.Min.X + rng.Float64()*r.Width(),
+		Y: r.Min.Y + rng.Float64()*r.Height(),
+	}
+}

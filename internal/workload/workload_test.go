@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := Default(97, 300*3600)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumPoIs != 250 || cfg.PhotosPerHour != 250 || cfg.PhotoSize != 4<<20 {
+		t.Fatalf("Table I defaults wrong: %+v", cfg)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"empty region", func(c *Config) { c.Region = geo.Rect{} }},
+		{"no pois", func(c *Config) { c.NumPoIs = 0 }},
+		{"no nodes", func(c *Config) { c.Nodes = 0 }},
+		{"negative rate", func(c *Config) { c.PhotosPerHour = -1 }},
+		{"no span", func(c *Config) { c.Span = 0 }},
+		{"no size", func(c *Config) { c.PhotoSize = 0 }},
+		{"bad fov", func(c *Config) { c.FOVMax = c.FOVMin - 1 }},
+		{"bad coef", func(c *Config) { c.RangeCoefMin = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Default(10, 3600)
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrBadWorkload) {
+				t.Fatalf("err = %v, want ErrBadWorkload", err)
+			}
+		})
+	}
+}
+
+func TestGeneratePoIs(t *testing.T) {
+	cfg := Default(10, 3600)
+	rng := rand.New(rand.NewSource(1))
+	pois := GeneratePoIs(cfg, rng)
+	if len(pois) != cfg.NumPoIs {
+		t.Fatalf("pois = %d", len(pois))
+	}
+	seen := make(map[int]bool)
+	for _, p := range pois {
+		if !cfg.Region.Contains(p.Location) {
+			t.Fatalf("PoI outside region: %v", p.Location)
+		}
+		if p.Weight != 1 {
+			t.Fatalf("weight = %v", p.Weight)
+		}
+		if seen[p.ID] {
+			t.Fatalf("duplicate PoI id %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestGeneratePhotosTableI(t *testing.T) {
+	cfg := Default(20, 100*3600)
+	rng := rand.New(rand.NewSource(2))
+	events := GeneratePhotos(cfg, rng)
+	if len(events) == 0 {
+		t.Fatal("no photos generated")
+	}
+	// Poisson process at 250/h over 100 h: expect ~25000 photos ±5%.
+	want := 25000.0
+	if math.Abs(float64(len(events))-want) > 0.05*want {
+		t.Fatalf("generated %d photos, want ≈%v", len(events), want)
+	}
+	prev := -1.0
+	seen := make(map[model.PhotoID]bool)
+	for _, e := range events {
+		if e.Time < prev {
+			t.Fatal("events not sorted")
+		}
+		prev = e.Time
+		p := e.Photo
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid photo: %v", err)
+		}
+		if seen[p.ID] {
+			t.Fatalf("duplicate photo id %v", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Owner != e.Node || p.ID.Owner() != e.Node {
+			t.Fatal("owner mismatch")
+		}
+		if e.Node < 1 || int(e.Node) > cfg.Nodes {
+			t.Fatalf("owner out of range: %v", e.Node)
+		}
+		if p.FOV < cfg.FOVMin-1e-9 || p.FOV > cfg.FOVMax+1e-9 {
+			t.Fatalf("fov out of range: %v", p.FOV)
+		}
+		// r = c·cot(φ/2) with c ∈ [50, 100].
+		c := p.Range * math.Tan(p.FOV/2)
+		if c < cfg.RangeCoefMin-1e-6 || c > cfg.RangeCoefMax+1e-6 {
+			t.Fatalf("range coefficient %v out of [50,100]", c)
+		}
+		if !cfg.Region.Contains(p.Location) {
+			t.Fatal("photo outside region")
+		}
+		if p.Size != cfg.PhotoSize {
+			t.Fatalf("size = %d", p.Size)
+		}
+		if p.TakenAt != e.Time {
+			t.Fatal("TakenAt mismatch")
+		}
+	}
+}
+
+func TestGeneratePhotosRangeBounds(t *testing.T) {
+	// Per the paper: for φ ∈ [30°,60°] and c ∈ [50,100], r ∈ [~87m, ~373m].
+	cfg := Default(10, 50*3600)
+	rng := rand.New(rand.NewSource(3))
+	events := GeneratePhotos(cfg, rng)
+	for _, e := range events {
+		if e.Photo.Range < 80 || e.Photo.Range > 380 {
+			t.Fatalf("range %v outside plausible band", e.Photo.Range)
+		}
+	}
+}
+
+func TestGeneratePhotosDeterministic(t *testing.T) {
+	cfg := Default(10, 10*3600)
+	a := GeneratePhotos(cfg, rand.New(rand.NewSource(5)))
+	b := GeneratePhotos(cfg, rand.New(rand.NewSource(5)))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic workload")
+	}
+	for i := range a {
+		if a[i].Photo.ID != b[i].Photo.ID || a[i].Time != b[i].Time {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestGeneratePhotosZeroRate(t *testing.T) {
+	cfg := Default(10, 3600)
+	cfg.PhotosPerHour = 0
+	if events := GeneratePhotos(cfg, rand.New(rand.NewSource(1))); events != nil {
+		t.Fatal("zero rate should generate nothing")
+	}
+}
+
+func TestSyntheticHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := SyntheticHistogram(geo.Vec{X: 100, Y: 100}, 1, rng)
+	var sum float64
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative bin")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram sums to %v", sum)
+	}
+	// Nearby similar photos should be closer than far-apart ones.
+	near := SyntheticHistogram(geo.Vec{X: 110, Y: 100}, 1.05, rng)
+	far := SyntheticHistogram(geo.Vec{X: 3000, Y: 4000}, 4, rng)
+	if h.Distance(near) >= h.Distance(far) {
+		t.Fatalf("similarity structure broken: near %v >= far %v", h.Distance(near), h.Distance(far))
+	}
+}
+
+func TestPickGateways(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := PickGateways(97, 0.02, rng)
+	if len(g) != 2 {
+		t.Fatalf("gateways = %d, want 2", len(g))
+	}
+	for i, n := range g {
+		if n < 1 || n > 97 {
+			t.Fatalf("gateway %v out of range", n)
+		}
+		if i > 0 && g[i-1] >= n {
+			t.Fatal("gateways not sorted/unique")
+		}
+	}
+	// At least one even for tiny fractions or populations.
+	if got := PickGateways(5, 0.001, rng); len(got) != 1 {
+		t.Fatalf("min gateways = %d", len(got))
+	}
+	// Never more than the population.
+	if got := PickGateways(3, 5, rng); len(got) != 3 {
+		t.Fatalf("max gateways = %d", len(got))
+	}
+}
