@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race bench fuzz
+
+# tier1 is the merge gate: everything must pass before a change lands.
+tier1: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzz pass over the wire decoder (corruption hardening).
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=30s ./internal/wire/

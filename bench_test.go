@@ -9,6 +9,7 @@ import (
 
 	"photodtn/internal/coverage"
 	"photodtn/internal/experiments"
+	"photodtn/internal/faults"
 	"photodtn/internal/geo"
 	"photodtn/internal/model"
 	"photodtn/internal/prophet"
@@ -273,6 +274,34 @@ func BenchmarkSimOurSchemeShortRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineWithFaults compares the engine's fault-free path with the
+// fault layer absent, present-but-zero (must cost ~nothing: the model is
+// never built), and active. Watch the off/zero pair: they should be within
+// noise of each other.
+func BenchmarkEngineWithFaults(b *testing.B) {
+	runWith := func(b *testing.B, fc *faults.Config) {
+		p := experiments.DefaultParams(experiments.MIT)
+		p.SpanHours = 30
+		p.Faults = fc
+		for i := 0; i < b.N; i++ {
+			cfg, scheme, err := experiments.Build(p, experiments.SchemeOurs, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(cfg, scheme); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { runWith(b, nil) })
+	b.Run("zero", func(b *testing.B) { runWith(b, &faults.Config{Seed: 1}) })
+	b.Run("active", func(b *testing.B) {
+		runWith(b, &faults.Config{
+			Seed: 1, NodeFailRate: 0.3, MeanDowntimeSec: 6 * 3600, FrameLossProb: 0.1,
+		})
+	})
 }
 
 func BenchmarkComputeBestPossibleFullTrace(b *testing.B) {

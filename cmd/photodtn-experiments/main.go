@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	photodtn-experiments [-exp all|tab1|fig3|fig5|fig6|fig7|fig8|ablations]
+//	photodtn-experiments [-exp all|tab1|fig3|fig5|fig6|fig7|fig8|faults|ablations]
 //	                     [-runs N] [-seed S] [-quick] [-out FILE]
 package main
 
@@ -28,7 +28,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("photodtn-experiments", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment: all, tab1, fig3, fig5, fig6, fig7, fig8, extended, ablations")
+		exp   = fs.String("exp", "all", "experiment: all, tab1, fig3, fig5, fig6, fig7, fig8, faults, extended, ablations")
 		runs  = fs.Int("runs", 3, "averaged runs per data point (paper: 50)")
 		seed  = fs.Int64("seed", 1, "base seed")
 		quick = fs.Bool("quick", false, "trim sweeps and spans (for smoke testing)")
@@ -71,6 +71,8 @@ func run(args []string, stdout io.Writer) error {
 		{"fig7", func() (*experiments.Figure, error) { return experiments.Fig7(experiments.Cambridge, opts) }},
 		{"fig8", func() (*experiments.Figure, error) { return experiments.Fig8(experiments.MIT, opts) }},
 		{"fig8", func() (*experiments.Figure, error) { return experiments.Fig8(experiments.Cambridge, opts) }},
+		{"faults", func() (*experiments.Figure, error) { return experiments.FigFaultsNodeFailure(opts) }},
+		{"faults", func() (*experiments.Figure, error) { return experiments.FigFaultsFrameLoss(opts) }},
 		{"extended", func() (*experiments.Figure, error) { return experiments.ExtendedComparison(opts) }},
 		{"ablations", func() (*experiments.Figure, error) { return experiments.AblationPthld(opts) }},
 		{"ablations", func() (*experiments.Figure, error) { return experiments.AblationTheta(opts) }},

@@ -46,6 +46,19 @@ func TestQuickFigure(t *testing.T) {
 	}
 }
 
+func TestFaultsFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick simulation sweep")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-exp", "faults", "-quick", "-runs", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FAULTS-FAIL") || !strings.Contains(sb.String(), "FAULTS-LOSS") {
+		t.Fatalf("missing fault figures:\n%s", sb.String())
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-exp", "bogus"}, &sb); err == nil {

@@ -6,6 +6,13 @@
 //	photodtn-sim [-trace mit|cambridge|FILE] [-scheme NAME] [-storage GB]
 //	             [-rate PHOTOS/H] [-bandwidth MB/S] [-cap SECONDS]
 //	             [-span HOURS] [-sample HOURS] [-runs N] [-seed S]
+//	             [-fail-rate P] [-fail-downtime H] [-frame-loss P]
+//	             [-contact-drop P] [-gateway-outage P] [-clock-skew S]
+//	             [-fault-seed S]
+//
+// The -fail-rate, -frame-loss, and companion flags enable the deterministic
+// fault model of internal/faults; with all of them zero the run is
+// bit-identical to a fault-free simulation.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"strings"
 
 	"photodtn/internal/experiments"
+	"photodtn/internal/faults"
 	"photodtn/internal/geo"
 	"photodtn/internal/trace"
 )
@@ -41,6 +49,14 @@ func run(args []string, stdout io.Writer) error {
 		sample    = fs.Float64("sample", 25, "sampling period in hours")
 		runs      = fs.Int("runs", 1, "averaged runs")
 		seed      = fs.Int64("seed", 1, "base seed")
+
+		failRate  = fs.Float64("fail-rate", 0, "fraction of nodes that crash during the run (loses stored photos)")
+		downtime  = fs.Float64("fail-downtime", 0, "mean downtime after a crash in hours (0 = crashed nodes never rejoin)")
+		frameLoss = fs.Float64("frame-loss", 0, "per-photo frame-loss probability (a loss aborts the contact)")
+		drop      = fs.Float64("contact-drop", 0, "probability a contact never happens")
+		outage    = fs.Float64("gateway-outage", 0, "probability a gateway contact is lost")
+		skew      = fs.Float64("clock-skew", 0, "max per-node clock skew in seconds")
+		faultSeed = fs.Int64("fault-seed", 0, "fault realisation seed (combined with the run seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +92,22 @@ func run(args []string, stdout io.Writer) error {
 	p.SpanHours = *span
 	p.SampleHours = *sample
 
+	fc := faults.Config{
+		Seed:              *faultSeed,
+		NodeFailRate:      *failRate,
+		MeanDowntimeSec:   *downtime * 3600,
+		FrameLossProb:     *frameLoss,
+		ContactDropProb:   *drop,
+		GatewayOutageProb: *outage,
+		ClockSkewMaxSec:   *skew,
+	}
+	if err := fc.Validate(); err != nil {
+		return err
+	}
+	if fc.Enabled() {
+		p.Faults = &fc
+	}
+
 	avg, err := experiments.RunAveraged(p, *scheme, *runs, *seed)
 	if err != nil {
 		return err
@@ -90,5 +122,9 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "%10s %14.3f %16.1f %12.1f\n",
 		"final", avg.Final.PointFrac, geo.Degrees(avg.Final.AspectRad), avg.Final.Delivered)
 	fmt.Fprintf(stdout, "transferred photos (avg): %.0f\n", avg.TransferredPhotos)
+	if p.Faults != nil {
+		fmt.Fprintf(stdout, "faults: crashes=%.1f photos-lost=%.1f aborted-transfers=%.1f mean-recovery=%.0fs\n",
+			avg.NodeCrashes, avg.PhotosLostToCrash, avg.AbortedTransfers, avg.MeanRecoverySec)
+	}
 	return nil
 }

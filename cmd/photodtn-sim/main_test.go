@@ -24,10 +24,49 @@ func TestRunShortSimulation(t *testing.T) {
 	}
 }
 
+func TestRunWithFaults(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-trace", "cambridge", "-scheme", "Spray&Wait",
+		"-span", "20", "-sample", "10", "-runs", "1",
+		"-fail-rate", "0.5", "-frame-loss", "0.1", "-fault-seed", "7",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"faults:", "crashes=", "aborted-transfers="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFaultFlagsStrictNoOpWhenZero(t *testing.T) {
+	base := []string{
+		"-trace", "cambridge", "-scheme", "Spray&Wait",
+		"-span", "20", "-sample", "10", "-runs", "1",
+	}
+	var plain, zeroed strings.Builder
+	if err := run(base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	// A nonzero fault seed alone must not enable the model or perturb
+	// anything: the output is byte-identical.
+	if err := run(append(append([]string{}, base...), "-fault-seed", "99"), &zeroed); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != zeroed.String() {
+		t.Fatalf("zero-rate fault flags changed the run:\n%s\nvs\n%s", plain.String(), zeroed.String())
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	tests := [][]string{
 		{"-trace", "bogus"},
 		{"-scheme", "bogus", "-span", "5"},
+		{"-trace", "cambridge", "-span", "5", "-frame-loss", "1.5"},
+		{"-trace", "cambridge", "-span", "5", "-fail-rate", "-0.1"},
 	}
 	for _, args := range tests {
 		var sb strings.Builder

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"photodtn/internal/faults"
+)
+
+// faultSchemes are the schemes compared in the resilience sweeps: ours with
+// and without the metadata exchange, plus the strongest DTN baseline.
+// BestPossible is omitted — its analytic fast path assumes a fault-free
+// network and would not be a like-for-like comparison.
+var faultSchemes = []string{SchemeOurs, SchemeNoMetadata, SchemeModifiedSpray}
+
+// faultSweepSeed decorrelates the fault realisation family from the
+// workload seeds so raising Options.BaseSeed reshuffles both independently.
+const faultSweepSeed = 777
+
+// FigFaultsNodeFailure sweeps the node-failure rate (EXP-FAULTS): each
+// failing node crashes once at a uniform time, loses its stored photos, and
+// stays down for an exponential downtime (mean 12 h) before rejoining.
+// Coverage should degrade gracefully — monotone-ish decline, no collapse —
+// up to and past the 30% failure rate the field scenario (§I) implies.
+func FigFaultsNodeFailure(opts Options) (*Figure, error) {
+	opts = opts.normalized()
+	values := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	if opts.Quick {
+		values = []float64{0, 0.3}
+	}
+	return sweepFigure("faults-fail",
+		"Coverage vs node-failure rate (MIT-like trace, mean 12 h downtime)",
+		"node-failure rate", MIT, values,
+		func(p *Params, v float64) {
+			p.Faults = &faults.Config{
+				Seed:            faultSweepSeed,
+				NodeFailRate:    v,
+				MeanDowntimeSec: 12 * hour,
+			}
+		},
+		faultSchemes, opts)
+}
+
+// FigFaultsFrameLoss sweeps the per-photo frame-loss probability
+// (EXP-FAULTS): a lost frame aborts the contact mid-transfer and the
+// unfinished photo is discarded (§III-D), so higher loss means fewer,
+// shorter useful contacts.
+func FigFaultsFrameLoss(opts Options) (*Figure, error) {
+	opts = opts.normalized()
+	values := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	if opts.Quick {
+		values = []float64{0, 0.2}
+	}
+	return sweepFigure("faults-loss",
+		"Coverage vs frame-loss probability (MIT-like trace)",
+		"frame-loss probability", MIT, values,
+		func(p *Params, v float64) {
+			p.Faults = &faults.Config{
+				Seed:          faultSweepSeed,
+				FrameLossProb: v,
+			}
+		},
+		faultSchemes, opts)
+}

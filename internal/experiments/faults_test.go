@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"photodtn/internal/faults"
+)
+
+func TestBuildThreadsFaultConfig(t *testing.T) {
+	p := DefaultParams(MIT)
+	p.Faults = &faults.Config{Seed: 9, NodeFailRate: 0.25}
+	cfg, _, err := Build(p, SchemeOurs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults != p.Faults {
+		t.Fatal("Build dropped the fault config")
+	}
+	p.Faults = nil
+	cfg, _, err = Build(p, SchemeOurs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults != nil {
+		t.Fatal("Build invented a fault config")
+	}
+}
+
+func TestFaultsNodeFailureQuick(t *testing.T) {
+	fig, err := FigFaultsNodeFailure(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(faultSchemes) {
+		t.Fatalf("series = %d, want %d", len(fig.Series), len(faultSchemes))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 2 || s.X[0] != 0 || s.X[1] != 0.3 {
+			t.Fatalf("%s: quick sweep X = %v", s.Label, s.X)
+		}
+		for i, v := range s.PointFrac {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: point coverage out of range at %v: %v", s.Label, s.X[i], v)
+			}
+		}
+		// Graceful degradation: at a 30% node-failure rate coverage may
+		// shrink but must neither collapse to zero nor exceed fault-free.
+		if s.AspectDeg[1] <= 0 {
+			t.Fatalf("%s: coverage collapsed at 30%% failure rate", s.Label)
+		}
+		if s.AspectDeg[1] > s.AspectDeg[0]+1e-9 {
+			t.Fatalf("%s: crashing nodes improved coverage (%.1f° -> %.1f°)",
+				s.Label, s.AspectDeg[0], s.AspectDeg[1])
+		}
+	}
+}
+
+func TestFaultsFrameLossQuick(t *testing.T) {
+	fig, err := FigFaultsFrameLoss(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(faultSchemes) {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if s.AspectDeg[1] <= 0 {
+			t.Fatalf("%s: coverage collapsed at 20%% frame loss", s.Label)
+		}
+		if s.AspectDeg[1] > s.AspectDeg[0]+1e-9 {
+			t.Fatalf("%s: frame loss improved coverage (%.1f° -> %.1f°)",
+				s.Label, s.AspectDeg[0], s.AspectDeg[1])
+		}
+	}
+}
+
+func TestFaultsFiguresDeterministic(t *testing.T) {
+	a, err := FigFaultsFrameLoss(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FigFaultsFrameLoss(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("faults figure is not deterministic across identical options")
+	}
+}

@@ -1,0 +1,279 @@
+// Package faults is a seeded, deterministic fault model for the disruption
+// the paper's disaster setting implies but the benign simulator omits: node
+// crash/rejoin churn (with storage loss), contact drops and truncation,
+// frame loss and corruption mid-transfer, gateway outages, and per-node
+// clock skew.
+//
+// The model is injectable into both layers of the repository. The simulator
+// (internal/sim) consumes it event-wise: contacts of down nodes are
+// filtered, crashes wipe storages, and a lost frame aborts the session with
+// the paper's discard-unfinished semantics. The live prototype path
+// (internal/peer, internal/wire) consumes it byte-wise through Transport,
+// which corrupts or drops frames on the way out so the hardened peer's
+// checksums, deadlines, and abort paths can be exercised.
+//
+// Determinism is the design centre: per-node schedules (crash times, skew)
+// are drawn once from a seeded RNG in node order, and per-contact decisions
+// (drop, truncate, outage, frame loss) are pure hashes of the contact
+// identity and the seed — independent of the order in which the engine asks.
+// Two runs with the same configuration and seed make identical decisions;
+// a zero-valued configuration is a strict no-op (Enabled reports false and
+// callers skip the model entirely).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"photodtn/internal/model"
+	"photodtn/internal/trace"
+)
+
+// ErrBadFaultConfig reports an invalid fault configuration.
+var ErrBadFaultConfig = errors.New("faults: bad config")
+
+// Config parameterises the fault model. The zero value disables every
+// fault; all probabilities are in [0, 1].
+type Config struct {
+	// Seed drives the fault realisation. It is mixed with the run seed so
+	// averaged runs see independent fault draws while staying reproducible.
+	Seed int64
+	// NodeFailRate is the fraction of participant nodes that crash during
+	// the run. A crash wipes the node's storage (the photos are lost).
+	NodeFailRate float64
+	// MeanDowntimeSec is the mean time a crashed node stays down before
+	// rejoining (exponentially distributed). 0 means crashed nodes never
+	// rejoin.
+	MeanDowntimeSec float64
+	// MeanUptimeSec, when positive together with MeanDowntimeSec, turns the
+	// single crash into churn: after a rejoin the node crashes again after
+	// an exponential uptime, losing its storage each time.
+	MeanUptimeSec float64
+	// ContactDropProb is the probability a scheduled node-to-node contact
+	// never happens (nodes passed out of range, radio interference, ...).
+	ContactDropProb float64
+	// ContactTruncProb is the probability a surviving contact is truncated
+	// to a uniformly random fraction of its duration (shortening its
+	// transfer budget when bandwidth is finite).
+	ContactTruncProb float64
+	// FrameLossProb is the per-photo-transfer probability that a frame is
+	// lost mid-flight. In the simulator a lost frame aborts the session
+	// (the in-flight photo is discarded, §III-D); on the live path Transport
+	// drops the frame and the peer's deadline ends the contact.
+	FrameLossProb float64
+	// FrameCorruptProb is the per-photo-transfer probability of frame
+	// corruption. The simulator folds it into the abort probability (a
+	// corrupt frame is detected by checksum and discarded, aborting the
+	// session); Transport flips bytes so the wire checksum must catch it.
+	FrameCorruptProb float64
+	// GatewayOutageProb is the probability a periodic gateway contact with
+	// the command center is lost to a satellite/backhaul outage.
+	GatewayOutageProb float64
+	// ClockSkewMaxSec bounds the per-node clock skew: each node's clock is
+	// offset by a uniform draw from [-max, +max] seconds, shifting when its
+	// photo events fire.
+	ClockSkewMaxSec float64
+}
+
+// Enabled reports whether any fault is configured. A disabled config must
+// be treated as "no fault model at all" by callers so the fault-free path
+// stays bit-identical to a run without the fault layer.
+func (c Config) Enabled() bool {
+	return c.NodeFailRate > 0 || c.ContactDropProb > 0 || c.ContactTruncProb > 0 ||
+		c.FrameLossProb > 0 || c.FrameCorruptProb > 0 || c.GatewayOutageProb > 0 ||
+		c.ClockSkewMaxSec > 0
+}
+
+// Validate checks ranges.
+func (c Config) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"NodeFailRate", c.NodeFailRate},
+		{"ContactDropProb", c.ContactDropProb},
+		{"ContactTruncProb", c.ContactTruncProb},
+		{"FrameLossProb", c.FrameLossProb},
+		{"FrameCorruptProb", c.FrameCorruptProb},
+		{"GatewayOutageProb", c.GatewayOutageProb},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
+			return fmt.Errorf("%w: %s = %v outside [0,1]", ErrBadFaultConfig, p.name, p.v)
+		}
+	}
+	if c.MeanDowntimeSec < 0 || c.MeanUptimeSec < 0 || c.ClockSkewMaxSec < 0 {
+		return fmt.Errorf("%w: negative duration", ErrBadFaultConfig)
+	}
+	return nil
+}
+
+// Crash is one scheduled node crash.
+type Crash struct {
+	// Time is the crash instant in seconds.
+	Time float64
+	// Node is the crashing participant.
+	Node model.NodeID
+}
+
+// interval is one [Start, End) downtime window.
+type interval struct {
+	start, end float64
+}
+
+// Model is an instantiated fault realisation over a fixed node population
+// and span. It is immutable after construction and safe for concurrent use.
+type Model struct {
+	cfg     Config
+	seed    uint64
+	span    float64
+	down    [][]interval // index 1..nodes; index 0 (command center) never fails
+	skew    []float64
+	crashes []Crash
+	// pAbort is the combined per-transfer session-abort probability from
+	// frame loss and corruption.
+	pAbort float64
+}
+
+// NewModel draws the fault realisation for a run. runSeed is the simulation
+// run's own seed; it is mixed with cfg.Seed so repeated runs of an averaged
+// experiment see independent (but reproducible) fault draws.
+func NewModel(cfg Config, nodes int, span float64, runSeed int64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes < 0 || span < 0 || math.IsNaN(span) {
+		return nil, fmt.Errorf("%w: nodes %d span %v", ErrBadFaultConfig, nodes, span)
+	}
+	m := &Model{
+		cfg:    cfg,
+		seed:   mix(uint64(cfg.Seed), uint64(runSeed)),
+		span:   span,
+		down:   make([][]interval, nodes+1),
+		skew:   make([]float64, nodes+1),
+		pAbort: 1 - (1-cfg.FrameLossProb)*(1-cfg.FrameCorruptProb),
+	}
+	rng := rand.New(rand.NewSource(int64(m.seed)))
+	// Per-node schedules are drawn in node order so the realisation depends
+	// only on (cfg, nodes, span, seeds), never on query order.
+	for n := 1; n <= nodes; n++ {
+		if cfg.ClockSkewMaxSec > 0 {
+			m.skew[n] = (2*rng.Float64() - 1) * cfg.ClockSkewMaxSec
+		}
+		if cfg.NodeFailRate <= 0 || rng.Float64() >= cfg.NodeFailRate {
+			continue
+		}
+		t := rng.Float64() * span
+		for t < span {
+			end := math.Inf(1)
+			if cfg.MeanDowntimeSec > 0 {
+				end = t + rng.ExpFloat64()*cfg.MeanDowntimeSec
+			}
+			m.down[n] = append(m.down[n], interval{start: t, end: end})
+			m.crashes = append(m.crashes, Crash{Time: t, Node: model.NodeID(n)})
+			if math.IsInf(end, 1) || cfg.MeanUptimeSec <= 0 {
+				break
+			}
+			t = end + rng.ExpFloat64()*cfg.MeanUptimeSec
+		}
+	}
+	return m, nil
+}
+
+// Crashes returns the scheduled crashes in node order (the engine sorts its
+// event stream by time anyway). The slice must not be mutated.
+func (m *Model) Crashes() []Crash { return m.crashes }
+
+// Down reports whether node n is crashed at time t. The command center
+// (node 0) never fails.
+func (m *Model) Down(n model.NodeID, t float64) bool {
+	if int(n) <= 0 || int(n) >= len(m.down) {
+		return false
+	}
+	for _, iv := range m.down[n] {
+		if t >= iv.start && t < iv.end {
+			return true
+		}
+	}
+	return false
+}
+
+// Skew returns node n's clock skew in seconds (0 for the command center and
+// out-of-range IDs).
+func (m *Model) Skew(n model.NodeID) float64 {
+	if int(n) <= 0 || int(n) >= len(m.skew) {
+		return 0
+	}
+	return m.skew[n]
+}
+
+// Per-contact decisions are salted hashes so they are independent of each
+// other and of evaluation order.
+const (
+	saltKey = iota
+	saltDrop
+	saltTrunc
+	saltTruncFrac
+	saltOutage
+	saltFrame
+)
+
+// DropContact reports whether the node-to-node contact is dropped entirely.
+func (m *Model) DropContact(c trace.Contact) bool {
+	return m.cfg.ContactDropProb > 0 && m.contactU(c, saltDrop) < m.cfg.ContactDropProb
+}
+
+// TruncFactor returns the fraction of the contact's duration that survives
+// truncation (1 when the contact is untouched).
+func (m *Model) TruncFactor(c trace.Contact) float64 {
+	if m.cfg.ContactTruncProb <= 0 || m.contactU(c, saltTrunc) >= m.cfg.ContactTruncProb {
+		return 1
+	}
+	return m.contactU(c, saltTruncFrac)
+}
+
+// GatewayOutage reports whether a gateway→command-center contact is lost to
+// an outage.
+func (m *Model) GatewayOutage(c trace.Contact) bool {
+	return m.cfg.GatewayOutageProb > 0 && m.contactU(c, saltOutage) < m.cfg.GatewayOutageProb
+}
+
+// FrameLost reports whether the transfer of photo id within the contact
+// identified by key loses (or corrupts) a frame, aborting the session. The
+// decision is deterministic per (model, contact, photo).
+func (m *Model) FrameLost(key uint64, id model.PhotoID) bool {
+	if m.pAbort <= 0 {
+		return false
+	}
+	return u01(mix(mix(m.seed, key), uint64(id))^uint64(saltFrame)) < m.pAbort
+}
+
+// ContactKey derives the stable identity of a contact used for frame-level
+// decisions.
+func ContactKey(c trace.Contact) uint64 {
+	h := mix(math.Float64bits(c.Start), math.Float64bits(c.End))
+	h = mix(h, uint64(uint32(c.A)))
+	return mix(h, uint64(uint32(c.B)))
+}
+
+// contactU returns a uniform [0,1) draw for the contact under the salt.
+func (m *Model) contactU(c trace.Contact, salt uint64) float64 {
+	return u01(mix(m.seed, ContactKey(c)) ^ (salt * 0x9e3779b97f4a7c15))
+}
+
+// mix combines two words with a splitmix64-style finaliser.
+func mix(a, b uint64) uint64 {
+	z := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// u01 maps a hash word to [0, 1).
+func u01(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

@@ -1,0 +1,263 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"photodtn/internal/model"
+	"photodtn/internal/trace"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if (Config{Seed: 42}).Enabled() {
+		t.Fatal("seed alone must not enable the model")
+	}
+	enabled := []Config{
+		{NodeFailRate: 0.1},
+		{ContactDropProb: 0.1},
+		{ContactTruncProb: 0.1},
+		{FrameLossProb: 0.1},
+		{FrameCorruptProb: 0.1},
+		{GatewayOutageProb: 0.1},
+		{ClockSkewMaxSec: 1},
+	}
+	for _, c := range enabled {
+		if !c.Enabled() {
+			t.Fatalf("config %+v should be enabled", c)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{NodeFailRate: -0.1},
+		{NodeFailRate: 1.5},
+		{ContactDropProb: 2},
+		{FrameLossProb: math.NaN()},
+		{MeanDowntimeSec: -1},
+		{ClockSkewMaxSec: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrBadFaultConfig) {
+			t.Fatalf("config %+v: err = %v, want ErrBadFaultConfig", c, err)
+		}
+	}
+	if err := (Config{NodeFailRate: 1, FrameLossProb: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed: 7, NodeFailRate: 0.5, MeanDowntimeSec: 100, MeanUptimeSec: 500,
+		ContactDropProb: 0.3, ContactTruncProb: 0.2, FrameLossProb: 0.1,
+		GatewayOutageProb: 0.25, ClockSkewMaxSec: 30,
+	}
+	a, err := NewModel(cfg, 50, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewModel(cfg, 50, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Crashes(), b.Crashes()) {
+		t.Fatal("crash schedules differ across identical models")
+	}
+	c := trace.Contact{Start: 123, End: 456, A: 3, B: 9}
+	if a.DropContact(c) != b.DropContact(c) || a.TruncFactor(c) != b.TruncFactor(c) {
+		t.Fatal("contact decisions differ across identical models")
+	}
+	key := ContactKey(c)
+	for id := model.PhotoID(0); id < 64; id++ {
+		if a.FrameLost(key, id) != b.FrameLost(key, id) {
+			t.Fatalf("frame decision for photo %d differs", id)
+		}
+	}
+	// A different run seed must give a different realisation (with these
+	// rates, 50 nodes make a collision astronomically unlikely).
+	c2, err := NewModel(cfg, 50, 10000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Crashes(), c2.Crashes()) && a.Skew(1) == c2.Skew(1) {
+		t.Fatal("run seed does not vary the realisation")
+	}
+}
+
+func TestCrashSchedules(t *testing.T) {
+	const span = 5000.0
+	m, err := NewModel(Config{NodeFailRate: 1}, 40, span, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Crashes()); got != 40 {
+		t.Fatalf("crashes = %d, want one per node at rate 1", got)
+	}
+	for _, c := range m.Crashes() {
+		if c.Time < 0 || c.Time >= span {
+			t.Fatalf("crash at %v outside [0, span)", c.Time)
+		}
+		// No rejoin configured: down from the crash to the end of time.
+		if !m.Down(c.Node, c.Time) || !m.Down(c.Node, span*10) {
+			t.Fatalf("node %v not down after its crash", c.Node)
+		}
+		if m.Down(c.Node, c.Time-1e-6) {
+			t.Fatalf("node %v down before its crash", c.Node)
+		}
+	}
+	if m.Down(model.CommandCenter, span/2) {
+		t.Fatal("command center must never fail")
+	}
+}
+
+func TestRejoinAndChurn(t *testing.T) {
+	const span = 1e6
+	m, err := NewModel(Config{NodeFailRate: 1, MeanDowntimeSec: 50, MeanUptimeSec: 1000}, 20, span, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Crashes()) <= 20 {
+		t.Fatalf("churn produced only %d crashes for 20 nodes over a long span", len(m.Crashes()))
+	}
+	// Every down interval must end (rejoin configured).
+	for n := 1; n <= 20; n++ {
+		for _, iv := range m.down[n] {
+			if math.IsInf(iv.end, 1) {
+				t.Fatalf("node %d never rejoins despite MeanDowntimeSec", n)
+			}
+			if !m.Down(model.NodeID(n), iv.start) || m.Down(model.NodeID(n), iv.end) {
+				t.Fatalf("interval [%v,%v) of node %d not honoured", iv.start, iv.end, n)
+			}
+		}
+	}
+}
+
+func TestContactDecisionRates(t *testing.T) {
+	m, err := NewModel(Config{ContactDropProb: 0.3, GatewayOutageProb: 0.5, ContactTruncProb: 0.4}, 10, 1e6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var drops, outages, truncs int
+	for i := 0; i < n; i++ {
+		c := trace.Contact{Start: float64(i), End: float64(i) + 10, A: model.NodeID(i%9 + 1), B: model.NodeID((i+3)%9 + 1)}
+		if m.DropContact(c) {
+			drops++
+		}
+		if m.GatewayOutage(c) {
+			outages++
+		}
+		if f := m.TruncFactor(c); f < 1 {
+			truncs++
+			if f < 0 {
+				t.Fatalf("negative truncation factor %v", f)
+			}
+		}
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if math.Abs(frac-want) > 0.02 {
+			t.Fatalf("%s rate %.3f, want ≈%.2f", name, frac, want)
+		}
+	}
+	check("drop", drops, 0.3)
+	check("outage", outages, 0.5)
+	check("trunc", truncs, 0.4)
+}
+
+func TestFrameLossRate(t *testing.T) {
+	// Loss and corruption combine into one abort probability.
+	m, err := NewModel(Config{FrameLossProb: 0.2, FrameCorruptProb: 0.1}, 5, 1000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (1-0.2)*(1-0.1)
+	key := ContactKey(trace.Contact{Start: 1, End: 2, A: 1, B: 2})
+	const n = 20000
+	var lost int
+	for i := 0; i < n; i++ {
+		if m.FrameLost(key, model.PhotoID(i)) {
+			lost++
+		}
+	}
+	if frac := float64(lost) / n; math.Abs(frac-want) > 0.02 {
+		t.Fatalf("frame loss rate %.3f, want ≈%.2f", frac, want)
+	}
+}
+
+func TestSkewBounds(t *testing.T) {
+	m, err := NewModel(Config{ClockSkewMaxSec: 60}, 30, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonZero int
+	for n := 1; n <= 30; n++ {
+		s := m.Skew(model.NodeID(n))
+		if math.Abs(s) > 60 {
+			t.Fatalf("skew %v exceeds bound", s)
+		}
+		if s != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("no node received skew")
+	}
+	if m.Skew(model.CommandCenter) != 0 || m.Skew(999) != 0 {
+		t.Fatal("command center / out-of-range skew must be zero")
+	}
+}
+
+func TestNewModelRejectsBadInput(t *testing.T) {
+	if _, err := NewModel(Config{NodeFailRate: 2}, 5, 100, 1); !errors.Is(err, ErrBadFaultConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewModel(Config{}, -1, 100, 1); !errors.Is(err, ErrBadFaultConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewModel(Config{}, 5, math.NaN(), 1); !errors.Is(err, ErrBadFaultConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTransportDropAndCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTransport(&buf, 1, 0, 1) // drop everything
+	if n, err := tr.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("dropped write: n=%d err=%v", n, err)
+	}
+	if buf.Len() != 0 || tr.Dropped() != 1 {
+		t.Fatalf("drop not honoured: buffered %d, dropped %d", buf.Len(), tr.Dropped())
+	}
+
+	buf.Reset()
+	tr = NewTransport(&buf, 0, 1, 2) // corrupt everything
+	msg := []byte{1, 2, 3, 4}
+	if _, err := tr.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); got[len(got)-1] == 4 {
+		t.Fatal("corruption did not flip the trailing byte")
+	}
+	if !bytes.Equal(msg, []byte{1, 2, 3, 4}) {
+		t.Fatal("Write mutated the caller's buffer")
+	}
+	if tr.Corrupted() != 1 {
+		t.Fatalf("corrupted = %d", tr.Corrupted())
+	}
+
+	// Pass-through read.
+	buf.Reset()
+	buf.WriteString("data")
+	out := make([]byte, 4)
+	if n, err := tr.Read(out); err != nil || n != 4 || string(out) != "data" {
+		t.Fatalf("read: n=%d err=%v out=%q", n, err, out)
+	}
+}

@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// Transport wraps an io.ReadWriter with deterministic write-side faults:
+// whole writes silently dropped (frame loss on a lossy link) or corrupted by
+// a single flipped byte (bit errors the wire checksum must catch). Each
+// wire frame goes out as one Write call, so a dropped write is a lost frame
+// and a flipped byte is a corrupt frame.
+//
+// Reads pass through untouched — injecting on one side of a duplex link
+// already exercises both peers' failure paths, and keeping reads clean makes
+// tests easier to reason about.
+type Transport struct {
+	rw          io.ReadWriter
+	lossProb    float64
+	corruptProb float64
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	dropped   int
+	corrupted int
+}
+
+// NewTransport wraps rw. lossProb drops writes, corruptProb flips the last
+// byte of a write (for a wire frame that is the checksum trailer, so
+// corruption is always detectable); both are evaluated per Write from the
+// seeded RNG, loss first.
+func NewTransport(rw io.ReadWriter, lossProb, corruptProb float64, seed int64) *Transport {
+	return &Transport{
+		rw:          rw,
+		lossProb:    lossProb,
+		corruptProb: corruptProb,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Read implements io.Reader (pass-through).
+func (t *Transport) Read(p []byte) (int, error) { return t.rw.Read(p) }
+
+// Write implements io.Writer with fault injection. A dropped write reports
+// full success to the caller, as a lossy datagram link would.
+func (t *Transport) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	drop := t.lossProb > 0 && t.rng.Float64() < t.lossProb
+	corrupt := !drop && t.corruptProb > 0 && t.rng.Float64() < t.corruptProb
+	if drop {
+		t.dropped++
+	}
+	if corrupt {
+		t.corrupted++
+	}
+	t.mu.Unlock()
+	if drop {
+		return len(p), nil
+	}
+	if corrupt && len(p) > 0 {
+		q := append([]byte(nil), p...)
+		q[len(q)-1] ^= 0xFF
+		n, err := t.rw.Write(q)
+		if n > len(p) {
+			n = len(p)
+		}
+		return n, err
+	}
+	return t.rw.Write(p)
+}
+
+// Dropped returns the number of writes silently discarded so far.
+func (t *Transport) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Corrupted returns the number of writes corrupted so far.
+func (t *Transport) Corrupted() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.corrupted
+}

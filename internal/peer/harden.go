@@ -1,0 +1,189 @@
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"time"
+)
+
+// ErrTimeout reports that a frame or contact deadline expired. A stalled or
+// unresponsive remote ends the contact with this error instead of hanging
+// the radio forever.
+var ErrTimeout = errors.New("peer: deadline exceeded")
+
+// Hardening defaults. Frame deadlines are on by default: a single stalled
+// remote must never wedge a node (the live-peer counterpart of a contact
+// that physically ends when the nodes move apart).
+const (
+	// DefaultFrameTimeout bounds every single frame read/write.
+	DefaultFrameTimeout = 30 * time.Second
+	// DefaultRetryAttempts is the number of Contact tries (1 = no retry).
+	DefaultRetryAttempts = 3
+	// DefaultRetryBase is the first backoff delay; it doubles per attempt.
+	DefaultRetryBase = 50 * time.Millisecond
+	// DefaultRetryMax caps the exponential backoff.
+	DefaultRetryMax = 2 * time.Second
+)
+
+// WithFrameTimeout bounds every individual frame read/write during a
+// contact. Zero disables per-frame deadlines (not recommended outside
+// tests with transports that lack deadline support).
+func WithFrameTimeout(d time.Duration) Option {
+	return func(p *Peer) { p.frameTimeout = d }
+}
+
+// WithContactTimeout bounds the whole contact with an absolute deadline,
+// mirroring the finite contact duration of the DTN model. Zero (the
+// default) means only per-frame deadlines apply.
+func WithContactTimeout(d time.Duration) Option {
+	return func(p *Peer) { p.contactTimeout = d }
+}
+
+// WithRetry configures Contact's capped exponential backoff for transient
+// dial and IO failures: at most attempts tries, sleeping base, 2*base, ...
+// capped at max between them. attempts <= 1 disables retrying.
+func WithRetry(attempts int, base, max time.Duration) Option {
+	return func(p *Peer) {
+		p.retryAttempts = attempts
+		p.retryBase = base
+		p.retryMax = max
+	}
+}
+
+// WithDialer replaces the TCP dialer used by Contact (tests inject failing
+// or in-memory transports through this).
+func WithDialer(dial func(addr string) (net.Conn, error)) Option {
+	return func(p *Peer) { p.dial = dial }
+}
+
+// ContactErrors returns how many contacts ended in an error since the peer
+// was created. Serve keeps accepting after a failed contact — one
+// misbehaving remote must not take the node offline — so this counter is
+// the only trace such contacts leave.
+func (p *Peer) ContactErrors() int64 {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.contactErrs
+}
+
+// LastContactError returns the most recent contact error seen by Serve or
+// Contact (nil if none).
+func (p *Peer) LastContactError() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.lastContactErr
+}
+
+func (p *Peer) noteContactError(err error) {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	p.contactErrs++
+	p.lastContactErr = err
+}
+
+// deadliner is the subset of net.Conn needed for per-frame deadlines.
+// net.Pipe and TCP connections both implement it.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// timedConn enforces a per-frame timeout and an absolute contact deadline
+// by refreshing the connection deadline before every read and write. It
+// translates deadline errors to ErrTimeout so callers can classify them.
+type timedConn struct {
+	rw    io.ReadWriter
+	dl    deadliner
+	frame time.Duration
+	until time.Time // absolute contact deadline; zero = none
+}
+
+// newTimedConn wraps rw with deadline enforcement. Transports without
+// deadline support (plain io.ReadWriter pairs) are returned unchanged —
+// the minimal protection degrades gracefully rather than failing.
+func newTimedConn(rw io.ReadWriter, frame, contact time.Duration) io.ReadWriter {
+	dl, ok := rw.(deadliner)
+	if !ok || (frame <= 0 && contact <= 0) {
+		return rw
+	}
+	tc := &timedConn{rw: rw, dl: dl, frame: frame}
+	if contact > 0 {
+		tc.until = time.Now().Add(contact)
+	}
+	return tc
+}
+
+// next computes the effective deadline for the next IO operation: the
+// sooner of now+frame and the absolute contact deadline. It fails fast
+// once the contact deadline has already passed.
+func (c *timedConn) next() (time.Time, error) {
+	var d time.Time
+	if c.frame > 0 {
+		d = time.Now().Add(c.frame)
+	}
+	if !c.until.IsZero() {
+		if !time.Now().Before(c.until) {
+			return time.Time{}, fmt.Errorf("%w: contact deadline passed", ErrTimeout)
+		}
+		if d.IsZero() || c.until.Before(d) {
+			d = c.until
+		}
+	}
+	return d, nil
+}
+
+func (c *timedConn) Read(b []byte) (int, error) {
+	d, err := c.next()
+	if err != nil {
+		return 0, err
+	}
+	_ = c.dl.SetReadDeadline(d)
+	n, err := c.rw.Read(b)
+	return n, timeoutErr(err)
+}
+
+func (c *timedConn) Write(b []byte) (int, error) {
+	d, err := c.next()
+	if err != nil {
+		return 0, err
+	}
+	_ = c.dl.SetWriteDeadline(d)
+	n, err := c.rw.Write(b)
+	return n, timeoutErr(err)
+}
+
+// timeoutErr maps deadline expiry onto ErrTimeout, preserving the original
+// error in the chain.
+func timeoutErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
+}
+
+// transient reports whether an error is worth retrying: timeouts and the
+// connection-level failures a flaky radio link produces. Protocol
+// violations and checksum failures are not transient — retrying a
+// misbehaving remote immediately is pointless.
+func transient(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrTimeout), errors.Is(err, os.ErrDeadlineExceeded):
+		return true
+	case errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -84,6 +84,19 @@ type Peer struct {
 	payload int
 	rng     *rand.Rand
 	start   time.Time
+
+	// Hardening knobs (see harden.go).
+	frameTimeout   time.Duration
+	contactTimeout time.Duration
+	retryAttempts  int
+	retryBase      time.Duration
+	retryMax       time.Duration
+	dial           func(addr string) (net.Conn, error)
+	sleep          func(time.Duration)
+
+	errMu          sync.Mutex
+	contactErrs    int64
+	lastContactErr error
 }
 
 // New creates a peer. The command center (id 0) gets unbounded storage and
@@ -99,6 +112,12 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 		pthld:  metadata.DefaultPthld,
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
 		start:  time.Now(),
+
+		frameTimeout:  DefaultFrameTimeout,
+		retryAttempts: DefaultRetryAttempts,
+		retryBase:     DefaultRetryBase,
+		retryMax:      DefaultRetryMax,
+		sleep:         time.Sleep,
 	}
 	if id.IsCommandCenter() {
 		capacity = math.MaxInt64 / 4
@@ -109,6 +128,12 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 	}
 	if p.clock == nil {
 		p.clock = func() float64 { return time.Since(p.start).Seconds() }
+	}
+	if p.dial == nil {
+		p.dial = func(addr string) (net.Conn, error) {
+			d := net.Dialer{Timeout: p.frameTimeout}
+			return d.Dial("tcp", addr)
+		}
 	}
 	p.cache = metadata.NewCache(id, p.pthld)
 	return p
@@ -151,7 +176,10 @@ func (p *Peer) DeliveryProb() float64 {
 }
 
 // Serve accepts contacts on the listener until it is closed, handling each
-// connection sequentially (a node has one radio).
+// connection sequentially (a node has one radio). A contact that fails —
+// timeout, corruption, protocol violation — is recorded (ContactErrors,
+// LastContactError) and the peer keeps serving: one misbehaving or stalled
+// remote must not take the node offline.
 func (p *Peer) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -164,14 +192,37 @@ func (p *Peer) Serve(l net.Listener) error {
 		err = p.ContactConn(conn, false)
 		_ = conn.Close()
 		if err != nil && !errors.Is(err, io.EOF) {
-			return fmt.Errorf("peer %v: contact: %w", p.id, err)
+			p.noteContactError(err)
 		}
 	}
 }
 
-// Contact dials the address and initiates a contact.
+// Contact dials the address and initiates a contact, retrying transient
+// dial/IO failures with capped exponential backoff (see WithRetry). A
+// contact abort is safe to retry from scratch: storage mutations are
+// atomic at contact end, so a failed attempt leaves no partial state.
 func (p *Peer) Contact(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	backoff := p.retryBase
+	attempts := p.retryAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = p.contactOnce(addr)
+		if err == nil || attempt >= attempts || !transient(err) {
+			return err
+		}
+		p.sleep(backoff)
+		backoff *= 2
+		if backoff > p.retryMax {
+			backoff = p.retryMax
+		}
+	}
+}
+
+func (p *Peer) contactOnce(addr string) error {
+	conn, err := p.dial(addr)
 	if err != nil {
 		return fmt.Errorf("peer %v: dial %s: %w", p.id, addr, err)
 	}
@@ -179,8 +230,22 @@ func (p *Peer) Contact(addr string) error {
 	return p.ContactConn(conn, true)
 }
 
-// ContactConn runs one contact over an established connection.
+// ContactConn runs one contact over an established connection. When the
+// transport supports deadlines (net.Conn does), every frame read/write is
+// bounded by the frame timeout and the whole contact by the contact
+// timeout, so a stalled remote ends the contact with ErrTimeout instead of
+// hanging. Any mid-contact failure aborts gracefully: unfinished transfers
+// are discarded and the peer's storage and metadata caches stay exactly as
+// the protocol last committed them.
 func (p *Peer) ContactConn(conn io.ReadWriter, initiator bool) error {
+	conn = newTimedConn(conn, p.frameTimeout, p.contactTimeout)
+	if err := p.contactConn(conn, initiator); err != nil {
+		return fmt.Errorf("peer %v: contact aborted: %w", p.id, err)
+	}
+	return nil
+}
+
+func (p *Peer) contactConn(conn io.ReadWriter, initiator bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := p.clock()

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"photodtn/internal/coverage"
+	"photodtn/internal/faults"
 	"photodtn/internal/model"
 	"photodtn/internal/trace"
 )
@@ -66,6 +67,12 @@ type Config struct {
 	Span float64
 	// Seed drives the run's RNG.
 	Seed int64
+	// Faults optionally injects the deterministic fault model of
+	// internal/faults: node crash/rejoin churn with storage loss, contact
+	// drops/truncation, mid-transfer session aborts, gateway outages, and
+	// clock skew. Nil or a zero-valued config is a strict no-op — the run
+	// is bit-identical to one without the fault layer.
+	Faults *faults.Config
 }
 
 // ErrBadSimConfig reports an invalid simulation configuration.
@@ -87,6 +94,11 @@ func (c Config) validate() error {
 	for _, g := range c.Gateways {
 		if g.IsCommandCenter() || int(g) > c.Trace.Nodes || g < 0 {
 			return fmt.Errorf("%w: gateway %v out of range", ErrBadSimConfig, g)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSimConfig, err)
 		}
 	}
 	return nil
@@ -116,6 +128,20 @@ type Result struct {
 	TransferredPhotos int64
 	// DeliveredPhotos is the command center's final collection.
 	DeliveredPhotos model.PhotoList
+
+	// Fault metrics — all zero unless Config.Faults is enabled.
+
+	// NodeCrashes counts node crash events.
+	NodeCrashes int64
+	// PhotosLostToCrash counts photos wiped from crashed nodes' storages.
+	PhotosLostToCrash int64
+	// AbortedTransfers counts sessions aborted mid-transfer by frame
+	// loss/corruption (the in-flight photo was discarded, §III-D).
+	AbortedTransfers int64
+	// MeanRecoverySec is the mean time from a crash to the next
+	// command-center delivery — how quickly coverage growth resumes after
+	// losing a carrier. Zero when no crash was followed by a delivery.
+	MeanRecoverySec float64
 }
 
 // event is the engine's internal tagged union.
@@ -126,12 +152,18 @@ type event struct {
 	pe PhotoEvent
 	// contact events
 	contact trace.Contact
+	// crash events
+	node model.NodeID
 }
 
 type eventKind int
 
+// Tie-break order at an instant: a crash wipes storage before anything
+// else happens, a photo taken at a contact instant can ride that contact,
+// and samples observe a settled state.
 const (
-	evPhoto eventKind = iota + 1
+	evCrash eventKind = iota
+	evPhoto
 	evContact
 	evSample
 )
@@ -154,13 +186,22 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := newWorld(cfg.Map, cfg.Trace.Nodes, capacity, rng)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		fm, err := faults.NewModel(*cfg.Faults, cfg.Trace.Nodes, span, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSimConfig, err)
+		}
+		w.faults = fm
+	}
 	scheme.Init(w)
 
-	events := buildEvents(cfg, span)
+	events := buildEvents(cfg, span, w.faults)
 	res := &Result{Scheme: scheme.Name()}
 	for _, ev := range events {
 		w.now = ev.time
 		switch ev.kind {
+		case evCrash:
+			w.crash(ev.node)
 		case evPhoto:
 			scheme.OnPhoto(ev.pe.Node, ev.pe.Photo)
 		case evContact:
@@ -170,6 +211,9 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 			}
 			if !s.unlimited {
 				s.budget = int64(ev.contact.Duration() * bandwidth)
+			}
+			if w.faults != nil {
+				s.key = faults.ContactKey(ev.contact)
 			}
 			scheme.OnContact(s)
 		case evSample:
@@ -181,6 +225,12 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 	res.TransferredBytes = w.transferredBytes
 	res.TransferredPhotos = w.transferredPhotos
 	res.DeliveredPhotos = w.CCPhotos().Clone()
+	res.NodeCrashes = w.nodeCrashes
+	res.PhotosLostToCrash = w.photosLostToCrash
+	res.AbortedTransfers = w.abortedTransfers
+	if w.recovered > 0 {
+		res.MeanRecoverySec = w.recoverySum / float64(w.recovered)
+	}
 	return res, nil
 }
 
@@ -204,29 +254,65 @@ func GatewayContacts(cfg Config, span float64) []trace.Contact {
 }
 
 // buildEvents merges the photo workload, the trace contacts, the gateway
-// contacts, and the sampling clock into one time-ordered stream. Ties are
-// broken photo < contact < sample so a photo taken at a contact instant can
-// ride that contact, and samples observe a settled state.
-func buildEvents(cfg Config, span float64) []event {
+// contacts, the sampling clock, and (when a fault model is active) crash
+// events into one time-ordered stream. Ties are broken
+// crash < photo < contact < sample so a crash wipes storage first, a photo
+// taken at a contact instant can ride that contact, and samples observe a
+// settled state.
+//
+// With a fault model, the stream is pre-filtered: photo events are shifted
+// by the node's clock skew and suppressed while the node is down, contacts
+// involving a down endpoint (or drawn as dropped/outaged) never fire, and
+// truncated contacts keep a shortened duration (a smaller transfer budget).
+func buildEvents(cfg Config, span float64, fm *faults.Model) []event {
 	var events []event
 	for _, pe := range cfg.Photos {
-		if pe.Time > span {
+		t := pe.Time
+		if fm != nil {
+			t += fm.Skew(pe.Node)
+			if t < 0 {
+				t = 0
+			}
+			if fm.Down(pe.Node, t) {
+				continue // a crashed device takes no photos
+			}
+		}
+		if t > span {
 			continue
 		}
-		events = append(events, event{time: pe.Time, kind: evPhoto, pe: pe})
+		events = append(events, event{time: t, kind: evPhoto, pe: pe})
 	}
 	for _, c := range cfg.Trace.Contacts {
 		if c.Start > span {
 			continue
 		}
+		if fm != nil {
+			if fm.Down(c.A, c.Start) || fm.Down(c.B, c.Start) || fm.DropContact(c) {
+				continue
+			}
+			if f := fm.TruncFactor(c); f < 1 {
+				c.End = c.Start + c.Duration()*f
+			}
+		}
 		events = append(events, event{time: c.Start, kind: evContact, contact: c})
 	}
 	for _, c := range GatewayContacts(cfg, span) {
+		if fm != nil && (fm.Down(c.A, c.Start) || fm.GatewayOutage(c)) {
+			continue
+		}
 		events = append(events, event{time: c.Start, kind: evContact, contact: c})
 	}
 	if cfg.SampleInterval > 0 {
 		for t := cfg.SampleInterval; t <= span; t += cfg.SampleInterval {
 			events = append(events, event{time: t, kind: evSample})
+		}
+	}
+	if fm != nil {
+		for _, cr := range fm.Crashes() {
+			if cr.Time > span {
+				continue
+			}
+			events = append(events, event{time: cr.Time, kind: evCrash, node: cr.Node})
 		}
 	}
 	sort.SliceStable(events, func(i, j int) bool {

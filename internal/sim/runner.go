@@ -30,6 +30,11 @@ type Average struct {
 	Final             AvgSample
 	TransferredPhotos float64
 	TransferredBytes  float64
+	// Fault metrics (zero without an enabled fault model).
+	NodeCrashes       float64
+	PhotosLostToCrash float64
+	AbortedTransfers  float64
+	MeanRecoverySec   float64
 }
 
 // ErrNoRuns is returned when RunMany is asked for zero runs.
@@ -101,6 +106,10 @@ func AverageResults(results []*Result) (*Average, error) {
 		avg.Final.Delivered += float64(r.Final.Delivered) * inv
 		avg.TransferredPhotos += float64(r.TransferredPhotos) * inv
 		avg.TransferredBytes += float64(r.TransferredBytes) * inv
+		avg.NodeCrashes += float64(r.NodeCrashes) * inv
+		avg.PhotosLostToCrash += float64(r.PhotosLostToCrash) * inv
+		avg.AbortedTransfers += float64(r.AbortedTransfers) * inv
+		avg.MeanRecoverySec += r.MeanRecoverySec * inv
 	}
 	return avg, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"photodtn/internal/coverage"
+	"photodtn/internal/faults"
 	"photodtn/internal/model"
 )
 
@@ -24,9 +25,21 @@ type World struct {
 	ccSet    map[model.PhotoID]bool
 	ccState  *coverage.State
 
+	// faults is the run's fault model; nil when no faults are configured
+	// (the engine then behaves bit-identically to a fault-free build).
+	faults *faults.Model
+
 	// Aggregate transfer statistics.
 	transferredBytes  int64
 	transferredPhotos int64
+
+	// Fault metrics.
+	nodeCrashes       int64
+	photosLostToCrash int64
+	abortedTransfers  int64
+	pendingCrashes    []float64 // crash times awaiting the next CC delivery
+	recoverySum       float64
+	recovered         int64
 }
 
 // newWorld builds a world with numNodes participant storages of the given
@@ -86,6 +99,27 @@ func (w *World) deliver(p model.Photo) {
 	w.ccSet[p.ID] = true
 	w.ccPhotos = append(w.ccPhotos, p)
 	w.ccState.AddPhoto(p)
+	// The first delivery after a crash resolves the recovery clock of
+	// every crash still pending.
+	if len(w.pendingCrashes) > 0 {
+		for _, ct := range w.pendingCrashes {
+			w.recoverySum += w.now - ct
+		}
+		w.recovered += int64(len(w.pendingCrashes))
+		w.pendingCrashes = w.pendingCrashes[:0]
+	}
+}
+
+// crash wipes a node's storage (the photos are lost with the device) and
+// starts the recovery clock. The scheme's soft state — metadata caches,
+// PROPHET tables — survives on *other* nodes and goes stale, which is
+// exactly the disruption the metadata validity rule (§III-B) must absorb.
+func (w *World) crash(n model.NodeID) {
+	st := w.storages[n]
+	w.nodeCrashes++
+	w.photosLostToCrash += int64(st.Len())
+	_ = st.ReplaceAll(nil) // always fits
+	w.pendingCrashes = append(w.pendingCrashes, w.now)
 }
 
 // Session errors.
@@ -93,6 +127,10 @@ var (
 	// ErrBudget is returned when the contact's transfer budget is
 	// exhausted; the in-flight photo is discarded per §III-D.
 	ErrBudget = errors.New("sim: contact budget exhausted")
+	// ErrAborted is returned when the fault model loses or corrupts a
+	// frame mid-transfer: the session dies, the in-flight photo is
+	// discarded (§III-D), and no further transfer can succeed.
+	ErrAborted = errors.New("sim: session aborted mid-transfer")
 )
 
 // Session is one contact between two nodes (one of which may be the command
@@ -108,6 +146,12 @@ type Session struct {
 
 	budget    int64
 	unlimited bool
+	// key identifies the contact for fault-model frame decisions; it is
+	// only set when a fault model is active.
+	key uint64
+	// aborted is set when a frame loss kills the session; every later
+	// transfer fails with ErrAborted.
+	aborted bool
 }
 
 // World returns the world the session belongs to.
@@ -122,7 +166,10 @@ func (s *Session) Remaining() int64 { return s.budget }
 func (s *Session) Unlimited() bool { return s.unlimited }
 
 // Exhausted reports whether no further transfer can succeed.
-func (s *Session) Exhausted() bool { return !s.unlimited && s.budget <= 0 }
+func (s *Session) Exhausted() bool { return s.aborted || (!s.unlimited && s.budget <= 0) }
+
+// Aborted reports whether the session died mid-transfer to a fault.
+func (s *Session) Aborted() bool { return s.aborted }
 
 // Peer returns the other endpoint of the session.
 func (s *Session) Peer(n model.NodeID) model.NodeID {
@@ -137,7 +184,13 @@ func (s *Session) Peer(n model.NodeID) model.NodeID {
 // node require free space (ErrNoSpace otherwise — the scheme must evict
 // first). When the budget cannot cover the photo, the remaining budget is
 // consumed by the aborted partial transfer and ErrBudget is returned.
+// When the fault model loses a frame mid-transfer, the session aborts with
+// ErrAborted: the in-flight photo is discarded, no storage or accounting
+// changes, and every subsequent transfer on the session fails too.
 func (s *Session) Transfer(to model.NodeID, p model.Photo) error {
+	if s.aborted {
+		return fmt.Errorf("%w: photo %v", ErrAborted, p.ID)
+	}
 	if !to.IsCommandCenter() {
 		// Receiver-side checks come first: a transfer that could never
 		// start must not consume budget.
@@ -148,6 +201,12 @@ func (s *Session) Transfer(to model.NodeID, p model.Photo) error {
 		if p.Size > st.Free() {
 			return fmt.Errorf("%w: photo %v needs %d bytes at %v", ErrNoSpace, p.ID, p.Size, to)
 		}
+	}
+	if fm := s.w.faults; fm != nil && fm.FrameLost(s.key, p.ID) {
+		s.aborted = true
+		s.budget = 0
+		s.w.abortedTransfers++
+		return fmt.Errorf("%w: photo %v lost in flight", ErrAborted, p.ID)
 	}
 	if !s.unlimited && p.Size > s.budget {
 		s.budget = 0

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"photodtn/internal/model"
@@ -28,6 +29,34 @@ func FuzzRead(f *testing.F) {
 	}
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1})
 	f.Add([]byte{})
+	// Corruption cases: bad checksum, flipped body byte, truncated payload,
+	// oversized declared length.
+	{
+		var buf bytes.Buffer
+		if err := Write(&buf, Hello{Node: 9, Nonce: 1}); err != nil {
+			f.Fatal(err)
+		}
+		badCRC := append([]byte(nil), buf.Bytes()...)
+		badCRC[len(badCRC)-1] ^= 0xFF // flipped checksum trailer
+		f.Add(badCRC)
+		flipped := append([]byte(nil), buf.Bytes()...)
+		flipped[7] ^= 0x10 // flipped body byte under a stale checksum
+		f.Add(flipped)
+	}
+	{
+		var buf bytes.Buffer
+		if err := Write(&buf, PhotoData{Photo: samplePhoto(3, 3), Payload: bytes.Repeat([]byte{5}, 32)}); err != nil {
+			f.Fatal(err)
+		}
+		whole := buf.Bytes()
+		f.Add(append([]byte(nil), whole[:len(whole)-12]...)) // truncated payload + trailer
+	}
+	{
+		var hdr [5]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(MaxFrame+1)) // oversized declared length
+		hdr[4] = byte(MsgMetadata)
+		f.Add(hdr[:])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"reflect"
 	"testing"
@@ -143,20 +145,101 @@ func TestReadRejectsCorruptFrames(t *testing.T) {
 	}
 }
 
+// reframe rebuilds a syntactically valid frame (length and checksum fixed
+// up) around the given type and body, so tests reach the body decoders.
+func reframe(typ MsgType, body []byte) []byte {
+	frame := make([]byte, 5, 5+len(body)+4)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(body)))
+	frame[4] = byte(typ)
+	frame = append(frame, body...)
+	return appendU32(frame, crc32.Checksum(frame[4:], crcTable))
+}
+
 func TestReadRejectsCorruptBodies(t *testing.T) {
-	// A metadata message whose inner photo list is truncated.
+	// A metadata message whose inner photo list is truncated; the checksum
+	// is valid so the failure must come from the body decoder.
 	var buf bytes.Buffer
 	if err := Write(&buf, Metadata{Entries: []MetaEntry{{Node: 1, Photos: model.PhotoList{samplePhoto(1, 0)}}}}); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
-	// Chop the last 10 bytes of the body and fix up the length.
-	body := data[5 : len(data)-10]
-	var hdr [5]byte
-	copy(hdr[:], data[:5])
-	hdr[0] = byte(len(body))
-	corrupted := append(hdr[:], body...)
+	corrupted := reframe(MsgMetadata, data[5:len(data)-4-10])
 	if _, err := Read(bytes.NewReader(corrupted)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestChecksumDetectsBitFlips(t *testing.T) {
+	// Flipping any single byte of an encoded frame must make Read fail:
+	// length flips starve or shorten the read, type and body flips break
+	// the checksum, trailer flips mismatch the computed sum.
+	var buf bytes.Buffer
+	if err := Write(&buf, Hello{Node: 3, Lambda: 0.5, DeliveryProb: 0.25, Time: 99, Nonce: 7, Capacity: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for i := range frame {
+		mutated := append([]byte(nil), frame...)
+		mutated[i] ^= 0x01
+		if msg, err := Read(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("flip at byte %d decoded silently as %v", i, msg.Type())
+		}
+	}
+	// The pristine frame still decodes.
+	if _, err := Read(bytes.NewReader(frame)); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+}
+
+func TestChecksumMismatchError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Bye{}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[len(frame)-1] ^= 0xFF
+	if _, err := Read(bytes.NewReader(frame)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestReadRejectsOversizeLengthBeforeAllocating(t *testing.T) {
+	// A declared length just past MaxFrame must be rejected from the
+	// 5-byte header alone — no body bytes are consumed or allocated.
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(MaxFrame+1))
+	hdr[4] = byte(MsgPhotoData)
+	r := bytes.NewReader(hdr[:])
+	if _, err := Read(r); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d unread bytes — header not fully consumed", r.Len())
+	}
+	// Exactly MaxFrame is allowed through to the (starved) body read.
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(MaxFrame))
+	if _, err := Read(bytes.NewReader(hdr[:])); errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("MaxFrame-sized declaration wrongly rejected: %v", err)
+	}
+}
+
+func TestReadRejectsTruncatedPayload(t *testing.T) {
+	// A PhotoData frame cut short mid-payload (valid header, missing tail).
+	var buf bytes.Buffer
+	if err := Write(&buf, PhotoData{Photo: samplePhoto(2, 2), Payload: bytes.Repeat([]byte{7}, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	if _, err := Read(bytes.NewReader(frame[:len(frame)-16])); err == nil {
+		t.Fatal("truncated frame decoded silently")
+	}
+	// And one whose payload-length field lies (checksum recomputed so the
+	// payload decoder must catch it).
+	body := frame[5 : len(frame)-4]
+	lied := append([]byte(nil), body...)
+	// The payload length field sits 4+len(payload) bytes from the end.
+	binary.LittleEndian.PutUint32(lied[len(lied)-4-64:], 1000)
+	if _, err := Read(bytes.NewReader(reframe(MsgPhotoData, lied))); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("err = %v, want ErrBadMessage", err)
 	}
 }
