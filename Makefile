@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench fuzz
+.PHONY: tier1 build vet test race bench bench-short bench-all fuzz
 
 # tier1 is the merge gate: everything must pass before a change lands.
-tier1: build vet test race
+tier1: build vet test race bench-short
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench regenerates the committed evaluator baseline BENCH_selection.json
+# from the selection micro-benchmarks (construction / Gain / Commit /
+# GreedyFill at several scales).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench=BenchmarkEvaluator -benchmem -benchtime=500ms ./internal/selection/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_selection.json
+	@echo "wrote BENCH_selection.json"
+
+# bench-short is the tier-1 smoke pass: every benchmark must run (a single
+# iteration) without failing; timings are not meaningful.
+bench-short:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-all runs every benchmark in the repository with full timings.
+bench-all:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
 # Short fuzz pass over the wire decoder (corruption hardening).
 fuzz:

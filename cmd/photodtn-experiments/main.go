@@ -6,6 +6,11 @@
 //
 //	photodtn-experiments [-exp all|tab1|fig3|fig5|fig6|fig7|fig8|faults|ablations]
 //	                     [-runs N] [-seed S] [-quick] [-out FILE]
+//	                     [-cpuprofile FILE] [-memprofile FILE]
+//
+// The -cpuprofile and -memprofile flags write runtime/pprof profiles of the
+// experiment run (the selection evaluator dominates both), for use with
+// `go tool pprof`.
 package main
 
 import (
@@ -13,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"photodtn/internal/experiments"
@@ -34,9 +41,36 @@ func run(args []string, stdout io.Writer) error {
 		quick = fs.Bool("quick", false, "trim sweeps and spans (for smoke testing)")
 		chart = fs.Bool("chart", false, "append ASCII charts to each figure")
 		out   = fs.String("out", "", "also write the report to this file")
+		cpu   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		mem   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpu != "" {
+		f, err := os.Create(*cpu)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mem != "" {
+		defer func() {
+			f, err := os.Create(*mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "photodtn-experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not GC garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "photodtn-experiments: memprofile:", err)
+			}
+		}()
 	}
 	opts := experiments.Options{Runs: *runs, BaseSeed: *seed, Quick: *quick}
 

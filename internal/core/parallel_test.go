@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"photodtn/internal/coverage"
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+	"photodtn/internal/sim"
+	"photodtn/internal/trace"
+	"photodtn/internal/workload"
+)
+
+// parallelSimConfig builds a multi-node, multi-contact run dense enough that
+// per-contact selection does real work.
+func parallelSimConfig(t *testing.T, seed int64) sim.Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	wl := workload.Default(6, 4*3600)
+	wl.NumPoIs = 40
+	wl.Region = geo.Square(1200) // dense: most photos cover some PoI
+	wl.PhotosPerHour = 120
+	m := coverage.NewMap(workload.GeneratePoIs(wl, rng), geo.Radians(30))
+	var photos []sim.PhotoEvent
+	for _, e := range workload.GeneratePhotos(wl, rng) {
+		photos = append(photos, sim.PhotoEvent{Time: e.Time, Node: e.Photo.Owner, Photo: e.Photo})
+	}
+	var contacts []trace.Contact
+	for time := 600.0; time < 4*3600; time += 700 {
+		a := model.NodeID(rng.Intn(wl.Nodes) + 1)
+		b := model.NodeID(rng.Intn(wl.Nodes) + 1)
+		if a == b {
+			continue
+		}
+		contacts = append(contacts, trace.Contact{Start: time, End: time + 300, A: a, B: b})
+	}
+	return sim.Config{
+		Trace:           &trace.Trace{Nodes: wl.Nodes, Contacts: contacts},
+		Map:             m,
+		Photos:          photos,
+		StorageBytes:    60 * mb,
+		Gateways:        []model.NodeID{1},
+		GatewayInterval: 3600,
+		SampleInterval:  3600,
+		Seed:            seed,
+	}
+}
+
+// TestParallelSelectionIdentical runs the same simulation with the parallel
+// gain scan off and on (threshold forced to 1 so workers engage even on
+// small pools) and requires bit-identical results — the determinism contract
+// of the parallel scan.
+func TestParallelSelectionIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := parallelSimConfig(t, seed)
+
+		serial := runScheme(t, cfg, New(DefaultConfig()))
+
+		parCfg := cfg
+		parCfg.ParallelSelection = true
+		scheme := DefaultConfig()
+		scheme.Selection.ParallelThreshold = 1
+		parallel := runScheme(t, parCfg, New(scheme))
+
+		if serial.Final.Delivered == 0 {
+			t.Fatalf("seed %d: degenerate run, nothing delivered", seed)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("seed %d: parallel selection diverged\nserial:   %+v\nparallel: %+v",
+				seed, serial.Final, parallel.Final)
+		}
+	}
+}

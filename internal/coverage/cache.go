@@ -1,16 +1,25 @@
 package coverage
 
-import "photodtn/internal/model"
+import (
+	"sync"
+
+	"photodtn/internal/model"
+)
 
 // FootprintCache memoizes photo footprints against a fixed Map. Footprints
 // depend only on photo metadata and the (immutable) PoI map, so a node can
 // compile each photo once and reuse the result at every contact — the
 // compiled form of "metadata is cheap to analyze".
 //
-// A FootprintCache is not safe for concurrent use; simulations create one
-// per run.
+// Concurrency contract: a FootprintCache is safe for concurrent use. Reads
+// take a shared lock, so concurrent readers (the parallel gain scan,
+// sim.RunMany workers sharing one compiled cache) never serialise against
+// each other; a miss compiles the footprint outside the lock and then
+// briefly takes the exclusive lock to publish it. Cached Footprints are
+// immutable — callers must not modify the Entries slice they receive.
 type FootprintCache struct {
 	m   *Map
+	mu  sync.RWMutex
 	fps map[model.PhotoID]Footprint
 }
 
@@ -24,13 +33,28 @@ func (c *FootprintCache) Map() *Map { return c.m }
 
 // Of returns the (possibly memoized) footprint of the photo.
 func (c *FootprintCache) Of(p model.Photo) Footprint {
-	if fp, ok := c.fps[p.ID]; ok {
+	c.mu.RLock()
+	fp, ok := c.fps[p.ID]
+	c.mu.RUnlock()
+	if ok {
 		return fp
 	}
-	fp := c.m.Footprint(p)
-	c.fps[p.ID] = fp
+	// Compile outside the lock: Map is immutable and footprints are pure
+	// functions of the photo, so two racing compilations agree.
+	fp = c.m.Footprint(p)
+	c.mu.Lock()
+	if prev, ok := c.fps[p.ID]; ok {
+		fp = prev // keep the first published copy
+	} else {
+		c.fps[p.ID] = fp
+	}
+	c.mu.Unlock()
 	return fp
 }
 
 // Len returns the number of memoized footprints.
-func (c *FootprintCache) Len() int { return len(c.fps) }
+func (c *FootprintCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.fps)
+}

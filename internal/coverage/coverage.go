@@ -19,6 +19,7 @@ package coverage
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"photodtn/internal/geo"
 	"photodtn/internal/model"
@@ -110,6 +111,10 @@ type Map struct {
 	cells    [][]int32 // PoI indices per grid cell
 	totalWt  float64
 	profiles map[int]AspectProfile // sparse per-PoI aspect weighting
+
+	// statePool recycles States across contacts (see AcquireState). It does
+	// not affect the map's immutability: sync.Pool is concurrency-safe.
+	statePool sync.Pool
 }
 
 // MapOption customises map construction.

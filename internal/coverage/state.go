@@ -5,24 +5,86 @@ import (
 	"photodtn/internal/model"
 )
 
+// arenaBlockSize is the number of ArcSets allocated per arena block. Blocks
+// are recycled wholesale on Reset, so the arena amortises both the ArcSet
+// headers and their interval slices across a state's lifetimes.
+const arenaBlockSize = 64
+
+// arcArena hands out ArcSets from reusable blocks. Recycled sets keep their
+// interval storage, so a state that is Reset and refilled allocates nothing
+// in steady state.
+type arcArena struct {
+	blocks [][]geo.ArcSet
+	n      int // sets handed out since the last reset
+}
+
+// take returns an empty ArcSet, reusing a recycled one when available.
+func (a *arcArena) take() *geo.ArcSet {
+	bi, off := a.n/arenaBlockSize, a.n%arenaBlockSize
+	if bi == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]geo.ArcSet, arenaBlockSize))
+	}
+	s := &a.blocks[bi][off]
+	a.n++
+	s.Reset() // recycled set: drop stale intervals, keep capacity
+	return s
+}
+
+// reset recycles every handed-out set at once.
+func (a *arcArena) reset() { a.n = 0 }
+
 // State is the coverage of a photo collection F with respect to a Map. It
 // tracks, per touched PoI, the union of covered aspect arcs, and maintains
 // the aggregate Coverage value incrementally.
+//
+// The representation is dense: arc sets live in a flat slice indexed by PoI
+// slot (no map lookups or rehashing on the hot path), the sets themselves
+// come from a per-state arena, and Reset recycles everything, so a state can
+// be refilled repeatedly without allocating. Acquire one from the Map's pool
+// with AcquireState when states are created and dropped per contact.
 //
 // State is the workhorse of the selection algorithm: adding a footprint is
 // O(size of the footprint), and Gain answers "how much would C_ph grow if
 // this photo were added" without mutating the state.
 //
-// A State is not safe for concurrent mutation.
+// A State is not safe for concurrent mutation. A state that is no longer
+// mutated may be read concurrently (Gain, Coverage, AspectOf, ... are pure
+// reads), which is what the parallel gain scan relies on.
 type State struct {
-	m    *Map
-	arcs map[int]*geo.ArcSet
-	cov  Coverage
+	m *Map
+	// arcs is indexed by PoI slot; nil means the PoI is not point-covered.
+	arcs []*geo.ArcSet
+	// touched lists the covered PoI slots in first-touch order, making
+	// iteration deterministic and Reset O(covered).
+	touched []int32
+	arena   arcArena
+	cov     Coverage
 }
 
 // NewState returns the empty coverage state for the map.
 func (m *Map) NewState() *State {
-	return &State{m: m, arcs: make(map[int]*geo.ArcSet)}
+	return &State{m: m, arcs: make([]*geo.ArcSet, len(m.pois))}
+}
+
+// AcquireState returns an empty state from the map's recycling pool (or a
+// fresh one). Release it with ReleaseState when done; states that are never
+// released are simply collected by the GC.
+func (m *Map) AcquireState() *State {
+	if v := m.statePool.Get(); v != nil {
+		return v.(*State) // reset on release
+	}
+	return m.NewState()
+}
+
+// ReleaseState resets the state and returns it to the map's pool for reuse.
+// The state must not be used afterwards. States belonging to another map
+// (and nil) are ignored.
+func (m *Map) ReleaseState(s *State) {
+	if s == nil || s.m != m {
+		return
+	}
+	s.Reset()
+	m.statePool.Put(s)
 }
 
 // Map returns the map the state is defined against.
@@ -33,22 +95,24 @@ func (s *State) Coverage() Coverage { return s.cov }
 
 // PoICovered reports whether the PoI at index i is point-covered.
 func (s *State) PoICovered(i int) bool {
-	_, ok := s.arcs[i]
-	return ok
+	return i >= 0 && i < len(s.arcs) && s.arcs[i] != nil
 }
 
 // NumCovered returns the number of point-covered PoIs (unweighted).
-func (s *State) NumCovered() int { return len(s.arcs) }
+func (s *State) NumCovered() int { return len(s.touched) }
 
 // AspectOf returns the covered aspect measure (radians, unweighted) of the
 // PoI at index i.
 func (s *State) AspectOf(i int) float64 {
-	as, ok := s.arcs[i]
-	if !ok {
+	if i < 0 || i >= len(s.arcs) || s.arcs[i] == nil {
 		return 0
 	}
-	return as.Measure()
+	return s.arcs[i].Measure()
 }
+
+// arcsAt returns the arc set of the PoI slot, or nil when uncovered. The
+// caller must not mutate it.
+func (s *State) arcsAt(i int) *geo.ArcSet { return s.arcs[i] }
 
 // Add unions a footprint into the state and returns the realised coverage
 // gain.
@@ -56,10 +120,11 @@ func (s *State) Add(fp Footprint) Coverage {
 	var gain Coverage
 	for _, e := range fp.Entries {
 		w := s.m.pois[e.PoI].Weight
-		as, ok := s.arcs[e.PoI]
-		if !ok {
-			as = &geo.ArcSet{}
+		as := s.arcs[e.PoI]
+		if as == nil {
+			as = s.arena.take()
 			s.arcs[e.PoI] = as
+			s.touched = append(s.touched, int32(e.PoI))
 			gain.Point += w
 		}
 		gain.Aspect += w * s.m.aspectGain(e.PoI, as, e.Arc)
@@ -89,8 +154,8 @@ func (s *State) Gain(fp Footprint) Coverage {
 	var gain Coverage
 	for _, e := range fp.Entries {
 		w := s.m.pois[e.PoI].Weight
-		as, ok := s.arcs[e.PoI]
-		if !ok {
+		as := s.arcs[e.PoI]
+		if as == nil {
 			gain.Point += w
 			gain.Aspect += w * s.m.arcMeasure(e.PoI, e.Arc)
 			continue
@@ -100,17 +165,21 @@ func (s *State) Gain(fp Footprint) Coverage {
 	return gain
 }
 
-// Union merges another state (defined on the same map) into s.
+// Union merges another state (defined on the same map) into s. Iteration
+// follows o's first-touch order, so the result is deterministic.
 func (s *State) Union(o *State) {
 	if o == nil {
 		return
 	}
-	for i, oas := range o.arcs {
+	for _, i32 := range o.touched {
+		i := int(i32)
+		oas := o.arcs[i]
 		w := s.m.pois[i].Weight
-		as, ok := s.arcs[i]
-		if !ok {
-			as = &geo.ArcSet{}
+		as := s.arcs[i]
+		if as == nil {
+			as = s.arena.take()
 			s.arcs[i] = as
+			s.touched = append(s.touched, i32)
 			s.cov.Point += w
 		}
 		for _, a := range oas.Arcs() {
@@ -120,25 +189,38 @@ func (s *State) Union(o *State) {
 	}
 }
 
-// Clone returns a deep copy of the state.
+// Clone returns a deep copy of the state. The copy's storage is sized
+// exactly from the source — nothing grows or rehashes afterwards.
 func (s *State) Clone() *State {
-	c := &State{m: s.m, arcs: make(map[int]*geo.ArcSet, len(s.arcs)), cov: s.cov}
-	for i, as := range s.arcs {
-		c.arcs[i] = as.Clone()
+	c := &State{
+		m:       s.m,
+		arcs:    make([]*geo.ArcSet, len(s.arcs)),
+		touched: append(make([]int32, 0, len(s.touched)), s.touched...),
+		cov:     s.cov,
+	}
+	for _, i := range s.touched {
+		as := c.arena.take()
+		as.CopyFrom(s.arcs[i])
+		c.arcs[i] = as
 	}
 	return c
 }
 
-// Reset empties the state.
+// Reset empties the state, recycling every arc set for reuse.
 func (s *State) Reset() {
-	s.arcs = make(map[int]*geo.ArcSet)
+	for _, i := range s.touched {
+		s.arcs[i] = nil
+	}
+	s.touched = s.touched[:0]
+	s.arena.reset()
 	s.cov = Coverage{}
 }
 
 // Of computes the photo coverage C_ph(X, F) of a photo collection in one
 // shot. It is a convenience for callers that do not need incremental state.
 func (m *Map) Of(photos model.PhotoList) Coverage {
-	st := m.NewState()
+	st := m.AcquireState()
+	defer m.ReleaseState(st)
 	st.AddPhotos(photos)
 	return st.Coverage()
 }

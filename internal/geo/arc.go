@@ -67,25 +67,37 @@ type interval struct {
 	hi float64
 }
 
-// split decomposes an arc into at most two non-wrapping intervals.
-func (a Arc) split() []interval {
+// splitInto decomposes an arc into at most two non-wrapping intervals
+// without allocating.
+func (a Arc) splitInto() (ivs [2]interval, n int) {
 	if a.IsEmpty() {
-		return nil
+		return ivs, 0
 	}
 	if a.IsFull() {
-		return []interval{{0, TwoPi}}
+		ivs[0] = interval{0, TwoPi}
+		return ivs, 1
 	}
 	if end := a.End(); end > TwoPi {
-		return []interval{{a.Start, TwoPi}, {0, end - TwoPi}}
+		ivs[0] = interval{a.Start, TwoPi}
+		ivs[1] = interval{0, end - TwoPi}
+		return ivs, 2
 	}
-	return []interval{{a.Start, a.End()}}
+	ivs[0] = interval{a.Start, a.End()}
+	return ivs, 1
 }
 
 // ArcSet is a measurable union of arcs on the unit circle. The zero value is
-// an empty set ready for use. ArcSet is not safe for concurrent mutation.
+// an empty set ready for use. ArcSet is not safe for concurrent mutation;
+// once a set is no longer mutated, any number of goroutines may read it
+// concurrently (every query method is a pure read).
 type ArcSet struct {
 	// ivs holds disjoint, sorted, non-wrapping intervals.
 	ivs []interval
+	// measure memoizes the total length of ivs. It is maintained eagerly on
+	// every mutation (summed over ivs in order, so it is bit-identical to a
+	// fresh recomputation), which keeps Measure a pure — and therefore
+	// concurrency-safe — read.
+	measure float64
 }
 
 // NewArcSet returns a set containing the union of the given arcs.
@@ -99,7 +111,7 @@ func NewArcSet(arcs ...Arc) *ArcSet {
 
 // Clone returns an independent copy of the set.
 func (s *ArcSet) Clone() *ArcSet {
-	c := &ArcSet{}
+	c := &ArcSet{measure: s.measure}
 	if len(s.ivs) > 0 {
 		c.ivs = make([]interval, len(s.ivs))
 		copy(c.ivs, s.ivs)
@@ -107,8 +119,22 @@ func (s *ArcSet) Clone() *ArcSet {
 	return c
 }
 
+// CopyFrom makes s an exact copy of o, reusing s's interval storage. A nil
+// o empties s.
+func (s *ArcSet) CopyFrom(o *ArcSet) {
+	if o == nil {
+		s.Reset()
+		return
+	}
+	s.ivs = append(s.ivs[:0], o.ivs...)
+	s.measure = o.measure
+}
+
 // Reset empties the set, retaining allocated capacity.
-func (s *ArcSet) Reset() { s.ivs = s.ivs[:0] }
+func (s *ArcSet) Reset() {
+	s.ivs = s.ivs[:0]
+	s.measure = 0
+}
 
 // IsEmpty reports whether the set has zero measure.
 func (s *ArcSet) IsEmpty() bool { return len(s.ivs) == 0 }
@@ -116,16 +142,24 @@ func (s *ArcSet) IsEmpty() bool { return len(s.ivs) == 0 }
 // Len returns the number of maximal disjoint intervals in the set.
 func (s *ArcSet) Len() int { return len(s.ivs) }
 
-// Measure returns the total angular measure of the set, in [0, 2π].
+// Measure returns the total angular measure of the set, in [0, 2π]. It is a
+// pure read of the eagerly maintained memo: cost O(1), no mutation.
 func (s *ArcSet) Measure() float64 {
+	if s.measure > TwoPi {
+		return TwoPi
+	}
+	return s.measure
+}
+
+// recalcMeasure refreshes the measure memo after a mutation. Summation runs
+// over the intervals in order, matching what a direct recomputation would
+// produce bit-for-bit.
+func (s *ArcSet) recalcMeasure() {
 	var m float64
 	for _, iv := range s.ivs {
 		m += iv.hi - iv.lo
 	}
-	if m > TwoPi {
-		m = TwoPi
-	}
-	return m
+	s.measure = m
 }
 
 // Contains reports whether the angle belongs to the set.
@@ -141,20 +175,20 @@ func (s *ArcSet) Contains(angle float64) bool {
 
 // Add unions the arc into the set.
 func (s *ArcSet) Add(a Arc) {
-	for _, iv := range a.split() {
+	ivs, n := a.splitInto()
+	for _, iv := range ivs[:n] {
 		s.addInterval(iv)
 	}
 }
 
 // AddSet unions every interval of other into the set.
 func (s *ArcSet) AddSet(other *ArcSet) {
-	if other == nil {
+	if other == nil || other == s {
+		// Union with itself is a no-op; distinct sets never share interval
+		// storage, so other's intervals can be merged in directly.
 		return
 	}
-	// Copy first: other may alias s.
-	add := make([]interval, len(other.ivs))
-	copy(add, other.ivs)
-	for _, iv := range add {
+	for _, iv := range other.ivs {
 		s.addInterval(iv)
 	}
 }
@@ -162,9 +196,29 @@ func (s *ArcSet) AddSet(other *ArcSet) {
 // Gain returns the measure that Add(a) would contribute, without mutating
 // the set: Measure(s ∪ a) − Measure(s).
 func (s *ArcSet) Gain(a Arc) float64 {
+	ivs, n := a.splitInto()
 	var g float64
-	for _, iv := range a.split() {
+	for _, iv := range ivs[:n] {
 		g += s.intervalGain(iv)
+	}
+	return g
+}
+
+// GainArcs returns the total measure of the given non-wrapping arcs that the
+// set does not cover. The arcs must be non-wrapping (Start+Width ≤ 2π) and
+// mutually disjoint — e.g. the output of AppendUncovered — so nothing is
+// double counted. A nil receiver is an empty set: the result is the summed
+// width of the arcs.
+func (s *ArcSet) GainArcs(arcs []Arc) float64 {
+	var g float64
+	if s == nil || len(s.ivs) == 0 {
+		for _, a := range arcs {
+			g += a.Width
+		}
+		return g
+	}
+	for _, a := range arcs {
+		g += s.intervalGain(interval{a.Start, a.Start + a.Width})
 	}
 	return g
 }
@@ -231,18 +285,38 @@ func (s *ArcSet) addInterval(iv interval) {
 		s.ivs = append(s.ivs, interval{})
 		copy(s.ivs[i+1:], s.ivs[i:])
 		s.ivs[i] = interval{lo, hi}
+		s.recalcMeasure()
 		return
 	}
 	s.ivs[i] = interval{lo, hi}
 	s.ivs = append(s.ivs[:i+1], s.ivs[j:]...)
+	s.recalcMeasure()
 }
 
 // Uncovered returns the parts of arc a that the set does not cover, as
 // non-wrapping arcs sorted by start angle. Measures obey
 // Σ Uncovered(a) = Gain(a).
 func (s *ArcSet) Uncovered(a Arc) []Arc {
-	var out []Arc
-	for _, iv := range a.split() {
+	out := s.AppendUncovered(a, nil)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// AppendUncovered appends the parts of arc a the set does not cover to dst
+// and returns the extended slice. The appended arcs are non-wrapping and
+// mutually disjoint; unlike Uncovered they are not sorted across a seam
+// split. A nil receiver is an empty set: a's non-wrapping pieces are
+// appended unchanged. This is the allocation-free workhorse of the
+// scenario-delta evaluator.
+func (s *ArcSet) AppendUncovered(a Arc, dst []Arc) []Arc {
+	avs, n := a.splitInto()
+	if s == nil || len(s.ivs) == 0 {
+		for _, iv := range avs[:n] {
+			dst = append(dst, Arc{Start: iv.lo, Width: iv.hi - iv.lo})
+		}
+		return dst
+	}
+	for _, iv := range avs[:n] {
 		lo := iv.lo
 		for _, e := range s.ivs {
 			if e.lo >= iv.hi {
@@ -252,7 +326,7 @@ func (s *ArcSet) Uncovered(a Arc) []Arc {
 				continue
 			}
 			if e.lo > lo {
-				out = append(out, Arc{Start: lo, Width: math.Min(e.lo, iv.hi) - lo})
+				dst = append(dst, Arc{Start: lo, Width: math.Min(e.lo, iv.hi) - lo})
 			}
 			if e.hi > lo {
 				lo = e.hi
@@ -262,18 +336,18 @@ func (s *ArcSet) Uncovered(a Arc) []Arc {
 			}
 		}
 		if lo < iv.hi {
-			out = append(out, Arc{Start: lo, Width: iv.hi - lo})
+			dst = append(dst, Arc{Start: lo, Width: iv.hi - lo})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
-	return out
+	return dst
 }
 
 // Overlap returns the measure of the intersection of the set with arc a:
 // a.Width − Gain(a).
 func (s *ArcSet) Overlap(a Arc) float64 {
+	ivs, n := a.splitInto()
 	var g float64
-	for _, iv := range a.split() {
+	for _, iv := range ivs[:n] {
 		g += (iv.hi - iv.lo) - s.intervalGain(iv)
 	}
 	return g

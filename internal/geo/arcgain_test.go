@@ -1,0 +1,122 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSet builds a random arc set with up to n arcs.
+func randSet(rng *rand.Rand, n int) *ArcSet {
+	s := &ArcSet{}
+	for i := rng.Intn(n + 1); i > 0; i-- {
+		s.Add(NewArc(rng.Float64()*TwoPi, rng.Float64()*math.Pi))
+	}
+	return s
+}
+
+// TestAppendUncoveredMatchesUncovered checks the allocation-free variant
+// against the sorted reference on random inputs, including reuse of dst.
+func TestAppendUncoveredMatchesUncovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dst := make([]Arc, 0, 16)
+	for i := 0; i < 500; i++ {
+		s := randSet(rng, 6)
+		a := NewArc(rng.Float64()*TwoPi, rng.Float64()*TwoPi)
+		want := s.Uncovered(a)
+		dst = s.AppendUncovered(a, dst[:0])
+		if len(dst) != len(want) {
+			t.Fatalf("iter %d: %d pieces, want %d", i, len(dst), len(want))
+		}
+		var sum, wantSum float64
+		for _, p := range dst {
+			sum += p.Width
+			if p.Start+p.Width > TwoPi+1e-12 {
+				t.Fatalf("iter %d: wrapping piece %v", i, p)
+			}
+		}
+		for _, p := range want {
+			wantSum += p.Width
+		}
+		if math.Abs(sum-wantSum) > 1e-9 || math.Abs(sum-s.Gain(a)) > 1e-9 {
+			t.Fatalf("iter %d: pieces measure %v, want %v (Gain %v)", i, sum, wantSum, s.Gain(a))
+		}
+	}
+}
+
+// TestAppendUncoveredNilReceiver: a nil set covers nothing, so the arc's
+// non-wrapping decomposition comes back unchanged.
+func TestAppendUncoveredNilReceiver(t *testing.T) {
+	var s *ArcSet
+	a := NewArc(Radians(300), Radians(120)) // wraps the seam
+	got := s.AppendUncovered(a, nil)
+	if len(got) != 2 {
+		t.Fatalf("pieces = %d, want 2", len(got))
+	}
+	if tot := got[0].Width + got[1].Width; math.Abs(tot-a.Width) > 1e-12 {
+		t.Fatalf("total width %v, want %v", tot, a.Width)
+	}
+}
+
+// TestGainArcsMatchesGainSet: another set's Arcs() are disjoint non-wrapping
+// arcs, so GainArcs over them must equal GainSet of that set.
+func TestGainArcsMatchesGainSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		s, o := randSet(rng, 6), randSet(rng, 6)
+		got, want := s.GainArcs(o.Arcs()), s.GainSet(o)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("iter %d: GainArcs = %v, GainSet = %v", i, got, want)
+		}
+	}
+	// Nil receiver: everything is uncovered.
+	var nilSet *ArcSet
+	o := NewArcSet(NewArc(1, 0.5), NewArc(3, 0.25))
+	if got := nilSet.GainArcs(o.Arcs()); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("nil GainArcs = %v, want 0.75", got)
+	}
+}
+
+// TestMeasureMemo verifies the eagerly maintained measure equals a direct
+// interval sum after every kind of mutation, and survives Clone/CopyFrom.
+func TestMeasureMemo(t *testing.T) {
+	directMeasure := func(s *ArcSet) float64 {
+		var m float64
+		for _, a := range s.Arcs() {
+			m += a.Width
+		}
+		if m > TwoPi {
+			m = TwoPi
+		}
+		return m
+	}
+	rng := rand.New(rand.NewSource(13))
+	s := &ArcSet{}
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			s.Reset()
+		case 1:
+			s.AddSet(randSet(rng, 4))
+		case 2:
+			c := s.Clone()
+			if c.Measure() != s.Measure() {
+				t.Fatal("Clone changed measure")
+			}
+			s = c
+		case 3:
+			c := &ArcSet{}
+			c.Add(NewArc(0, 1)) // pre-existing content must be replaced
+			c.CopyFrom(s)
+			if c.Measure() != s.Measure() {
+				t.Fatal("CopyFrom changed measure")
+			}
+			s = c
+		default:
+			s.Add(NewArc(rng.Float64()*TwoPi, rng.Float64()*math.Pi))
+		}
+		if got, want := s.Measure(), directMeasure(s); got != want {
+			t.Fatalf("iter %d: memoized Measure = %v, direct = %v", i, got, want)
+		}
+	}
+}

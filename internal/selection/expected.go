@@ -10,10 +10,16 @@
 // numbers matter: every candidate photo is ranked against the same sampled
 // outcomes, which removes sampling noise from the comparisons the greedy
 // makes.
+//
+// Internally the evaluator is a coverage.DeltaSet: all outcomes share one
+// immutable base state and each scenario stores only the arcs its
+// delivering nodes add, so construction never clones the base and a Gain
+// query is a single footprint walk regardless of the scenario count.
 package selection
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"photodtn/internal/coverage"
@@ -31,7 +37,20 @@ type Config struct {
 	// Seed drives scenario sampling; callers should derive it
 	// deterministically (e.g. from the contact) for reproducibility.
 	Seed int64
+	// Parallel opts GreedyFill into the parallel gain scan: candidate gains
+	// are evaluated by a worker pool bounded by GOMAXPROCS, with a
+	// deterministic reduction order — selections are identical to the
+	// serial scan. Off by default: simulation sweeps already parallelise
+	// across runs (sim.RunMany), where an inner pool would oversubscribe.
+	Parallel bool
+	// ParallelThreshold is the minimum number of candidates before workers
+	// engage; below it the serial scan wins. Zero means a sensible default.
+	ParallelThreshold int
 }
+
+// DefaultParallelThreshold is the candidate-pool size below which the
+// parallel gain scan falls back to the serial path.
+const DefaultParallelThreshold = 32
 
 // DefaultConfig returns evaluation parameters that keep per-contact cost
 // low while leaving ranking quality indistinguishable from exact in
@@ -46,6 +65,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Samples <= 0 {
 		c.Samples = 24
+	}
+	if c.ParallelThreshold <= 0 {
+		c.ParallelThreshold = DefaultParallelThreshold
 	}
 	return c
 }
@@ -65,20 +87,16 @@ type bgNode struct {
 	fps []coverage.Footprint
 }
 
-// scenario is one delivery outcome: the coverage state the command center
-// ends with, weighted by the outcome's probability.
-type scenario struct {
-	w  float64
-	st *coverage.State
-}
-
 // Evaluator computes expected coverage and expected marginal gains for
 // photos being selected onto a single target node, against a fixed
 // background of probabilistic nodes plus the command center's own
 // collection (which is always "delivered", b_0 = 1).
 type Evaluator struct {
-	m    *coverage.Map
-	scen []scenario
+	m  *coverage.Map
+	ds *coverage.DeltaSet
+
+	parallel  bool
+	threshold int
 }
 
 // NewEvaluator builds an evaluator. ccFPs are the footprints of the photos
@@ -86,7 +104,7 @@ type Evaluator struct {
 // their delivery probabilities and the footprints of their photos.
 func NewEvaluator(m *coverage.Map, cfg Config, ccFPs []coverage.Footprint, background []bgNode) *Evaluator {
 	cfg = cfg.normalized()
-	base := m.NewState()
+	base := m.AcquireState()
 	for _, fp := range ccFPs {
 		base.Add(fp)
 	}
@@ -105,20 +123,48 @@ func NewEvaluator(m *coverage.Map, cfg Config, ccFPs []coverage.Footprint, backg
 		}
 		live = append(live, b)
 	}
-	ev := &Evaluator{m: m}
+	ev := &Evaluator{
+		m:         m,
+		ds:        coverage.NewDeltaSet(base),
+		parallel:  cfg.Parallel,
+		threshold: cfg.ParallelThreshold,
+	}
 	if len(live) <= cfg.ExactLimit {
-		ev.enumerate(base, live)
+		ev.enumerate(live)
 	} else {
-		ev.sample(base, live, cfg)
+		ev.sample(live, cfg)
 	}
 	return ev
 }
 
-// enumerate builds all 2^k delivery outcomes of the live background nodes.
-func (e *Evaluator) enumerate(base *coverage.State, live []bgNode) {
+// compileLive subtracts the (now final) base from every live node's
+// footprints once; scenario construction then replays the cheap residuals
+// instead of re-subtracting the base per outcome.
+func (e *Evaluator) compileLive(live []bgNode) [][]coverage.Residual {
+	total := 0
+	for _, b := range live {
+		total += len(b.fps)
+	}
+	flat := make([]coverage.Residual, total)
+	resid := make([][]coverage.Residual, len(live))
+	k := 0
+	for i, b := range live {
+		resid[i] = flat[k : k+len(b.fps) : k+len(b.fps)]
+		k += len(b.fps)
+		for j, fp := range b.fps {
+			e.ds.CompileResidual(fp, &resid[i][j])
+		}
+	}
+	return resid
+}
+
+// enumerate builds all 2^k delivery outcomes of the live background nodes
+// as overlays on the shared base.
+func (e *Evaluator) enumerate(live []bgNode) {
+	resid := e.compileLive(live)
 	n := len(live)
 	total := 1 << n
-	e.scen = make([]scenario, 0, total)
+	e.ds.Reserve(total)
 	for mask := 0; mask < total; mask++ {
 		w := 1.0
 		for i, b := range live {
@@ -131,33 +177,32 @@ func (e *Evaluator) enumerate(base *coverage.State, live []bgNode) {
 		if w <= 0 {
 			continue
 		}
-		st := base.Clone()
-		for i, b := range live {
+		si := e.ds.AddScenario(w)
+		for i := range live {
 			if mask&(1<<i) != 0 {
-				for _, fp := range b.fps {
-					st.Add(fp)
+				for j := range resid[i] {
+					e.ds.AddResidual(si, &resid[i][j])
 				}
 			}
 		}
-		e.scen = append(e.scen, scenario{w: w, st: st})
 	}
 }
 
 // sample builds Monte Carlo delivery outcomes with common random numbers.
-func (e *Evaluator) sample(base *coverage.State, live []bgNode, cfg Config) {
+func (e *Evaluator) sample(live []bgNode, cfg Config) {
+	resid := e.compileLive(live)
+	e.ds.Reserve(cfg.Samples)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := 1.0 / float64(cfg.Samples)
-	e.scen = make([]scenario, 0, cfg.Samples)
 	for s := 0; s < cfg.Samples; s++ {
-		st := base.Clone()
-		for _, b := range live {
+		si := e.ds.AddScenario(w)
+		for i, b := range live {
 			if rng.Float64() < b.p {
-				for _, fp := range b.fps {
-					st.Add(fp)
+				for j := range resid[i] {
+					e.ds.AddResidual(si, &resid[i][j])
 				}
 			}
 		}
-		e.scen = append(e.scen, scenario{w: w, st: st})
 	}
 }
 
@@ -167,34 +212,61 @@ func (e *Evaluator) sample(base *coverage.State, live []bgNode, cfg Config) {
 // common to every candidate, so it affects neither ranking nor the
 // "no more benefit" stopping rule.
 func (e *Evaluator) Gain(fp coverage.Footprint) coverage.Coverage {
-	var g coverage.Coverage
-	for _, s := range e.scen {
-		g = g.Add(s.st.Gain(fp).Scale(s.w))
-	}
-	return g
+	return e.ds.Gain(fp)
+}
+
+// gainWith is Gain with caller-supplied scratch; the parallel scan gives
+// each worker its own scratch and calls this concurrently (reads only).
+func (e *Evaluator) gainWith(fp coverage.Footprint, sc *coverage.GainScratch) coverage.Coverage {
+	return e.ds.GainWith(fp, sc)
 }
 
 // Commit adds the footprint to every scenario: the target node now holds
 // the photo in all outcomes where it delivers (which, within one selection
 // phase, is the conditional world Gain already lives in).
 func (e *Evaluator) Commit(fp coverage.Footprint) {
-	for _, s := range e.scen {
-		s.st.Add(fp)
-	}
+	e.ds.Commit(fp)
 }
 
 // Expected returns the expected coverage of the current scenario set,
 // E_B[C_ph(∪ delivered)].
 func (e *Evaluator) Expected() coverage.Coverage {
-	var c coverage.Coverage
-	for _, s := range e.scen {
-		c = c.Add(s.st.Coverage().Scale(s.w))
-	}
-	return c
+	return e.ds.Expected()
 }
 
 // Scenarios returns the number of delivery outcomes the evaluator tracks.
-func (e *Evaluator) Scenarios() int { return len(e.scen) }
+func (e *Evaluator) Scenarios() int {
+	if e.ds == nil {
+		return 0
+	}
+	return e.ds.Scenarios()
+}
+
+// Release returns the evaluator's pooled coverage states to the map for
+// reuse by later contacts. Optional — skipping it only forfeits recycling —
+// but the evaluator must not be used afterwards.
+func (e *Evaluator) Release() {
+	if e.ds != nil {
+		e.ds.Release()
+		e.ds = nil
+	}
+}
+
+// workers returns the parallel fan-out for n independent gain queries, or
+// 0 when the serial path should be used.
+func (e *Evaluator) workers(n int) int {
+	if !e.parallel || n < e.threshold {
+		return 0
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return 0
+	}
+	return w
+}
 
 // footprintsOf compiles the useful (non-empty) footprints of a collection
 // through the memoizing cache.
@@ -218,7 +290,9 @@ func ExpectedCoverage(m *coverage.Map, cfg Config, ccPhotos model.PhotoList, par
 	for _, p := range parts {
 		bg = append(bg, bgNode{p: p.P, fps: footprintsOf(fpc, p.Photos)})
 	}
-	return NewEvaluator(m, cfg, footprintsOf(fpc, ccPhotos), bg).Expected()
+	ev := NewEvaluator(m, cfg, footprintsOf(fpc, ccPhotos), bg)
+	defer ev.Release()
+	return ev.Expected()
 }
 
 // ExactExpectedCoverage evaluates Definition 2 by direct enumeration of all

@@ -2,6 +2,7 @@ package selection
 
 import (
 	"container/heap"
+	"sync"
 
 	"photodtn/internal/coverage"
 	"photodtn/internal/model"
@@ -43,9 +44,15 @@ type candHeap struct {
 }
 
 type cand struct {
-	item  Item
-	gain  coverage.Coverage
-	round int // selection round the gain was computed in
+	item Item
+	// resid caches the candidate's footprint with the evaluator's base
+	// subtracted out. The base is frozen once scenarios exist, so the
+	// residual is compiled once (first gain query) and reused across every
+	// CELF round.
+	resid    coverage.Residual
+	compiled bool
+	gain     coverage.Coverage
+	round    int // selection round the gain was computed in
 }
 
 func (h *candHeap) Len() int { return len(h.items) }
@@ -76,17 +83,26 @@ func (h *candHeap) Pop() any {
 // at every step, until the storage is full or no photo adds any benefit.
 // The returned photos are in selection order — which is also the
 // transmission priority order the transfer phase uses.
+//
+// When the evaluator's Config.Parallel is set and the pool front is large
+// enough, candidate gains are computed by a worker pool bounded by
+// GOMAXPROCS. Gains are pure reads against the frozen scenario set and the
+// heap order is a strict total order (gain, then photo ID), so the
+// selection is bit-identical to the serial scan.
 func GreedyFill(ev *Evaluator, pool []Item, capacity int64) model.PhotoList {
 	h := &candHeap{items: make([]*cand, 0, len(pool))}
 	for _, it := range pool {
 		if it.Photo.Size > capacity {
 			continue
 		}
-		h.items = append(h.items, &cand{item: it, gain: ev.Gain(it.FP), round: 0})
+		h.items = append(h.items, &cand{item: it, round: 0})
 	}
+	// Initial scan: every candidate's gain against the fresh scenario set.
+	ev.gainBatch(h.items)
 	heap.Init(h)
 
 	var selected model.PhotoList
+	var stale []*cand // scratch for batched stale recomputation
 	remaining := capacity
 	round := 0
 	for h.Len() > 0 && remaining > 0 {
@@ -96,10 +112,27 @@ func GreedyFill(ev *Evaluator, pool []Item, capacity int64) model.PhotoList {
 			continue
 		}
 		if top.round != round {
-			// Stale cached gain: recompute and reheapify (lazy greedy).
-			top.gain = ev.Gain(top.item.FP)
-			top.round = round
-			heap.Fix(h, 0)
+			// Stale cached gain (lazy greedy). Recompute and reheapify; with
+			// the parallel scan on, drain the whole stale run off the top and
+			// recompute it in one batch — those candidates are the likeliest
+			// next winners, and batch size is what feeds the worker pool.
+			if w := ev.workers(h.Len()); w > 0 {
+				stale = stale[:0]
+				for h.Len() > 0 && h.items[0].round != round {
+					stale = append(stale, heap.Pop(h).(*cand))
+				}
+				for _, c := range stale {
+					c.round = round
+				}
+				ev.gainBatch(stale)
+				for _, c := range stale {
+					heap.Push(h, c)
+				}
+			} else {
+				ev.gainCand(top, nil)
+				top.round = round
+				heap.Fix(h, 0)
+			}
 			continue
 		}
 		if top.gain.IsZero() {
@@ -114,6 +147,51 @@ func GreedyFill(ev *Evaluator, pool []Item, capacity int64) model.PhotoList {
 		round++
 	}
 	return selected
+}
+
+// gainCand refreshes a candidate's gain, compiling its residual on first
+// use. A nil scratch selects the evaluator's serial scratch; concurrent
+// callers must pass their own.
+func (e *Evaluator) gainCand(c *cand, sc *coverage.GainScratch) {
+	if !c.compiled {
+		e.ds.CompileResidual(c.item.FP, &c.resid)
+		c.compiled = true
+	}
+	if sc != nil {
+		c.gain = e.ds.GainResidual(&c.resid, sc)
+	} else {
+		c.gain = e.ds.GainCached(&c.resid)
+	}
+}
+
+// gainBatch fills in the gain of every candidate, fanning out to a worker
+// pool when the evaluator allows it. Results are written by index, so the
+// outcome is independent of worker scheduling.
+func (e *Evaluator) gainBatch(cands []*cand) {
+	w := e.workers(len(cands))
+	if w == 0 {
+		for _, c := range cands {
+			e.gainCand(c, nil)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cands) + w - 1) / w
+	for start := 0; start < len(cands); start += chunk {
+		end := start + chunk
+		if end > len(cands) {
+			end = len(cands)
+		}
+		wg.Add(1)
+		go func(cands []*cand) {
+			defer wg.Done()
+			sc := e.ds.NewScratch()
+			for _, c := range cands {
+				e.gainCand(c, sc)
+			}
+		}(cands[start:end])
+	}
+	wg.Wait()
 }
 
 // Alloc describes one side of a contact for reallocation: the node, its
@@ -175,10 +253,12 @@ func Reallocate(fpc *coverage.FootprintCache, cfg Config, ccPhotos model.PhotoLi
 
 	ev1 := NewEvaluator(m, cfg, ccFPs, bg)
 	firstSel := GreedyFill(ev1, pool, first.Capacity)
+	ev1.Release()
 
 	bg2 := append(bg[:len(bg):len(bg)], bgNode{p: first.P, fps: footprintsOf(fpc, firstSel)})
 	ev2 := NewEvaluator(m, cfg, ccFPs, bg2)
 	secondSel := GreedyFill(ev2, pool, second.Capacity)
+	ev2.Release()
 
 	if aFirst {
 		return Result{ASel: firstSel, BSel: secondSel, AFirst: true}
@@ -192,6 +272,7 @@ func Reallocate(fpc *coverage.FootprintCache, cfg Config, ccPhotos model.PhotoLi
 // Returns photos in upload priority order.
 func SelectForUpload(fpc *coverage.FootprintCache, cfg Config, ccPhotos, nodePhotos model.PhotoList) model.PhotoList {
 	ev := NewEvaluator(fpc.Map(), cfg, footprintsOf(fpc, ccPhotos), nil)
+	defer ev.Release()
 	pool := BuildPool(fpc, nodePhotos)
 	// Upload capacity is bounded by the contact budget, not storage; pass
 	// the total pool size and let the transfer phase cut it off.

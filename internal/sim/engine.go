@@ -73,6 +73,12 @@ type Config struct {
 	// clock skew. Nil or a zero-valued config is a strict no-op — the run
 	// is bit-identical to one without the fault layer.
 	Faults *faults.Config
+	// ParallelSelection opts schemes into the parallel gain scan during
+	// per-contact photo selection (selection.Config.Parallel). Results are
+	// bit-identical to the serial scan; it pays off when a single run is
+	// latency-critical (sweeps already parallelise across runs, where the
+	// inner pool would only oversubscribe).
+	ParallelSelection bool
 }
 
 // ErrBadSimConfig reports an invalid simulation configuration.
@@ -186,6 +192,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := newWorld(cfg.Map, cfg.Trace.Nodes, capacity, rng)
+	w.ParallelSelection = cfg.ParallelSelection
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		fm, err := faults.NewModel(*cfg.Faults, cfg.Trace.Nodes, span, cfg.Seed)
 		if err != nil {

@@ -29,6 +29,10 @@ type World struct {
 	// (the engine then behaves bit-identically to a fault-free build).
 	faults *faults.Model
 
+	// ParallelSelection mirrors Config.ParallelSelection for schemes to pick
+	// up in Init (schemes see only the World, not the engine Config).
+	ParallelSelection bool
+
 	// Aggregate transfer statistics.
 	transferredBytes  int64
 	transferredPhotos int64
