@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-short bench-all fuzz
+.PHONY: tier1 build vet test race race-obs bench bench-short bench-all fuzz trace-demo
 
 # tier1 is the merge gate: everything must pass before a change lands.
 tier1: build vet test race bench-short
@@ -16,6 +16,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-obs is the focused race pass over the observability-instrumented
+# packages (a faster loop than the full `race` while working on them).
+race-obs:
+	$(GO) test -race ./internal/obs/ ./internal/sim/ ./internal/coverage/ ./internal/peer/
 
 # bench regenerates the committed evaluator baseline BENCH_selection.json
 # from the selection micro-benchmarks (construction / Gain / Commit /
@@ -37,3 +42,11 @@ bench-all:
 # Short fuzz pass over the wire decoder (corruption hardening).
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=30s ./internal/wire/
+
+# trace-demo produces a sample observability bundle under trace-demo/: a
+# JSONL event trace, the subsystem counters, and the run manifests.
+trace-demo:
+	mkdir -p trace-demo
+	$(GO) run ./cmd/photodtn-sim -span 40 -sample 20 \
+		-trace-out trace-demo/events.jsonl -metrics-out trace-demo/metrics.json
+	@echo "wrote trace-demo/events.jsonl (+ metrics.json, manifests)"

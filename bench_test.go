@@ -12,6 +12,7 @@ import (
 	"photodtn/internal/faults"
 	"photodtn/internal/geo"
 	"photodtn/internal/model"
+	"photodtn/internal/obs"
 	"photodtn/internal/prophet"
 	"photodtn/internal/routing"
 	"photodtn/internal/selection"
@@ -86,7 +87,7 @@ func BenchmarkFig8PhotoRate(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks (DESIGN.md §5) ---
+// --- Ablation benchmarks (DESIGN.md §6) ---
 
 func BenchmarkAblationPthld(b *testing.B) {
 	benchFigure(b, func() (*experiments.Figure, error) { return experiments.AblationPthld(benchOpts()) })
@@ -301,6 +302,31 @@ func BenchmarkEngineWithFaults(b *testing.B) {
 		runWith(b, &faults.Config{
 			Seed: 1, NodeFailRate: 0.3, MeanDowntimeSec: 6 * 3600, FrameLossProb: 0.1,
 		})
+	})
+}
+
+// BenchmarkObsEngine pins the observability overhead contract on a full
+// engine run: "off" is the disabled state (nil observer, no instrumentation
+// cost beyond nil checks), "on" pays live atomic counters plus the event
+// trace ring. The pair should be within noise of each other.
+func BenchmarkObsEngine(b *testing.B) {
+	runWith := func(b *testing.B, makeObs func() *obs.Observer) {
+		p := experiments.DefaultParams(experiments.MIT)
+		p.SpanHours = 30
+		for i := 0; i < b.N; i++ {
+			p.Obs = makeObs()
+			cfg, scheme, err := experiments.Build(p, experiments.SchemeOurs, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(cfg, scheme); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { runWith(b, func() *obs.Observer { return nil }) })
+	b.Run("on", func(b *testing.B) {
+		runWith(b, func() *obs.Observer { return obs.New(obs.DefaultTraceCap, nil) })
 	})
 }
 

@@ -30,6 +30,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"b_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds any other reported units (MB/s, custom b.ReportMetric
+	// units) keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the full converted report.
@@ -94,9 +97,16 @@ func main() {
 // parseLine parses one benchmark result line of the form
 //
 //	BenchmarkName-8   12345   678.9 ns/op   10 B/op   2 allocs/op
+//
+// Any subset of the value/unit pairs may be present (no -benchmem drops the
+// B/op and allocs/op columns; b.ReportMetric with ns/op replaces the time
+// column entirely) and units beyond the three standard ones — MB/s,
+// custom b.ReportMetric units — are collected into Metrics instead of being
+// discarded. A pair that fails to parse is skipped, not fatal for the whole
+// line; the line is kept as long as at least one metric parsed.
 func parseLine(line string) (Result, bool) {
 	f := strings.Fields(line)
-	if len(f) < 4 {
+	if len(f) < 2 {
 		return Result{}, false
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
@@ -104,24 +114,36 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	r := Result{Name: trimProcs(f[0]), Iterations: iters}
+	parsed := false
 	for i := 2; i+1 < len(f); i += 2 {
 		val, unit := f[i], f[i+1]
 		switch unit {
 		case "ns/op":
-			r.NsPerOp, err = strconv.ParseFloat(val, 64)
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				r.NsPerOp = v
+				parsed = true
+			}
 		case "B/op":
-			r.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = v
+				parsed = true
+			}
 		case "allocs/op":
-			r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
-		}
-		if err != nil {
-			return Result{}, false
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = v
+				parsed = true
+			}
+		default:
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+				parsed = true
+			}
 		}
 	}
-	if r.NsPerOp == 0 {
-		return Result{}, false
-	}
-	return r, true
+	return r, parsed
 }
 
 // trimProcs strips the trailing -N GOMAXPROCS suffix from a benchmark name.

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	tests := []struct {
+		name string
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			name: "full benchmem line",
+			line: "BenchmarkEvaluator/n=32-8   12345   678.9 ns/op   1024 B/op   7 allocs/op",
+			want: Result{
+				Name: "BenchmarkEvaluator/n=32", Iterations: 12345,
+				NsPerOp: 678.9, BytesPerOp: 1024, AllocsPerOp: 7,
+			},
+			ok: true,
+		},
+		{
+			name: "time only (no -benchmem)",
+			line: "BenchmarkGreedy-4 200 51234 ns/op",
+			want: Result{Name: "BenchmarkGreedy", Iterations: 200, NsPerOp: 51234},
+			ok:   true,
+		},
+		{
+			name: "zero allocs still parses",
+			line: "BenchmarkNoop-8 1000000000 0.25 ns/op 0 B/op 0 allocs/op",
+			want: Result{Name: "BenchmarkNoop", Iterations: 1000000000, NsPerOp: 0.25},
+			ok:   true,
+		},
+		{
+			name: "custom unit only, no ns/op",
+			line: "BenchmarkThroughput-8 50 128.5 MB/s",
+			want: Result{
+				Name: "BenchmarkThroughput", Iterations: 50,
+				Metrics: map[string]float64{"MB/s": 128.5},
+			},
+			ok: true,
+		},
+		{
+			name: "custom ReportMetric unit alongside ns/op",
+			line: "BenchmarkScan-8 30 4567 ns/op 12.5 scenarios/op 3 allocs/op",
+			want: Result{
+				Name: "BenchmarkScan", Iterations: 30, NsPerOp: 4567, AllocsPerOp: 3,
+				Metrics: map[string]float64{"scenarios/op": 12.5},
+			},
+			ok: true,
+		},
+		{
+			name: "malformed pair skipped, rest kept",
+			line: "BenchmarkPartial-8 10 garbage B/op 99 ns/op",
+			want: Result{Name: "BenchmarkPartial", Iterations: 10, NsPerOp: 99},
+			ok:   true,
+		},
+		{
+			name: "no GOMAXPROCS suffix",
+			line: "BenchmarkPlain 7 3.5 ns/op",
+			want: Result{Name: "BenchmarkPlain", Iterations: 7, NsPerOp: 3.5},
+			ok:   true,
+		},
+		{
+			name: "bad iteration count",
+			line: "BenchmarkBroken-8 xyz 99 ns/op",
+			ok:   false,
+		},
+		{
+			name: "no metrics at all",
+			line: "BenchmarkBare-8 100",
+			ok:   false,
+		},
+		{
+			name: "only unparsable pairs",
+			line: "BenchmarkBad-8 100 foo bar",
+			ok:   false,
+		},
+		{
+			name: "name only",
+			line: "BenchmarkName-8",
+			ok:   false,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseLine(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("parseLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parseLine(%q)\n got %+v\nwant %+v", tc.line, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"BenchmarkFoo-8", "BenchmarkFoo"},
+		{"BenchmarkFoo-128", "BenchmarkFoo"},
+		{"BenchmarkFoo", "BenchmarkFoo"},
+		{"BenchmarkFoo/sub=a-b-4", "BenchmarkFoo/sub=a-b"},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar"},
+	}
+	for _, tc := range tests {
+		if got := trimProcs(tc.in); got != tc.want {
+			t.Errorf("trimProcs(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -6,11 +6,18 @@
 //
 //	photodtn-experiments [-exp all|tab1|fig3|fig5|fig6|fig7|fig8|faults|ablations]
 //	                     [-runs N] [-seed S] [-quick] [-out FILE]
+//	                     [-trace FILE] [-metrics-out FILE]
 //	                     [-cpuprofile FILE] [-memprofile FILE]
 //
 // The -cpuprofile and -memprofile flags write runtime/pprof profiles of the
 // experiment run (the selection evaluator dominates both), for use with
 // `go tool pprof`.
+//
+// The -trace flag streams every simulation event of the selected experiments
+// as JSONL; -metrics-out dumps the aggregated subsystem counters as JSON.
+// A run manifest (config hash, seed, git revision, machine) is written next
+// to every output file (-out, -trace, -metrics-out). With neither
+// observability flag set the runs are bit-identical to unobserved ones.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"strings"
 
 	"photodtn/internal/experiments"
+	"photodtn/internal/obs"
 )
 
 func main() {
@@ -43,6 +51,9 @@ func run(args []string, stdout io.Writer) error {
 		out   = fs.String("out", "", "also write the report to this file")
 		cpu   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		mem   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+		traceOut   = fs.String("trace", "", "write the structured simulation event trace as JSONL to this file")
+		metricsOut = fs.String("metrics-out", "", "write aggregated subsystem counters/histograms as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +84,20 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 	opts := experiments.Options{Runs: *runs, BaseSeed: *seed, Quick: *quick}
+	var traceFile *os.File
+	if *traceOut != "" || *metricsOut != "" {
+		var sink io.Writer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			defer f.Close()
+			traceFile = f
+			sink = f
+		}
+		opts.Obs = obs.New(obs.DefaultTraceCap, sink)
+	}
 
 	var report strings.Builder
 	emit := func(s string) {
@@ -130,9 +155,38 @@ func run(args []string, stdout io.Writer) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	var outputs []string
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
 			return fmt.Errorf("write report: %w", err)
+		}
+		outputs = append(outputs, *out)
+	}
+	if opts.Obs != nil {
+		if err := opts.Obs.Flush(); err != nil {
+			return fmt.Errorf("flush trace: %w", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			outputs = append(outputs, *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := opts.Obs.Metrics.WriteFile(*metricsOut); err != nil {
+				return err
+			}
+			outputs = append(outputs, *metricsOut)
+		}
+	}
+	if len(outputs) > 0 {
+		config := fmt.Sprintf("exp=%s runs=%d quick=%v", *exp, *runs, *quick)
+		man := obs.NewManifest("photodtn-experiments", args, config, *seed, *runs)
+		man.Outputs = outputs
+		for _, o := range outputs {
+			if err := man.Write(obs.ManifestPath(o)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -8,11 +8,18 @@
 //	             [-span HOURS] [-sample HOURS] [-runs N] [-seed S]
 //	             [-fail-rate P] [-fail-downtime H] [-frame-loss P]
 //	             [-contact-drop P] [-gateway-outage P] [-clock-skew S]
-//	             [-fault-seed S]
+//	             [-fault-seed S] [-trace-out FILE] [-metrics-out FILE]
 //
 // The -fail-rate, -frame-loss, and companion flags enable the deterministic
 // fault model of internal/faults; with all of them zero the run is
 // bit-identical to a fault-free simulation.
+//
+// The -trace-out flag streams the run's structured event trace as JSONL
+// (requires -runs 1 so events are not interleaved across runs); -metrics-out
+// dumps every subsystem counter/histogram as JSON. Both write a run manifest
+// (config hash, seed, git revision, machine) next to the output file. With
+// neither flag set, observability is fully disabled and the simulation is
+// bit-identical to an unobserved run.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"photodtn/internal/experiments"
 	"photodtn/internal/faults"
 	"photodtn/internal/geo"
+	"photodtn/internal/obs"
 	"photodtn/internal/trace"
 )
 
@@ -57,6 +65,9 @@ func run(args []string, stdout io.Writer) error {
 		outage    = fs.Float64("gateway-outage", 0, "probability a gateway contact is lost")
 		skew      = fs.Float64("clock-skew", 0, "max per-node clock skew in seconds")
 		faultSeed = fs.Int64("fault-seed", 0, "fault realisation seed (combined with the run seed)")
+
+		traceOut   = fs.String("trace-out", "", "write the structured event trace as JSONL to this file (requires -runs 1)")
+		metricsOut = fs.String("metrics-out", "", "write subsystem counters/histograms as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,9 +119,36 @@ func run(args []string, stdout io.Writer) error {
 		p.Faults = &fc
 	}
 
+	var (
+		observer  *obs.Observer
+		traceFile *os.File
+	)
+	if *traceOut != "" || *metricsOut != "" {
+		var sink io.Writer
+		if *traceOut != "" {
+			if *runs != 1 {
+				return fmt.Errorf("-trace-out requires -runs 1: events from parallel runs would interleave")
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("trace-out: %w", err)
+			}
+			defer f.Close()
+			traceFile = f
+			sink = f
+		}
+		observer = obs.New(obs.DefaultTraceCap, sink)
+		p.Obs = observer
+	}
+
 	avg, err := experiments.RunAveraged(p, *scheme, *runs, *seed)
 	if err != nil {
 		return err
+	}
+	if observer != nil {
+		if err := writeObsOutputs(observer, traceFile, *traceOut, *metricsOut, args, p, *scheme, *runs, *seed); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(stdout, "scheme=%s trace=%v storage=%.2fGB rate=%.0f/h runs=%d\n",
 		avg.Scheme, kind, *storage, *rate, avg.Runs)
@@ -127,4 +165,49 @@ func run(args []string, stdout io.Writer) error {
 			avg.NodeCrashes, avg.PhotosLostToCrash, avg.AbortedTransfers, avg.MeanRecoverySec)
 	}
 	return nil
+}
+
+// writeObsOutputs flushes the trace, dumps the metric registry, and writes a
+// run manifest next to every observability output file.
+func writeObsOutputs(o *obs.Observer, traceFile *os.File, traceOut, metricsOut string,
+	args []string, p experiments.Params, scheme string, runs int, seed int64) error {
+	if err := o.Flush(); err != nil {
+		return fmt.Errorf("flush trace: %w", err)
+	}
+	var outputs []string
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		outputs = append(outputs, traceOut)
+	}
+	if metricsOut != "" {
+		if err := o.Metrics.WriteFile(metricsOut); err != nil {
+			return err
+		}
+		outputs = append(outputs, metricsOut)
+	}
+	man := obs.NewManifest("photodtn-sim", args, configString(p, scheme), seed, runs)
+	man.Outputs = outputs
+	for _, out := range outputs {
+		if err := man.Write(obs.ManifestPath(out)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// configString renders the effective scenario canonically for the manifest's
+// config hash: same scenario → same hash, regardless of flag order.
+func configString(p experiments.Params, scheme string) string {
+	s := fmt.Sprintf("scheme=%s trace=%v storage=%g rate=%g bandwidth=%g cap=%g span=%g sample=%g theta=%g gateways=%g",
+		scheme, p.Trace, p.StorageGB, p.PhotosPerHour, p.BandwidthMBs,
+		p.ContactCapSec, p.SpanHours, p.SampleHours, p.Theta, p.GatewayFrac)
+	if p.CustomTrace != nil {
+		s += fmt.Sprintf(" custom-trace-nodes=%d", p.CustomTrace.Nodes)
+	}
+	if p.Faults != nil {
+		s += fmt.Sprintf(" faults=%+v", *p.Faults)
+	}
+	return s
 }

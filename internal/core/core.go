@@ -17,6 +17,7 @@ package core
 import (
 	"photodtn/internal/metadata"
 	"photodtn/internal/model"
+	"photodtn/internal/obs"
 	"photodtn/internal/prophet"
 	"photodtn/internal/selection"
 	"photodtn/internal/sim"
@@ -67,6 +68,11 @@ type Scheme struct {
 	nodes []*nodeState
 	solo  map[model.PhotoID]coverage.Coverage
 	fpc   *coverage.FootprintCache
+
+	// Observability (all nil — no-ops — when the world has no observer).
+	obsv           *obs.Observer
+	cInvalidations *obs.Counter
+	hTableAge      *obs.Histogram
 }
 
 var _ sim.Scheme = (*Scheme)(nil)
@@ -92,6 +98,12 @@ func (s *Scheme) Init(w *sim.World) {
 	s.cfg.Selection.Parallel = s.cfg.Selection.Parallel || w.ParallelSelection
 	s.solo = make(map[model.PhotoID]coverage.Coverage)
 	s.fpc = coverage.NewFootprintCache(w.Map)
+	o := w.Obs()
+	s.obsv = o
+	s.cfg.Selection.Metrics = selection.ObserverMetrics(o)
+	s.cInvalidations = o.Counter("metadata.invalidations")
+	s.hTableAge = o.Histogram("prophet.table_age_sec")
+	s.fpc.SetMetrics(o.Counter("coverage.fp_cache_hits"), o.Counter("coverage.fp_cache_misses"))
 	s.nodes = make([]*nodeState, w.NumNodes()+1)
 	for i := range s.nodes {
 		s.nodes[i] = &nodeState{
@@ -195,6 +207,8 @@ func (s *Scheme) peerContact(sess *sim.Session) {
 	nsA, nsB := s.nodes[a], s.nodes[b]
 	nsA.rate.Observe(b, now)
 	nsB.rate.Observe(a, now)
+	s.hTableAge.Observe(now - nsA.table.LastAged())
+	s.hTableAge.Observe(now - nsB.table.LastAged())
 	prophet.Exchange(nsA.table, nsB.table, now)
 	pa := nsA.table.DeliveryProb(now)
 	pb := nsB.table.DeliveryProb(now)
@@ -216,8 +230,19 @@ func (s *Scheme) peerContact(sess *sim.Session) {
 		nsB.cache.Put(metadata.Entry{
 			Node: a, Photos: photosA, Lambda: nsA.rate.Rate(now), P: pa, Timestamp: now,
 		})
-		nsA.cache.DropInvalid(now)
-		nsB.cache.DropInvalid(now)
+		da := nsA.cache.DropInvalid(now)
+		db := nsB.cache.DropInvalid(now)
+		s.cInvalidations.Add(int64(da + db))
+		if s.obsv != nil {
+			if da > 0 {
+				s.obsv.Emit(obs.Event{Time: now, Kind: obs.EvMetadataStaled,
+					A: int32(a), B: obs.NoNode, Photo: obs.NoPhoto, Value: float64(da)})
+			}
+			if db > 0 {
+				s.obsv.Emit(obs.Event{Time: now, Kind: obs.EvMetadataStaled,
+					A: int32(b), B: obs.NoNode, Photo: obs.NoPhoto, Value: float64(db)})
+			}
+		}
 
 		// The joint optimisation sees the union of both (identical, after
 		// the merge) valid cache views.
@@ -268,6 +293,10 @@ func (s *Scheme) realize(sess *sim.Session, node model.NodeID, sel model.PhotoLi
 	for _, p := range sel {
 		if st.Has(p.ID) {
 			continue
+		}
+		if s.obsv != nil {
+			s.obsv.Emit(obs.Event{Time: sess.Time, Kind: obs.EvPhotoSelected,
+				A: int32(node), B: obs.NoNode, Photo: int64(p.ID)})
 		}
 		if sess.Exhausted() {
 			break

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"photodtn/internal/model"
+	"photodtn/internal/obs"
 )
 
 // FootprintCache memoizes photo footprints against a fixed Map. Footprints
@@ -21,6 +22,11 @@ type FootprintCache struct {
 	m   *Map
 	mu  sync.RWMutex
 	fps map[model.PhotoID]Footprint
+
+	// hits and misses are optional nil-safe observability counters
+	// (SetMetrics); nil costs only a nil check per lookup.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 // NewFootprintCache returns an empty cache over the map.
@@ -31,14 +37,24 @@ func NewFootprintCache(m *Map) *FootprintCache {
 // Map returns the underlying PoI map.
 func (c *FootprintCache) Map() *Map { return c.m }
 
+// SetMetrics installs hit/miss counters. Call before the cache is shared
+// across goroutines (typically right after NewFootprintCache); nil counters
+// disable the corresponding count.
+func (c *FootprintCache) SetMetrics(hits, misses *obs.Counter) {
+	c.hits = hits
+	c.misses = misses
+}
+
 // Of returns the (possibly memoized) footprint of the photo.
 func (c *FootprintCache) Of(p model.Photo) Footprint {
 	c.mu.RLock()
 	fp, ok := c.fps[p.ID]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Inc()
 		return fp
 	}
+	c.misses.Inc()
 	// Compile outside the lock: Map is immutable and footprints are pure
 	// functions of the photo, so two racing compilations agree.
 	fp = c.m.Footprint(p)
@@ -57,4 +73,15 @@ func (c *FootprintCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.fps)
+}
+
+// Invalidate drops the memoized footprint of a photo, forcing the next Of
+// to recompile it. It exists for callers whose photo metadata can be
+// corrected after the fact (e.g. a re-announced photo with fixed
+// orientation); footprints of unchanged photos are never wrong, so most
+// callers never need it.
+func (c *FootprintCache) Invalidate(id model.PhotoID) {
+	c.mu.Lock()
+	delete(c.fps, id)
+	c.mu.Unlock()
 }

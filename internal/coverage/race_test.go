@@ -1,0 +1,131 @@
+package coverage
+
+import (
+	"sync"
+	"testing"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+	"photodtn/internal/obs"
+)
+
+// TestFootprintCacheConcurrentInvalidation exercises the cache's concurrency
+// contract under the race detector: many goroutines interleaving hits,
+// misses, and invalidations on a shared cache. Every lookup must return the
+// same footprint a cold compile would, and the hit/miss counters must
+// account for every lookup exactly once.
+func TestFootprintCacheConcurrentInvalidation(t *testing.T) {
+	m := singlePoIMap(geo.Radians(30))
+	const photos = 16
+	pool := make([]model.Photo, photos)
+	want := make([]Footprint, photos)
+	for i := range pool {
+		pool[i] = photoAt(uint32(i), geo.Vec{X: 5, Y: 0}, geo.Radians(180), 20)
+		want[i] = m.Footprint(pool[i])
+	}
+
+	c := NewFootprintCache(m)
+	reg := obs.NewRegistry()
+	hits, misses := reg.Counter("hits"), reg.Counter("misses")
+	c.SetMetrics(hits, misses)
+
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				p := pool[(w+r)%photos]
+				fp := c.Of(p)
+				if len(fp.Entries) != len(want[(w+r)%photos].Entries) {
+					t.Errorf("worker %d round %d: footprint size %d, want %d",
+						w, r, len(fp.Entries), len(want[(w+r)%photos].Entries))
+					return
+				}
+				// Sporadically invalidate someone else's entry to force
+				// recompiles racing against reads of the same ID.
+				if r%17 == 0 {
+					c.Invalidate(pool[(w*7+r)%photos].ID)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := hits.Value() + misses.Value()
+	if want := int64(workers * rounds); total != want {
+		t.Fatalf("hits(%d)+misses(%d) = %d, want %d lookups",
+			hits.Value(), misses.Value(), total, want)
+	}
+	// At least the initial compile of each photo must have missed; with
+	// invalidations there are usually more.
+	if misses.Value() < photos {
+		t.Fatalf("misses = %d, want >= %d", misses.Value(), photos)
+	}
+	if c.Len() > photos {
+		t.Fatalf("cache holds %d footprints for %d photos", c.Len(), photos)
+	}
+}
+
+// TestFootprintCacheInvalidateRecompiles: after Invalidate, the next Of is a
+// miss and returns an equivalent footprint.
+func TestFootprintCacheInvalidateRecompiles(t *testing.T) {
+	m := singlePoIMap(geo.Radians(30))
+	p := photoAt(1, geo.Vec{X: 5, Y: 0}, geo.Radians(180), 20)
+	c := NewFootprintCache(m)
+	reg := obs.NewRegistry()
+	c.SetMetrics(reg.Counter("h"), reg.Counter("m"))
+
+	first := c.Of(p)
+	c.Of(p)
+	if got := reg.Counter("h").Value(); got != 1 {
+		t.Fatalf("hits after warm lookup = %d, want 1", got)
+	}
+	c.Invalidate(p.ID)
+	again := c.Of(p)
+	if got := reg.Counter("m").Value(); got != 2 {
+		t.Fatalf("misses after invalidate = %d, want 2", got)
+	}
+	if len(again.Entries) != len(first.Entries) {
+		t.Fatalf("recompiled footprint differs: %d vs %d entries",
+			len(again.Entries), len(first.Entries))
+	}
+}
+
+// TestReleaseStateDoubleReleasePanics pins the pool-misuse guard: releasing
+// the same state twice must panic loudly instead of handing the state out to
+// two callers at once.
+func TestReleaseStateDoubleReleasePanics(t *testing.T) {
+	m := singlePoIMap(geo.Radians(30))
+	s := m.AcquireState()
+	m.ReleaseState(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double ReleaseState did not panic")
+		}
+	}()
+	m.ReleaseState(s)
+}
+
+// TestReleaseStateForeignAndNil: states from another map and nil are ignored,
+// and a released state can be re-acquired and used again.
+func TestReleaseStateForeignAndNil(t *testing.T) {
+	m := singlePoIMap(geo.Radians(30))
+	other := singlePoIMap(geo.Radians(30))
+	m.ReleaseState(nil)              // must not panic
+	m.ReleaseState(other.NewState()) // foreign state: ignored
+
+	s := m.AcquireState()
+	s.AddPhoto(photoAt(1, geo.Vec{X: 5, Y: 0}, geo.Radians(180), 20))
+	m.ReleaseState(s)
+	s2 := m.AcquireState()
+	if s2.Coverage() != (Coverage{}) {
+		t.Fatalf("re-acquired state not reset: %+v", s2.Coverage())
+	}
+	if s2.NumCovered() != 0 {
+		t.Fatalf("re-acquired state covers %d PoIs", s2.NumCovered())
+	}
+	m.ReleaseState(s2)
+}

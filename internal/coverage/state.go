@@ -59,6 +59,10 @@ type State struct {
 	touched []int32
 	arena   arcArena
 	cov     Coverage
+	// pooled marks a state currently sitting in the map's recycling pool;
+	// ReleaseState uses it to catch double releases, which would hand the
+	// same state out twice and silently corrupt two contacts' coverage.
+	pooled bool
 }
 
 // NewState returns the empty coverage state for the map.
@@ -71,19 +75,27 @@ func (m *Map) NewState() *State {
 // released are simply collected by the GC.
 func (m *Map) AcquireState() *State {
 	if v := m.statePool.Get(); v != nil {
-		return v.(*State) // reset on release
+		s := v.(*State) // reset on release
+		s.pooled = false
+		return s
 	}
 	return m.NewState()
 }
 
 // ReleaseState resets the state and returns it to the map's pool for reuse.
 // The state must not be used afterwards. States belonging to another map
-// (and nil) are ignored.
+// (and nil) are ignored. Releasing the same state twice panics: the pool
+// would hand it out to two callers at once, and the resulting shared
+// mutation is far harder to debug than a loud failure at the misuse site.
 func (m *Map) ReleaseState(s *State) {
 	if s == nil || s.m != m {
 		return
 	}
+	if s.pooled {
+		panic("coverage: State released twice")
+	}
 	s.Reset()
+	s.pooled = true
 	m.statePool.Put(s)
 }
 

@@ -31,6 +31,7 @@ func AblationPthld(opts Options) (*Figure, error) {
 		values = []float64{0.2, 0.8}
 	}
 	p := DefaultParams(MIT)
+	p.Obs = opts.Obs
 	if opts.Quick {
 		p.SpanHours = 60
 	}
@@ -79,6 +80,7 @@ func AblationTheta(opts Options) (*Figure, error) {
 	for _, deg := range values {
 		p := DefaultParams(MIT)
 		p.Theta = geo.Radians(deg)
+		p.Obs = opts.Obs
 		if opts.Quick {
 			p.SpanHours = 60
 		}
@@ -116,6 +118,7 @@ func AblationEvaluator(opts Options) (*Figure, error) {
 		variants = variants[1:3]
 	}
 	p := DefaultParams(MIT)
+	p.Obs = opts.Obs
 	if opts.Quick {
 		p.SpanHours = 60
 	}

@@ -12,6 +12,7 @@ func ExtendedComparison(opts Options) (*Figure, error) {
 	opts = opts.normalized()
 	p := DefaultParams(MIT)
 	p.SampleHours = 25
+	p.Obs = opts.Obs
 	if opts.Quick {
 		p.SpanHours = 60
 		p.SampleHours = 20

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"photodtn/internal/geo"
+	"photodtn/internal/obs"
 )
 
 // Series is one labelled curve of a figure: metric values over the X axis.
@@ -88,6 +89,9 @@ type Options struct {
 	BaseSeed int64
 	// Quick trims sweeps and spans for use in benchmarks and smoke tests.
 	Quick bool
+	// Obs optionally attaches an observer to every run of the experiment;
+	// see Params.Obs. Nil leaves every run unobserved (bit-identical).
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns a configuration that regenerates every figure in

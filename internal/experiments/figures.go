@@ -24,6 +24,7 @@ func Fig5(opts Options) (*Figure, error) {
 	opts = opts.normalized()
 	p := DefaultParams(MIT)
 	p.SampleHours = 25
+	p.Obs = opts.Obs
 	if opts.Quick {
 		p.SpanHours = 60
 		p.SampleHours = 20
@@ -72,6 +73,7 @@ func Fig6(opts Options) (*Figure, error) {
 		p.SampleHours = 25
 		p.BandwidthMBs = 2
 		p.ContactCapSec = c.sec
+		p.Obs = opts.Obs
 		if opts.Quick {
 			p.SpanHours = 60
 			p.SampleHours = 20
@@ -87,6 +89,7 @@ func Fig6(opts Options) (*Figure, error) {
 	p.SampleHours = 25
 	p.BandwidthMBs = 2
 	p.ContactCapSec = 600
+	p.Obs = opts.Obs
 	if opts.Quick {
 		p.SpanHours = 60
 		p.SampleHours = 20
@@ -112,6 +115,7 @@ func sweepFigure(id, title, xlabel string, kind TraceKind, values []float64,
 		s := Series{Label: scheme}
 		for _, v := range values {
 			p := DefaultParams(kind)
+			p.Obs = opts.Obs
 			if opts.Quick {
 				p.SpanHours = 60
 			}

@@ -48,9 +48,17 @@ type Entry struct {
 
 // StaleProb returns P{T_a < t}: the probability the origin node has met
 // another node (and may have changed its photos) by time now.
+//
+// Clock skew (or out-of-order event processing) can put a snapshot's
+// Timestamp in the observer's future. Treating that negative elapsed time
+// as zero would make the entry permanently fresh — it would never expire
+// until local time caught up past the skewed stamp. Staleness is a function
+// of how far apart the two clocks' views are, so the magnitude |t| is used:
+// an entry stamped far in the future is exactly as untrustworthy as one
+// stamped equally far in the past.
 func (e Entry) StaleProb(now float64) float64 {
-	t := now - e.Timestamp
-	if t <= 0 || e.Lambda <= 0 {
+	t := math.Abs(now - e.Timestamp)
+	if t == 0 || e.Lambda <= 0 {
 		return 0
 	}
 	return 1 - math.Exp(-e.Lambda*t)

@@ -21,12 +21,14 @@ func TestEntryStaleProb(t *testing.T) {
 	if got := e.StaleProb(100); got != 0 {
 		t.Fatalf("staleness at snapshot time = %v", got)
 	}
-	if got := e.StaleProb(50); got != 0 {
-		t.Fatalf("staleness before snapshot = %v", got)
-	}
 	want := 1 - math.Exp(-0.01*50)
 	if got := e.StaleProb(150); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("staleness = %v, want %v", got, want)
+	}
+	// A snapshot stamped in the observer's future (clock skew) is as stale
+	// as one stamped equally far in the past — not permanently fresh.
+	if got := e.StaleProb(50); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("skewed staleness = %v, want %v", got, want)
 	}
 	// Zero rate: never stale.
 	e.Lambda = 0
@@ -269,5 +271,32 @@ func TestRateEstimatorZeroElapsed(t *testing.T) {
 	}
 	if r.PeerRate(2, 5) != 0 {
 		t.Fatal("time before start should report 0")
+	}
+}
+
+// TestSkewedClockEntryExpires is the regression for the clock-skew bug: a
+// cache entry whose snapshot timestamp lies in the local future (reachable
+// under the fault model's per-node clock skew) must still expire once the
+// skew exceeds the validity horizon — the old code treated negative elapsed
+// time as "fresh forever".
+func TestSkewedClockEntryExpires(t *testing.T) {
+	c := NewCache(1, 0.8)
+	horizon := ValidityHorizon(0.01, 0.8)
+	future := Entry{
+		Node: 2, Photos: model.PhotoList{photoOf(2, 0)},
+		Lambda: 0.01, Timestamp: 1000 + 2*horizon, // stamped well ahead of now
+	}
+	c.Put(future)
+	if c.IsValid(future, 1000) {
+		t.Fatal("entry skewed past the validity horizon must be stale")
+	}
+	if dropped := c.DropInvalid(1000); dropped != 1 {
+		t.Fatalf("DropInvalid dropped %d, want 1", dropped)
+	}
+	// A mild skew inside the horizon stays valid, mirroring the past case.
+	mild := Entry{Node: 3, Lambda: 0.01, Timestamp: 1000 + horizon/2}
+	c.Put(mild)
+	if !c.IsValid(mild, 1000) {
+		t.Fatal("entry skewed within the horizon must stay valid")
 	}
 }

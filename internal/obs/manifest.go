@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Manifest records everything needed to reproduce one experiment output:
+// the tool and arguments that produced it, a hash of the effective
+// configuration, the seed family, the code revision, and the machine
+// environment. One manifest is written next to every figure/report/trace
+// file (see ManifestPath), so a number in a plot can always be traced back
+// to the run that produced it.
+type Manifest struct {
+	// Tool is the producing command (e.g. "photodtn-experiments").
+	Tool string `json:"tool"`
+	// Args is the command line the tool ran with.
+	Args []string `json:"args,omitempty"`
+	// Config is the canonical string form of the effective configuration.
+	Config string `json:"config,omitempty"`
+	// ConfigHash is the FNV-1a/64 hash of Config, for quick diffing.
+	ConfigHash string `json:"config_hash"`
+	// Seed is the base seed of the run family.
+	Seed int64 `json:"seed"`
+	// Runs is the number of averaged runs (0 when not applicable).
+	Runs int `json:"runs,omitempty"`
+	// GitRev is the source revision (build info, falling back to the git
+	// CLI, falling back to "unknown").
+	GitRev string `json:"git_rev"`
+	// GoVersion, GoOS, GoArch, NumCPU, GoMaxProcs describe the bench
+	// environment.
+	GoVersion  string `json:"go_version"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// CreatedAt is the wall-clock creation time (RFC 3339, UTC).
+	CreatedAt string `json:"created_at"`
+	// Outputs lists the files this manifest describes.
+	Outputs []string `json:"outputs,omitempty"`
+}
+
+// NewManifest fills a manifest with the environment and hashes the config.
+func NewManifest(tool string, args []string, config string, seed int64, runs int) Manifest {
+	return Manifest{
+		Tool:       tool,
+		Args:       args,
+		Config:     config,
+		ConfigHash: HashConfig(config),
+		Seed:       seed,
+		Runs:       runs,
+		GitRev:     gitRev(),
+		GoVersion:  runtime.Version(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// HashConfig returns the FNV-1a/64 hash of a canonical configuration
+// string, hex-encoded.
+func HashConfig(config string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(config))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ManifestPath derives the manifest path for an output file:
+// "report.txt" → "report.txt.manifest.json".
+func ManifestPath(outPath string) string { return outPath + ".manifest.json" }
+
+// Write writes the manifest as indented JSON to path.
+func (m Manifest) Write(path string) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// gitRevOnce caches the revision lookup: it involves an exec in the
+// fallback path and cannot change within a process lifetime.
+var gitRevOnce = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	// Test binaries and `go run` builds carry no VCS stamp; ask git.
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
+})
+
+func gitRev() string { return gitRevOnce() }

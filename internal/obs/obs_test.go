@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	if len(r.Names()) != 0 {
+		t.Fatal("nil registry has no names")
+	}
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer must be disabled")
+	}
+	o.Emit(Event{Kind: EvContactBegin})
+	if o.Counter("x") != nil {
+		t.Fatal("nil observer must hand out nil metrics")
+	}
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Trace
+	tr.Emit(Event{})
+	if tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace must be empty")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sim.contacts")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("sim.contacts") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("metadata.entries")
+	g.Set(17)
+	if got := g.Value(); got != 17 {
+		t.Fatalf("gauge = %v, want 17", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []float64{0, 0.5, 1, 1.5, 2, 3, 4, 1000, math.NaN(), -2} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	// NaN and -2 count as 0, so the sum is 0+0.5+1+1.5+2+3+4+1000.
+	if want := 1012.0; h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	s := h.snapshot()
+	// ≤1: 0, 0.5, 1, NaN, -2 → 5; (1,2]: 1.5, 2 → 2; (2,4]: 3, 4 → 2;
+	// (512,1024]: 1000 → 1.
+	for bound, want := range map[string]int64{"1": 5, "2": 2, "4": 2, "1024": 1} {
+		if got := s.Buckets[bound]; got != want {
+			t.Fatalf("bucket %s = %d, want %d (buckets %v)", bound, got, want, s.Buckets)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Fatalf("count=%d sum=%v, want 8000/8000", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.hits").Add(3)
+	r.Gauge("b.size").Set(2.5)
+	r.Histogram("c.age").Observe(10)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["a.hits"] != 3 || snap.Gauges["b.size"] != 2.5 {
+		t.Fatalf("bad snapshot: %+v", snap)
+	}
+	if hs := snap.Histograms["c.age"]; hs.Count != 1 || hs.Sum != 10 {
+		t.Fatalf("bad histogram snapshot: %+v", hs)
+	}
+	want := []string{"a.hits", "b.size", "c.age"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTraceRingAndOrder(t *testing.T) {
+	tr := NewTrace(4, nil)
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Time: float64(i), Kind: EvPhotoTaken, A: int32(i), B: NoNode, Photo: NoPhoto})
+	}
+	if tr.Total() != 6 {
+		t.Fatalf("total = %d, want 6", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := float64(i + 2); ev.Time != want {
+			t.Fatalf("event %d time = %v, want %v (oldest-first order)", i, ev.Time, want)
+		}
+	}
+	if got := tr.CountKind(EvPhotoTaken); got != 4 {
+		t.Fatalf("CountKind = %d, want 4", got)
+	}
+}
+
+func TestTraceJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(8, &buf)
+	tr.Emit(Event{Time: 12.5, Kind: EvPhotoDelivered, A: 5, B: 0, Photo: 42, Value: 1})
+	tr.Emit(Event{Time: 13, Kind: EvContactEnd, A: 1, B: 2, Photo: NoPhoto})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2: %q", len(lines), buf.String())
+	}
+	var rec struct {
+		T     float64 `json:"t"`
+		Ev    string  `json:"ev"`
+		A     *int    `json:"a"`
+		B     *int    `json:"b"`
+		Photo *int64  `json:"photo"`
+		V     float64 `json:"v"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v (%s)", err, lines[0])
+	}
+	if rec.T != 12.5 || rec.Ev != "photo-delivered" || rec.A == nil || *rec.A != 5 ||
+		rec.B == nil || *rec.B != 0 || rec.Photo == nil || *rec.Photo != 42 || rec.V != 1 {
+		t.Fatalf("bad record: %s", lines[0])
+	}
+	rec.Photo = nil
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 not JSON: %v (%s)", err, lines[1])
+	}
+	if rec.Photo != nil {
+		t.Fatalf("sentinel photo must be omitted: %s", lines[1])
+	}
+}
+
+type failWriter struct{ fails bool }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.fails {
+		return 0, errWriteFailed
+	}
+	return len(p), nil
+}
+
+var errWriteFailed = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "write failed" }
+
+func TestTraceSinkErrorKeepsTracing(t *testing.T) {
+	w := &failWriter{fails: true}
+	tr := NewTrace(4, w)
+	tr.Emit(Event{Kind: EvContactBegin, A: 1, B: 2, Photo: NoPhoto})
+	tr.Emit(Event{Kind: EvContactEnd, A: 1, B: 2, Photo: NoPhoto})
+	if tr.SinkErr() == nil {
+		t.Fatal("sink error must be recorded")
+	}
+	if len(tr.Events()) != 2 {
+		t.Fatal("in-memory tracing must continue after a sink failure")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EvContactBegin, EvContactEnd, EvPhotoTaken, EvPhotoSelected,
+		EvPhotoDelivered, EvMetadataStaled, EvSessionAbort, EvNodeCrash,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Fatal("unknown kinds must stringify as unknown")
+	}
+}
+
+func TestManifest(t *testing.T) {
+	m := NewManifest("phototool", []string{"-quick"}, "cfg{a=1}", 7, 3)
+	if m.ConfigHash != HashConfig("cfg{a=1}") {
+		t.Fatal("hash mismatch")
+	}
+	if m.ConfigHash == HashConfig("cfg{a=2}") {
+		t.Fatal("hash must depend on config")
+	}
+	if m.GitRev == "" || m.GoVersion == "" || m.NumCPU <= 0 {
+		t.Fatalf("environment not filled: %+v", m)
+	}
+	path := t.TempDir() + "/out.txt"
+	mp := ManifestPath(path)
+	if !strings.HasSuffix(mp, "out.txt.manifest.json") {
+		t.Fatalf("manifest path = %q", mp)
+	}
+	if err := m.Write(mp); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "phototool" || got.Seed != 7 || got.Runs != 3 || got.ConfigHash != m.ConfigHash {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}

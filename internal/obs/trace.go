@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// EventKind identifies a structured trace event.
+type EventKind uint8
+
+// Event kinds — the taxonomy of DESIGN.md §5. Keep the string forms stable:
+// they are the JSONL wire format tooling parses.
+const (
+	// EvContactBegin marks the start of a contact between nodes A and B
+	// (B = 0 is the command center).
+	EvContactBegin EventKind = iota + 1
+	// EvContactEnd closes a contact; Value is the number of photo transfers
+	// the contact carried (including duplicates).
+	EvContactEnd
+	// EvPhotoTaken records a node capturing (and keeping) a photo.
+	EvPhotoTaken
+	// EvPhotoSelected records the §III-D greedy selecting a photo onto node
+	// A during a contact.
+	EvPhotoSelected
+	// EvPhotoDelivered records a distinct photo reaching the command
+	// center; A is the delivering node.
+	EvPhotoDelivered
+	// EvMetadataStaled records a node dropping stale metadata entries;
+	// Value is the number of entries invalidated.
+	EvMetadataStaled
+	// EvSessionAbort records a contact dying mid-transfer (frame loss,
+	// timeout, protocol violation).
+	EvSessionAbort
+	// EvNodeCrash records a node crash wiping its storage; Value is the
+	// number of photos lost.
+	EvNodeCrash
+)
+
+// String returns the stable JSONL name of the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvContactBegin:
+		return "contact-begin"
+	case EvContactEnd:
+		return "contact-end"
+	case EvPhotoTaken:
+		return "photo-taken"
+	case EvPhotoSelected:
+		return "photo-selected"
+	case EvPhotoDelivered:
+		return "photo-delivered"
+	case EvMetadataStaled:
+		return "metadata-staled"
+	case EvSessionAbort:
+		return "session-abort"
+	case EvNodeCrash:
+		return "node-crash"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one trace record. The struct is a flat value (no pointers, no
+// allocation per emit); unused fields hold the documented sentinels.
+type Event struct {
+	// Time is the simulation (or session-clock) timestamp in seconds.
+	Time float64
+	// Kind discriminates the event.
+	Kind EventKind
+	// A and B are the node IDs involved (0 = command center); NoNode marks
+	// an unused slot.
+	A, B int32
+	// Photo is the photo ID involved, or NoPhoto.
+	Photo int64
+	// Value is a kind-specific magnitude (transfer count, entries dropped,
+	// photos lost, ...).
+	Value float64
+}
+
+// Field sentinels for unused Event slots.
+const (
+	NoNode  int32 = -1
+	NoPhoto int64 = -1
+)
+
+// DefaultTraceCap is the default ring capacity (events kept in memory).
+const DefaultTraceCap = 1 << 16
+
+// Trace is a fixed-capacity ring of events, optionally mirrored to a JSONL
+// sink. Emit is safe for concurrent use; a nil *Trace discards everything.
+type Trace struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	wrapped bool
+	total   uint64
+	sink    io.Writer
+	buf     []byte // reusable JSONL encode buffer
+	sinkErr error
+}
+
+// NewTrace returns a trace with the given ring capacity (0 picks
+// DefaultTraceCap) and an optional JSONL sink.
+func NewTrace(capacity int, sink io.Writer) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{ring: make([]Event, capacity), sink: sink}
+}
+
+// Emit appends one event. When the ring is full the oldest event is
+// overwritten; the sink (if any) still receives every event.
+func (t *Trace) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.total++
+	if t.sink != nil && t.sinkErr == nil {
+		t.buf = appendJSONL(t.buf[:0], ev)
+		if _, err := t.sink.Write(t.buf); err != nil {
+			t.sinkErr = err // stop writing, keep tracing in memory
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the number of events emitted since creation (including
+// events the ring has already overwritten).
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained events in emission order (oldest first).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// CountKind returns how many retained events have the kind.
+func (t *Trace) CountKind(kind EventKind) int {
+	n := 0
+	for _, ev := range t.Events() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// SinkErr returns the first sink write error, if any (tracing continues in
+// memory after a sink failure).
+func (t *Trace) SinkErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// Flush flushes the sink when it is buffered (implements interface{ Flush()
+// error }); otherwise it only reports any pending sink error.
+func (t *Trace) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sinkErr != nil {
+		return t.sinkErr
+	}
+	if f, ok := t.sink.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// appendJSONL appends one event as a JSON line:
+//
+//	{"t":12.5,"ev":"photo-delivered","a":5,"b":0,"photo":42,"v":1}
+//
+// Fields holding their sentinel (NoNode, NoPhoto, Value 0) are omitted. The
+// encoding is hand-rolled to keep an enabled sink allocation-light.
+func appendJSONL(b []byte, ev Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, ev.Time, 'g', -1, 64)
+	b = append(b, `,"ev":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.A != NoNode {
+		b = append(b, `,"a":`...)
+		b = strconv.AppendInt(b, int64(ev.A), 10)
+	}
+	if ev.B != NoNode {
+		b = append(b, `,"b":`...)
+		b = strconv.AppendInt(b, int64(ev.B), 10)
+	}
+	if ev.Photo != NoPhoto {
+		b = append(b, `,"photo":`...)
+		b = strconv.AppendInt(b, ev.Photo, 10)
+	}
+	if ev.Value != 0 {
+		b = append(b, `,"v":`...)
+		b = strconv.AppendFloat(b, ev.Value, 'g', -1, 64)
+	}
+	b = append(b, '}', '\n')
+	return b
+}

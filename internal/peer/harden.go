@@ -8,6 +8,8 @@ import (
 	"os"
 	"syscall"
 	"time"
+
+	"photodtn/internal/obs"
 )
 
 // ErrTimeout reports that a frame or contact deadline expired. A stalled or
@@ -80,9 +82,16 @@ func (p *Peer) LastContactError() error {
 
 func (p *Peer) noteContactError(err error) {
 	p.errMu.Lock()
-	defer p.errMu.Unlock()
 	p.contactErrs++
 	p.lastContactErr = err
+	p.errMu.Unlock()
+	p.cAborts.Inc()
+	if p.obsv != nil {
+		p.obsv.Emit(obs.Event{
+			Time: p.clock(), Kind: obs.EvSessionAbort,
+			A: int32(p.id), B: obs.NoNode, Photo: obs.NoPhoto,
+		})
+	}
 }
 
 // deadliner is the subset of net.Conn needed for per-frame deadlines.

@@ -24,6 +24,7 @@ import (
 	"photodtn/internal/coverage"
 	"photodtn/internal/metadata"
 	"photodtn/internal/model"
+	"photodtn/internal/obs"
 	"photodtn/internal/prophet"
 	"photodtn/internal/selection"
 	"photodtn/internal/sim"
@@ -66,6 +67,13 @@ func WithSeed(seed int64) Option {
 	return func(p *Peer) { p.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// WithObserver instruments the peer: contact/retry/abort counters, the
+// selection subsystem's metrics, and session-abort trace events. A nil
+// observer (the default) keeps every instrumentation site a no-op.
+func WithObserver(o *obs.Observer) Option {
+	return func(p *Peer) { p.obsv = o }
+}
+
 // Peer is a live framework node. All exported methods are safe for
 // concurrent use; a peer serialises its contacts, as a single-radio device
 // would.
@@ -97,6 +105,12 @@ type Peer struct {
 	errMu          sync.Mutex
 	contactErrs    int64
 	lastContactErr error
+
+	// Observability (nil — no-op — unless WithObserver is given).
+	obsv      *obs.Observer
+	cContacts *obs.Counter
+	cRetries  *obs.Counter
+	cAborts   *obs.Counter
 }
 
 // New creates a peer. The command center (id 0) gets unbounded storage and
@@ -136,6 +150,11 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 		}
 	}
 	p.cache = metadata.NewCache(id, p.pthld)
+	p.cContacts = p.obsv.Counter("peer.contacts")
+	p.cRetries = p.obsv.Counter("peer.contact_retries")
+	p.cAborts = p.obsv.Counter("peer.contact_aborts")
+	p.selCfg.Metrics = selection.ObserverMetrics(p.obsv)
+	p.fpc.SetMetrics(p.obsv.Counter("coverage.fp_cache_hits"), p.obsv.Counter("coverage.fp_cache_misses"))
 	return p
 }
 
@@ -211,8 +230,12 @@ func (p *Peer) Contact(addr string) error {
 	for attempt := 1; ; attempt++ {
 		err = p.contactOnce(addr)
 		if err == nil || attempt >= attempts || !transient(err) {
+			if err != nil {
+				p.noteContactError(err)
+			}
 			return err
 		}
+		p.cRetries.Inc()
 		p.sleep(backoff)
 		backoff *= 2
 		if backoff > p.retryMax {
@@ -248,6 +271,7 @@ func (p *Peer) ContactConn(conn io.ReadWriter, initiator bool) error {
 func (p *Peer) contactConn(conn io.ReadWriter, initiator bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.cContacts.Inc()
 	now := p.clock()
 
 	mine := wire.Hello{

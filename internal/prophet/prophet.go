@@ -73,6 +73,14 @@ func NewTable(owner model.NodeID, cfg Config) *Table {
 // Owner returns the node the table belongs to.
 func (t *Table) Owner() model.NodeID { return t.owner }
 
+// LastAged returns the timestamp of the table's last aging step (0 before
+// the first). The difference now − LastAged() is the table's staleness,
+// which observability samples at every contact.
+func (t *Table) LastAged() float64 { return t.lastAged }
+
+// Len returns the number of destinations with a live predictability entry.
+func (t *Table) Len() int { return len(t.p) }
+
 // P returns the delivery predictability from the owner to dst. Unknown
 // destinations have probability 0; the owner reaches itself with
 // probability 1.
@@ -105,8 +113,26 @@ func (t *Table) Age(now float64) {
 
 // Encounter records a direct contact with peer at the given time, applying
 // aging first and then the encounter reinforcement.
+//
+// Contacts can arrive timestamped before the table's last aging step (clock
+// skew, out-of-order event delivery). Reinforcing the already-decayed value
+// directly would make the final probability depend on which of the two
+// events was processed first. Instead, the decay the late contact missed is
+// undone, the reinforcement applied at the contact's own time, and the
+// decay re-applied — so Age(t2); Encounter(peer, t1) leaves the same value
+// as Encounter(peer, t1); Age(t2) for t1 < t2 (up to floating-point
+// rounding).
 func (t *Table) Encounter(peer model.NodeID, now float64) {
 	if peer == t.owner {
+		return
+	}
+	if now < t.lastAged {
+		d := math.Pow(t.cfg.Gamma, (t.lastAged-now)/t.cfg.AgingUnit)
+		pe := t.p[peer] / d
+		if pe > 1 {
+			pe = 1 // guard FP residue; probabilities never exceed 1
+		}
+		t.p[peer] = (pe + (1-pe)*t.cfg.PInit) * d
 		return
 	}
 	t.Age(now)

@@ -218,3 +218,59 @@ func TestOwner(t *testing.T) {
 		t.Fatalf("Owner = %v", got)
 	}
 }
+
+// TestEncounterAgeOrderIndependent pins the commutativity fix: a contact
+// timestamped at — or before — an aging step must leave the same
+// predictability whichever of the two events is processed first. The
+// "before" case is reachable under clock skew / out-of-order delivery and
+// used to diverge by ~4e-3 on the default constants.
+func TestEncounterAgeOrderIndependent(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, tc := range []struct {
+		name               string
+		contact, agedUntil float64
+	}{
+		{"same instant", 9000, 9000},
+		{"contact behind aging", 8000, 9000},
+		{"contact far behind aging", 1000, 50000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seed := func() *Table {
+				tab := NewTable(1, cfg)
+				tab.Encounter(2, 0)
+				tab.Encounter(2, 500)
+				return tab
+			}
+			ageFirst := seed()
+			ageFirst.Age(tc.agedUntil)
+			ageFirst.Encounter(2, tc.contact)
+			ageFirst.Age(tc.agedUntil) // settle both tables at the same time
+
+			contactFirst := seed()
+			contactFirst.Encounter(2, tc.contact)
+			contactFirst.Age(tc.agedUntil)
+
+			a, b := ageFirst.P(2), contactFirst.P(2)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("order-dependent: age-first %v vs contact-first %v (diff %g)",
+					a, b, math.Abs(a-b))
+			}
+		})
+	}
+}
+
+// TestEncounterBehindAgingStaysInRange: the undo-decay path must never push
+// a probability above 1, even when the stored value is already near the
+// decayed maximum.
+func TestEncounterBehindAgingStaysInRange(t *testing.T) {
+	cfg := DefaultConfig()
+	tab := NewTable(1, cfg)
+	for i := 0; i < 50; i++ {
+		tab.Encounter(2, float64(i)) // drive P(2) toward 1
+	}
+	tab.Age(1e6)
+	tab.Encounter(2, 0.5e6) // far behind the last aging step
+	if p := tab.P(2); p < 0 || p > 1 {
+		t.Fatalf("P out of range after late encounter: %v", p)
+	}
+}

@@ -24,7 +24,33 @@ import (
 
 	"photodtn/internal/coverage"
 	"photodtn/internal/model"
+	"photodtn/internal/obs"
 )
+
+// Metrics holds the selection subsystem's observability hooks. Every field
+// is an optional nil-safe metric (a nil pointer no-ops), so the zero value
+// disables instrumentation without any branching at the call sites.
+type Metrics struct {
+	// GainEvals counts candidate gain evaluations (the CELF hot loop).
+	GainEvals *obs.Counter
+	// Rounds counts committed greedy selections.
+	Rounds *obs.Counter
+	// Evaluators counts evaluator constructions (one per selection phase).
+	Evaluators *obs.Counter
+	// Scenarios observes the scenario count per evaluator.
+	Scenarios *obs.Histogram
+}
+
+// ObserverMetrics builds selection metrics bound to an observer's registry
+// (all nil — disabled — when o is nil).
+func ObserverMetrics(o *obs.Observer) Metrics {
+	return Metrics{
+		GainEvals:  o.Counter("selection.gain_evals"),
+		Rounds:     o.Counter("selection.rounds"),
+		Evaluators: o.Counter("selection.evaluators"),
+		Scenarios:  o.Histogram("selection.scenarios"),
+	}
+}
 
 // Config tunes the expected-coverage evaluation.
 type Config struct {
@@ -46,6 +72,9 @@ type Config struct {
 	// ParallelThreshold is the minimum number of candidates before workers
 	// engage; below it the serial scan wins. Zero means a sensible default.
 	ParallelThreshold int
+	// Metrics optionally observes the selection machinery; the zero value
+	// disables it at no cost.
+	Metrics Metrics
 }
 
 // DefaultParallelThreshold is the candidate-pool size below which the
@@ -97,6 +126,7 @@ type Evaluator struct {
 
 	parallel  bool
 	threshold int
+	metrics   Metrics
 }
 
 // NewEvaluator builds an evaluator. ccFPs are the footprints of the photos
@@ -128,12 +158,15 @@ func NewEvaluator(m *coverage.Map, cfg Config, ccFPs []coverage.Footprint, backg
 		ds:        coverage.NewDeltaSet(base),
 		parallel:  cfg.Parallel,
 		threshold: cfg.ParallelThreshold,
+		metrics:   cfg.Metrics,
 	}
 	if len(live) <= cfg.ExactLimit {
 		ev.enumerate(live)
 	} else {
 		ev.sample(live, cfg)
 	}
+	ev.metrics.Evaluators.Inc()
+	ev.metrics.Scenarios.Observe(float64(ev.ds.Scenarios()))
 	return ev
 }
 

@@ -130,6 +130,7 @@ func GreedyFill(ev *Evaluator, pool []Item, capacity int64) model.PhotoList {
 				}
 			} else {
 				ev.gainCand(top, nil)
+				ev.metrics.GainEvals.Inc()
 				top.round = round
 				heap.Fix(h, 0)
 			}
@@ -146,6 +147,7 @@ func GreedyFill(ev *Evaluator, pool []Item, capacity int64) model.PhotoList {
 		remaining -= top.item.Photo.Size
 		round++
 	}
+	ev.metrics.Rounds.Add(int64(round))
 	return selected
 }
 
@@ -166,8 +168,10 @@ func (e *Evaluator) gainCand(c *cand, sc *coverage.GainScratch) {
 
 // gainBatch fills in the gain of every candidate, fanning out to a worker
 // pool when the evaluator allows it. Results are written by index, so the
-// outcome is independent of worker scheduling.
+// outcome is independent of worker scheduling. The gain-eval counter is
+// bumped once per batch, keeping instrumentation off the per-candidate path.
 func (e *Evaluator) gainBatch(cands []*cand) {
+	e.metrics.GainEvals.Add(int64(len(cands)))
 	w := e.workers(len(cands))
 	if w == 0 {
 		for _, c := range cands {

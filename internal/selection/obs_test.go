@@ -1,0 +1,101 @@
+package selection
+
+import (
+	"testing"
+
+	"photodtn/internal/obs"
+)
+
+// TestMetricsAccounting: with metrics installed, GreedyFill must account
+// every committed round and at least one gain evaluation per candidate, and
+// evaluator construction must register itself and its scenario count.
+func TestMetricsAccounting(t *testing.T) {
+	sc := benchScales()[0]
+	m, ccFPs, bg, pool := benchInstance(t, sc)
+	reg := obs.NewRegistry()
+	cfg := sc.cfg
+	cfg.Metrics = Metrics{
+		GainEvals:  reg.Counter("selection.gain_evals"),
+		Rounds:     reg.Counter("selection.rounds"),
+		Evaluators: reg.Counter("selection.evaluators"),
+		Scenarios:  reg.Histogram("selection.scenarios"),
+	}
+	capacity := pool[0].Photo.Size * 8
+	ev := NewEvaluator(m, cfg, ccFPs, bg)
+	scenarios := ev.Scenarios()
+	sel := GreedyFill(ev, pool, capacity)
+	ev.Release()
+	if len(sel) == 0 {
+		t.Fatal("nothing selected")
+	}
+	if got := reg.Counter("selection.rounds").Value(); got != int64(len(sel)) {
+		t.Fatalf("rounds = %d, want %d", got, len(sel))
+	}
+	if got := reg.Counter("selection.gain_evals").Value(); got < int64(len(pool)) {
+		t.Fatalf("gain evals = %d, want >= pool size %d", got, len(pool))
+	}
+	if got := reg.Counter("selection.evaluators").Value(); got != 1 {
+		t.Fatalf("evaluators = %d, want 1", got)
+	}
+	h := reg.Histogram("selection.scenarios")
+	if h.Count() != 1 || h.Sum() != float64(scenarios) {
+		t.Fatalf("scenario histogram count %d sum %v, want 1/%d", h.Count(), h.Sum(), scenarios)
+	}
+}
+
+// TestZeroMetricsSelectIdentically: the zero Metrics value (all-nil
+// counters) must not change what gets selected.
+func TestZeroMetricsSelectIdentically(t *testing.T) {
+	sc := benchScales()[0]
+	m, ccFPs, bg, pool := benchInstance(t, sc)
+	capacity := pool[0].Photo.Size * 8
+	plain := GreedyFill(NewEvaluator(m, sc.cfg, ccFPs, bg), pool, capacity)
+	cfg := sc.cfg
+	reg := obs.NewRegistry()
+	cfg.Metrics = Metrics{GainEvals: reg.Counter("g"), Rounds: reg.Counter("r")}
+	metered := GreedyFill(NewEvaluator(m, cfg, ccFPs, bg), pool, capacity)
+	if len(plain) != len(metered) {
+		t.Fatalf("selection sizes differ: %d vs %d", len(plain), len(metered))
+	}
+	for i := range plain {
+		if plain[i].ID != metered[i].ID {
+			t.Fatalf("selection %d differs: %v vs %v", i, plain[i].ID, metered[i].ID)
+		}
+	}
+}
+
+// BenchmarkObsGreedyFill pins the no-op overhead contract on the PR 2 hot
+// loop: "off" holds nil metrics (the disabled state), "on" pays live atomic
+// counters. Not part of the committed BENCH_selection.json baseline (that
+// file is regenerated with -bench=BenchmarkEvaluator).
+func BenchmarkObsGreedyFill(b *testing.B) {
+	sc := benchScales()[1]
+	m, ccFPs, bg, pool := benchInstance(b, sc)
+	capacity := int64(0)
+	for i := 0; i < len(pool) && i < 24; i++ {
+		capacity += pool[i].Photo.Size
+	}
+	run := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := NewEvaluator(m, cfg, ccFPs, bg)
+			if sel := GreedyFill(ev, pool, capacity); len(sel) == 0 {
+				b.Fatal("nothing selected")
+			}
+			ev.Release()
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, sc.cfg) })
+	b.Run("on", func(b *testing.B) {
+		cfg := sc.cfg
+		reg := obs.NewRegistry()
+		cfg.Metrics = Metrics{
+			GainEvals:  reg.Counter("selection.gain_evals"),
+			Rounds:     reg.Counter("selection.rounds"),
+			Evaluators: reg.Counter("selection.evaluators"),
+			Scenarios:  reg.Histogram("selection.scenarios"),
+		}
+		run(b, cfg)
+	})
+}

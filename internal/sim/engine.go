@@ -10,6 +10,7 @@ import (
 	"photodtn/internal/coverage"
 	"photodtn/internal/faults"
 	"photodtn/internal/model"
+	"photodtn/internal/obs"
 	"photodtn/internal/trace"
 )
 
@@ -79,6 +80,11 @@ type Config struct {
 	// latency-critical (sweeps already parallelise across runs, where the
 	// inner pool would only oversubscribe).
 	ParallelSelection bool
+	// Obs optionally observes the run: counters, an event trace, or both.
+	// Nil disables observability entirely; the run is then bit-identical to
+	// (and as fast as) an unobserved one, because every instrumentation site
+	// holds nil metric pointers that no-op.
+	Obs *obs.Observer
 }
 
 // ErrBadSimConfig reports an invalid simulation configuration.
@@ -193,6 +199,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := newWorld(cfg.Map, cfg.Trace.Nodes, capacity, rng)
 	w.ParallelSelection = cfg.ParallelSelection
+	w.setObserver(cfg.Obs)
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		fm, err := faults.NewModel(*cfg.Faults, cfg.Trace.Nodes, span, cfg.Seed)
 		if err != nil {
@@ -204,12 +211,22 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 
 	events := buildEvents(cfg, span, w.faults)
 	res := &Result{Scheme: scheme.Name()}
+	o := cfg.Obs
+	cContacts := o.Counter("sim.contacts")
+	cPhotos := o.Counter("sim.photos_taken")
 	for _, ev := range events {
 		w.now = ev.time
 		switch ev.kind {
 		case evCrash:
 			w.crash(ev.node)
 		case evPhoto:
+			cPhotos.Inc()
+			if o != nil {
+				o.Emit(obs.Event{
+					Time: ev.time, Kind: obs.EvPhotoTaken,
+					A: int32(ev.pe.Node), B: obs.NoNode, Photo: int64(ev.pe.Photo.ID),
+				})
+			}
 			scheme.OnPhoto(ev.pe.Node, ev.pe.Photo)
 		case evContact:
 			s := &Session{
@@ -221,6 +238,21 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 			}
 			if w.faults != nil {
 				s.key = faults.ContactKey(ev.contact)
+			}
+			cContacts.Inc()
+			if o != nil {
+				o.Emit(obs.Event{
+					Time: ev.time, Kind: obs.EvContactBegin,
+					A: int32(s.A), B: int32(s.B), Photo: obs.NoPhoto,
+				})
+				before := w.transferredPhotos
+				scheme.OnContact(s)
+				o.Emit(obs.Event{
+					Time: ev.time, Kind: obs.EvContactEnd,
+					A: int32(s.A), B: int32(s.B), Photo: obs.NoPhoto,
+					Value: float64(w.transferredPhotos - before),
+				})
+				break
 			}
 			scheme.OnContact(s)
 		case evSample:

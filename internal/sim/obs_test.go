@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"photodtn/internal/faults"
+	"photodtn/internal/obs"
+)
+
+// observedConfig is a faulted churn run dense enough to exercise every
+// event kind: crashes, aborts, deliveries, and plain contacts.
+func observedConfig(o *obs.Observer) Config {
+	tr := churnTrace(8, 6)
+	cfg := baseConfig(tr)
+	cfg.Photos = photoWorkload(tr, 4)
+	cfg.StorageBytes = 1000
+	cfg.SampleInterval = 200
+	cfg.Faults = &faults.Config{Seed: 7, NodeFailRate: 0.5, FrameLossProb: 0.1}
+	cfg.Obs = o
+	return cfg
+}
+
+// TestObserverDisabledBitIdentical is the no-op guarantee: installing an
+// observer must not change the simulation outcome in any way.
+func TestObserverDisabledBitIdentical(t *testing.T) {
+	base, err := Run(observedConfig(nil), &relayScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(observedConfig(obs.New(0, nil)), &relayScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, observed) {
+		t.Fatalf("observer changed the run:\nbase %+v\nobs  %+v", base, observed)
+	}
+}
+
+// TestTraceReconcilesWithResult is the acceptance check of the PR: the
+// trace's delivery events and the observer's counters must reconcile
+// exactly with the Result aggregates.
+func TestTraceReconcilesWithResult(t *testing.T) {
+	var sink bytes.Buffer
+	o := obs.New(1<<20, &sink)
+	res, err := Run(observedConfig(o), &relayScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	delivered := o.Trace.CountKind(obs.EvPhotoDelivered)
+	if delivered != res.Final.Delivered || delivered != len(res.DeliveredPhotos) {
+		t.Fatalf("delivery events %d, Final.Delivered %d, DeliveredPhotos %d",
+			delivered, res.Final.Delivered, len(res.DeliveredPhotos))
+	}
+	if got := o.Counter("sim.photos_delivered").Value(); got != int64(delivered) {
+		t.Fatalf("delivered counter %d != %d events", got, delivered)
+	}
+	if got := o.Counter("sim.node_crashes").Value(); got != res.NodeCrashes {
+		t.Fatalf("crash counter %d != Result.NodeCrashes %d", got, res.NodeCrashes)
+	}
+	if got := o.Counter("sim.sessions_aborted").Value(); got != res.AbortedTransfers {
+		t.Fatalf("abort counter %d != Result.AbortedTransfers %d", got, res.AbortedTransfers)
+	}
+	if got := o.Counter("sim.transfers").Value(); got != res.TransferredPhotos {
+		t.Fatalf("transfer counter %d != Result.TransferredPhotos %d", got, res.TransferredPhotos)
+	}
+	if res.NodeCrashes == 0 || res.AbortedTransfers == 0 {
+		t.Fatalf("run not representative: crashes %d aborts %d", res.NodeCrashes, res.AbortedTransfers)
+	}
+
+	if begins, ends := o.Trace.CountKind(obs.EvContactBegin), o.Trace.CountKind(obs.EvContactEnd); begins != ends || begins == 0 {
+		t.Fatalf("contact begins %d, ends %d", begins, ends)
+	}
+	crashes := 0
+	lost := 0.0
+	transfersInContacts := 0.0
+	for _, ev := range o.Trace.Events() {
+		switch ev.Kind {
+		case obs.EvNodeCrash:
+			crashes++
+			lost += ev.Value
+		case obs.EvContactEnd:
+			transfersInContacts += ev.Value
+		}
+	}
+	if int64(crashes) != res.NodeCrashes || int64(lost) != res.PhotosLostToCrash {
+		t.Fatalf("crash events %d/%v, Result %d/%d",
+			crashes, lost, res.NodeCrashes, res.PhotosLostToCrash)
+	}
+	if int64(transfersInContacts) != res.TransferredPhotos {
+		t.Fatalf("contact-end transfer sum %v != Result.TransferredPhotos %d",
+			transfersInContacts, res.TransferredPhotos)
+	}
+
+	// Every event reached the JSONL sink, one line each.
+	lines := strings.Count(sink.String(), "\n")
+	if uint64(lines) != o.Trace.Total() {
+		t.Fatalf("sink lines %d != emitted events %d", lines, o.Trace.Total())
+	}
+}

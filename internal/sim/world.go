@@ -8,6 +8,7 @@ import (
 	"photodtn/internal/coverage"
 	"photodtn/internal/faults"
 	"photodtn/internal/model"
+	"photodtn/internal/obs"
 )
 
 // World is the simulation state a Scheme operates on: the PoI map, per-node
@@ -28,6 +29,16 @@ type World struct {
 	// faults is the run's fault model; nil when no faults are configured
 	// (the engine then behaves bit-identically to a fault-free build).
 	faults *faults.Model
+
+	// obsv is the run's observer; nil when observability is disabled. The
+	// cached counters below are nil in that case too, so the hot paths pay
+	// only a nil check.
+	obsv        *obs.Observer
+	cDelivered  *obs.Counter
+	cTransfers  *obs.Counter
+	cDuplicates *obs.Counter
+	cAborts     *obs.Counter
+	cCrashes    *obs.Counter
 
 	// ParallelSelection mirrors Config.ParallelSelection for schemes to pick
 	// up in Init (schemes see only the World, not the engine Config).
@@ -62,6 +73,22 @@ func newWorld(m *coverage.Map, numNodes int, capacity int64, rng *rand.Rand) *Wo
 	return w
 }
 
+// setObserver installs the run's observer and caches the engine-level
+// counters (all remain nil — no-ops — when o is nil).
+func (w *World) setObserver(o *obs.Observer) {
+	w.obsv = o
+	w.cDelivered = o.Counter("sim.photos_delivered")
+	w.cTransfers = o.Counter("sim.transfers")
+	w.cDuplicates = o.Counter("sim.deliveries_duplicate")
+	w.cAborts = o.Counter("sim.sessions_aborted")
+	w.cCrashes = o.Counter("sim.node_crashes")
+}
+
+// Obs returns the run's observer; nil when observability is disabled.
+// Schemes use it to register their own metrics and emit trace events — a
+// nil observer accepts every call and does nothing.
+func (w *World) Obs() *obs.Observer { return w.obsv }
+
 // Now returns the current simulation time in seconds.
 func (w *World) Now() float64 { return w.now }
 
@@ -95,10 +122,12 @@ func (w *World) CCState() *coverage.State { return w.ccState }
 // DeliveredCount returns the number of distinct photos delivered.
 func (w *World) DeliveredCount() int { return len(w.ccPhotos) }
 
-// deliver hands a photo to the command center. Duplicates are ignored.
-func (w *World) deliver(p model.Photo) {
+// deliver hands a photo to the command center and reports whether it was
+// new. Duplicates are ignored.
+func (w *World) deliver(p model.Photo) bool {
 	if w.ccSet[p.ID] {
-		return
+		w.cDuplicates.Inc()
+		return false
 	}
 	w.ccSet[p.ID] = true
 	w.ccPhotos = append(w.ccPhotos, p)
@@ -112,6 +141,7 @@ func (w *World) deliver(p model.Photo) {
 		w.recovered += int64(len(w.pendingCrashes))
 		w.pendingCrashes = w.pendingCrashes[:0]
 	}
+	return true
 }
 
 // crash wipes a node's storage (the photos are lost with the device) and
@@ -120,10 +150,18 @@ func (w *World) deliver(p model.Photo) {
 // exactly the disruption the metadata validity rule (§III-B) must absorb.
 func (w *World) crash(n model.NodeID) {
 	st := w.storages[n]
+	lost := st.Len()
 	w.nodeCrashes++
-	w.photosLostToCrash += int64(st.Len())
+	w.photosLostToCrash += int64(lost)
 	_ = st.ReplaceAll(nil) // always fits
 	w.pendingCrashes = append(w.pendingCrashes, w.now)
+	w.cCrashes.Inc()
+	if w.obsv != nil {
+		w.obsv.Emit(obs.Event{
+			Time: w.now, Kind: obs.EvNodeCrash,
+			A: int32(n), B: obs.NoNode, Photo: obs.NoPhoto, Value: float64(lost),
+		})
+	}
 }
 
 // Session errors.
@@ -210,6 +248,13 @@ func (s *Session) Transfer(to model.NodeID, p model.Photo) error {
 		s.aborted = true
 		s.budget = 0
 		s.w.abortedTransfers++
+		s.w.cAborts.Inc()
+		if s.w.obsv != nil {
+			s.w.obsv.Emit(obs.Event{
+				Time: s.w.now, Kind: obs.EvSessionAbort,
+				A: int32(s.A), B: int32(s.B), Photo: int64(p.ID),
+			})
+		}
 		return fmt.Errorf("%w: photo %v lost in flight", ErrAborted, p.ID)
 	}
 	if !s.unlimited && p.Size > s.budget {
@@ -218,7 +263,15 @@ func (s *Session) Transfer(to model.NodeID, p model.Photo) error {
 	}
 	s.debit(p.Size)
 	if to.IsCommandCenter() {
-		s.w.deliver(p)
+		if s.w.deliver(p) {
+			s.w.cDelivered.Inc()
+			if s.w.obsv != nil {
+				s.w.obsv.Emit(obs.Event{
+					Time: s.w.now, Kind: obs.EvPhotoDelivered,
+					A: int32(s.Peer(to)), B: 0, Photo: int64(p.ID), Value: 1,
+				})
+			}
+		}
 		return nil
 	}
 	if err := s.w.Storage(to).Add(p); err != nil {
@@ -233,4 +286,5 @@ func (s *Session) debit(n int64) {
 	}
 	s.w.transferredBytes += n
 	s.w.transferredPhotos++
+	s.w.cTransfers.Inc()
 }
