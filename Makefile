@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race race-obs bench bench-short bench-all fuzz trace-demo
+.PHONY: tier1 build vet test race race-obs race-runner bench bench-runner bench-short bench-all fuzz trace-demo
 
 # tier1 is the merge gate: everything must pass before a change lands.
 tier1: build vet test race bench-short
@@ -21,6 +21,18 @@ race:
 # packages (a faster loop than the full `race` while working on them).
 race-obs:
 	$(GO) test -race ./internal/obs/ ./internal/sim/ ./internal/coverage/ ./internal/peer/
+
+# race-runner is the focused race pass over the orchestrator and the layers
+# it parallelises (the packages the -workers flag exercises).
+race-runner:
+	$(GO) test -race ./internal/runner/ ./internal/sim/ ./internal/experiments/
+
+# bench-runner regenerates the committed orchestrator baseline
+# BENCH_runner.json (worker-pool scaling, aggregation, seed derivation).
+bench-runner:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=200ms ./internal/runner/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_runner.json
+	@echo "wrote BENCH_runner.json"
 
 # bench regenerates the committed evaluator baseline BENCH_selection.json
 # from the selection micro-benchmarks (construction / Gain / Commit /

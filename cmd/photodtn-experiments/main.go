@@ -6,8 +6,16 @@
 //
 //	photodtn-experiments [-exp all|tab1|fig3|fig5|fig6|fig7|fig8|faults|ablations]
 //	                     [-runs N] [-seed S] [-quick] [-out FILE]
+//	                     [-workers N] [-checkpoint FILE]
 //	                     [-trace FILE] [-metrics-out FILE]
 //	                     [-cpuprofile FILE] [-memprofile FILE]
+//
+// The -workers flag bounds how many simulation runs execute concurrently
+// (default: GOMAXPROCS); the report is bit-identical for every worker
+// count. The -checkpoint flag names a JSONL file recording every completed
+// (scenario, scheme, run) cell: an interrupted invocation (Ctrl-C finishes
+// the in-flight cells and exits) rerun with the same flags resumes instead
+// of recomputing.
 //
 // The -cpuprofile and -memprofile flags write runtime/pprof profiles of the
 // experiment run (the selection evaluator dominates both), for use with
@@ -21,26 +29,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"photodtn/internal/experiments"
 	"photodtn/internal/obs"
+	"photodtn/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "photodtn-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("photodtn-experiments", flag.ContinueOnError)
 	var (
 		exp   = fs.String("exp", "all", "experiment: all, tab1, fig3, fig5, fig6, fig7, fig8, faults, extended, ablations")
@@ -52,6 +66,8 @@ func run(args []string, stdout io.Writer) error {
 		cpu   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		mem   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 
+		workers    = fs.Int("workers", 0, "concurrent simulation runs; 0 means GOMAXPROCS (results are identical for any value)")
+		checkpoint = fs.String("checkpoint", "", "record completed cells to this JSONL file and resume from it")
 		traceOut   = fs.String("trace", "", "write the structured simulation event trace as JSONL to this file")
 		metricsOut = fs.String("metrics-out", "", "write aggregated subsystem counters/histograms as JSON to this file")
 	)
@@ -83,7 +99,15 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}()
 	}
-	opts := experiments.Options{Runs: *runs, BaseSeed: *seed, Quick: *quick}
+	opts := experiments.Options{Runs: *runs, BaseSeed: *seed, Quick: *quick, Workers: *workers}.WithContext(ctx)
+	if *checkpoint != "" {
+		cp, err := runner.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		defer cp.Close()
+		opts.Checkpoint = cp
+	}
 	var traceFile *os.File
 	if *traceOut != "" || *metricsOut != "" {
 		var sink io.Writer

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +12,7 @@ import (
 func TestTab1AndFig3(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.txt")
 	var sb strings.Builder
-	if err := run([]string{"-exp", "tab1", "-out", out}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "tab1", "-out", out}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "TABLE I") {
@@ -25,7 +27,7 @@ func TestTab1AndFig3(t *testing.T) {
 	}
 
 	sb.Reset()
-	if err := run([]string{"-exp", "fig3"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig3"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "FIG3") || !strings.Contains(sb.String(), "OurScheme") {
@@ -38,11 +40,52 @@ func TestQuickFigure(t *testing.T) {
 		t.Skip("runs a quick simulation sweep")
 	}
 	var sb strings.Builder
-	if err := run([]string{"-exp", "fig7", "-quick", "-runs", "1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig7", "-quick", "-runs", "1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "FIG7-MIT") || !strings.Contains(sb.String(), "FIG7-CAM") {
 		t.Fatalf("missing figures:\n%s", sb.String())
+	}
+}
+
+func TestWorkersInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick simulation sweep twice")
+	}
+	// The acceptance bar for the orchestrator: the report is byte-identical
+	// no matter how many workers computed it.
+	var serial, parallel strings.Builder
+	args := []string{"-exp", "fig7", "-quick", "-runs", "1"}
+	if err := run(context.Background(), append(args, "-workers", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append(args, "-workers", "8"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("-workers 8 report diverges from -workers 1:\n%s\nvs\n%s",
+			parallel.String(), serial.String())
+	}
+}
+
+func TestCheckpointFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick simulation sweep twice")
+	}
+	cp := filepath.Join(t.TempDir(), "cells.jsonl")
+	args := []string{"-exp", "fig7", "-quick", "-runs", "1", "-checkpoint", cp}
+	var first, resumed strings.Builder
+	if err := run(context.Background(), args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cp); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	if err := run(context.Background(), args, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != resumed.String() {
+		t.Fatal("resumed report diverges from the original")
 	}
 }
 
@@ -51,7 +94,7 @@ func TestFaultsFigure(t *testing.T) {
 		t.Skip("runs a quick simulation sweep")
 	}
 	var sb strings.Builder
-	if err := run([]string{"-exp", "faults", "-quick", "-runs", "1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "faults", "-quick", "-runs", "1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "FAULTS-FAIL") || !strings.Contains(sb.String(), "FAULTS-LOSS") {
@@ -59,9 +102,19 @@ func TestFaultsFigure(t *testing.T) {
 	}
 }
 
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := run(ctx, []string{"-exp", "fig7", "-quick", "-runs", "1"}, &sb)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "bogus"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-exp", "bogus"}, &sb); err == nil {
 		t.Fatal("expected error")
 	}
 }

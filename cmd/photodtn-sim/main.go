@@ -6,9 +6,15 @@
 //	photodtn-sim [-trace mit|cambridge|FILE] [-scheme NAME] [-storage GB]
 //	             [-rate PHOTOS/H] [-bandwidth MB/S] [-cap SECONDS]
 //	             [-span HOURS] [-sample HOURS] [-runs N] [-seed S]
+//	             [-workers N] [-checkpoint FILE]
 //	             [-fail-rate P] [-fail-downtime H] [-frame-loss P]
 //	             [-contact-drop P] [-gateway-outage P] [-clock-skew S]
 //	             [-fault-seed S] [-trace-out FILE] [-metrics-out FILE]
+//
+// Repeated runs (-runs N) execute on the parallel orchestrator: -workers
+// bounds the concurrency (default GOMAXPROCS; the averages are
+// bit-identical for any value) and -checkpoint makes interrupted
+// invocations resumable. Ctrl-C finishes in-flight runs and exits.
 //
 // The -fail-rate, -frame-loss, and companion flags enable the deterministic
 // fault model of internal/faults; with all of them zero the run is
@@ -23,27 +29,33 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"photodtn/internal/experiments"
 	"photodtn/internal/faults"
 	"photodtn/internal/geo"
 	"photodtn/internal/obs"
+	"photodtn/internal/runner"
 	"photodtn/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "photodtn-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("photodtn-sim", flag.ContinueOnError)
 	var (
 		traceName = fs.String("trace", "mit", "contact trace: mit, cambridge, or a trace file path")
@@ -57,6 +69,8 @@ func run(args []string, stdout io.Writer) error {
 		sample    = fs.Float64("sample", 25, "sampling period in hours")
 		runs      = fs.Int("runs", 1, "averaged runs")
 		seed      = fs.Int64("seed", 1, "base seed")
+		workers   = fs.Int("workers", 0, "concurrent runs; 0 means GOMAXPROCS (averages are identical for any value)")
+		ckpt      = fs.String("checkpoint", "", "record completed runs to this JSONL file and resume from it")
 
 		failRate  = fs.Float64("fail-rate", 0, "fraction of nodes that crash during the run (loses stored photos)")
 		downtime  = fs.Float64("fail-downtime", 0, "mean downtime after a crash in hours (0 = crashed nodes never rejoin)")
@@ -141,7 +155,16 @@ func run(args []string, stdout io.Writer) error {
 		p.Obs = observer
 	}
 
-	avg, err := experiments.RunAveraged(p, *scheme, *runs, *seed)
+	opts := experiments.Options{Runs: *runs, BaseSeed: *seed, Workers: *workers}.WithContext(ctx)
+	if *ckpt != "" {
+		cp, err := runner.OpenCheckpoint(*ckpt)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		defer cp.Close()
+		opts.Checkpoint = cp
+	}
+	avg, err := experiments.RunAveragedContext(ctx, p, *scheme, opts)
 	if err != nil {
 		return err
 	}

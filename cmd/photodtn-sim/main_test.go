@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunShortSimulation(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-trace", "cambridge", "-scheme", "Spray&Wait",
 		"-span", "20", "-sample", "10", "-runs", "1",
 	}, &sb)
@@ -26,7 +27,7 @@ func TestRunShortSimulation(t *testing.T) {
 
 func TestRunWithFaults(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-trace", "cambridge", "-scheme", "Spray&Wait",
 		"-span", "20", "-sample", "10", "-runs", "1",
 		"-fail-rate", "0.5", "-frame-loss", "0.1", "-fault-seed", "7",
@@ -48,16 +49,43 @@ func TestFaultFlagsStrictNoOpWhenZero(t *testing.T) {
 		"-span", "20", "-sample", "10", "-runs", "1",
 	}
 	var plain, zeroed strings.Builder
-	if err := run(base, &plain); err != nil {
+	if err := run(context.Background(), base, &plain); err != nil {
 		t.Fatal(err)
 	}
 	// A nonzero fault seed alone must not enable the model or perturb
 	// anything: the output is byte-identical.
-	if err := run(append(append([]string{}, base...), "-fault-seed", "99"), &zeroed); err != nil {
+	if err := run(context.Background(), append(append([]string{}, base...), "-fault-seed", "99"), &zeroed); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != zeroed.String() {
 		t.Fatalf("zero-rate fault flags changed the run:\n%s\nvs\n%s", plain.String(), zeroed.String())
+	}
+}
+
+func TestWorkersAndCheckpoint(t *testing.T) {
+	base := []string{
+		"-trace", "cambridge", "-scheme", "Spray&Wait",
+		"-span", "20", "-sample", "10", "-runs", "3",
+	}
+	var serial, parallel, resumed strings.Builder
+	if err := run(context.Background(), append(append([]string{}, base...), "-workers", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	cp := filepath.Join(t.TempDir(), "cells.jsonl")
+	withCp := append(append([]string{}, base...), "-workers", "4", "-checkpoint", cp)
+	if err := run(context.Background(), withCp, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("-workers 4 output diverges from -workers 1:\n%s\nvs\n%s",
+			parallel.String(), serial.String())
+	}
+	// Rerunning against the checkpoint resumes every run, byte-identically.
+	if err := run(context.Background(), withCp, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != serial.String() {
+		t.Fatal("resumed output diverges")
 	}
 }
 
@@ -70,7 +98,7 @@ func TestBadFlags(t *testing.T) {
 	}
 	for _, args := range tests {
 		var sb strings.Builder
-		if err := run(args, &sb); err == nil {
+		if err := run(context.Background(), args, &sb); err == nil {
 			t.Fatalf("args %v: expected error", args)
 		}
 	}
@@ -83,7 +111,7 @@ func TestRunOnTraceFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	err := run([]string{"-trace", path, "-scheme", "Epidemic", "-span", "1", "-sample", "1", "-runs", "1"}, &sb)
+	err := run(context.Background(), []string{"-trace", path, "-scheme", "Epidemic", "-span", "1", "-sample", "1", "-runs", "1"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +122,7 @@ func TestRunOnTraceFile(t *testing.T) {
 
 func TestRunOnMissingTraceFile(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-trace", "/nonexistent.trace"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-trace", "/nonexistent.trace"}, &sb); err == nil {
 		t.Fatal("expected error")
 	}
 }

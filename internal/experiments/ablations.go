@@ -5,19 +5,38 @@ import (
 
 	"photodtn/internal/core"
 	"photodtn/internal/geo"
+	"photodtn/internal/runner"
 	"photodtn/internal/sim"
 )
 
 // RunAveragedScheme is RunAveraged with a custom scheme factory, used by
 // the ablation studies to run non-default configurations of the framework.
-func RunAveragedScheme(p Params, factory func() sim.Scheme, runs int, baseSeed int64) (*sim.Average, error) {
-	return sim.RunMany(runs, baseSeed, func(seed int64) (sim.Config, sim.Scheme, error) {
-		cfg, _, err := Build(p, SchemeOurs, seed)
-		if err != nil {
-			return sim.Config{}, nil, err
-		}
-		return cfg, factory(), nil
-	})
+// The label names the variant: it keys the orchestrator job (and any
+// checkpoint records), so two factories with identical Params but different
+// internal configuration must carry different labels — the factory itself is
+// opaque and cannot be digested.
+func RunAveragedScheme(p Params, label string, factory func() sim.Scheme, opts Options) (*sim.Average, error) {
+	opts = opts.normalized()
+	if p.Obs == nil {
+		p.Obs = opts.Obs
+	}
+	job := runner.Job{
+		Key:  p.jobKey("variant:" + label),
+		Runs: opts.Runs,
+		Cell: sim.Cell(func(seed int64) (sim.Config, sim.Scheme, error) {
+			cfg, _, err := Build(p, SchemeOurs, seed)
+			if err != nil {
+				return sim.Config{}, nil, err
+			}
+			return cfg, factory(), nil
+		}),
+		Seed: sim.LegacySeeds(opts.BaseSeed),
+	}
+	aggs, err := runner.Run(opts.context(), []runner.Job{job}, opts.runnerOptions())
+	if err != nil {
+		return nil, err
+	}
+	return sim.AverageOf(aggs[0]), nil
 }
 
 // AblationPthld sweeps the metadata validity threshold P_thld (DESIGN.md:
@@ -45,7 +64,7 @@ func AblationPthld(opts Options) (*Figure, error) {
 	for _, v := range values {
 		cfg := core.DefaultConfig()
 		cfg.Pthld = v
-		avg, err := RunAveragedScheme(p, func() sim.Scheme { return core.New(cfg) }, opts.Runs, opts.BaseSeed)
+		avg, err := RunAveragedScheme(p, fmt.Sprintf("pthld=%g", v), func() sim.Scheme { return core.New(cfg) }, opts)
 		if err != nil {
 			return nil, fmt.Errorf("ablation pthld %v: %w", v, err)
 		}
@@ -80,11 +99,10 @@ func AblationTheta(opts Options) (*Figure, error) {
 	for _, deg := range values {
 		p := DefaultParams(MIT)
 		p.Theta = geo.Radians(deg)
-		p.Obs = opts.Obs
 		if opts.Quick {
 			p.SpanHours = 60
 		}
-		avg, err := RunAveraged(p, SchemeOurs, opts.Runs, opts.BaseSeed)
+		avg, err := RunAveragedContext(opts.context(), p, SchemeOurs, opts)
 		if err != nil {
 			return nil, fmt.Errorf("ablation theta %v: %w", deg, err)
 		}
@@ -132,7 +150,7 @@ func AblationEvaluator(opts Options) (*Figure, error) {
 		cfg := core.DefaultConfig()
 		cfg.Selection.ExactLimit = v.exactLimit
 		cfg.Selection.Samples = v.samples
-		avg, err := RunAveragedScheme(p, func() sim.Scheme { return core.New(cfg) }, opts.Runs, opts.BaseSeed)
+		avg, err := RunAveragedScheme(p, "evaluator="+v.label, func() sim.Scheme { return core.New(cfg) }, opts)
 		if err != nil {
 			return nil, fmt.Errorf("ablation evaluator %s: %w", v.label, err)
 		}

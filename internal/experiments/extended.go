@@ -1,6 +1,10 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"photodtn/internal/runner"
+)
 
 // ExtendedComparison is a repository addition beyond the paper's figures:
 // every constrained scheme — the paper's four plus the classic Epidemic and
@@ -30,12 +34,16 @@ func ExtendedComparison(opts Options) (*Figure, error) {
 			"repository addition: Epidemic and PROPHET are not in the paper's Fig. 5",
 		},
 	}
-	for _, scheme := range schemes {
-		avg, err := RunAveraged(p, scheme, opts.Runs, opts.BaseSeed)
-		if err != nil {
-			return nil, fmt.Errorf("extended %s: %w", scheme, err)
-		}
-		fig.Series = append(fig.Series, timeSeries(scheme, avg))
+	jobs := make([]runner.Job, len(schemes))
+	for i, scheme := range schemes {
+		jobs[i] = schemeJob(p, scheme, opts.Runs, opts.BaseSeed)
+	}
+	avgs, err := runJobs("extended", jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, scheme := range schemes {
+		fig.Series = append(fig.Series, timeSeries(scheme, avgs[i]))
 	}
 	return fig, nil
 }

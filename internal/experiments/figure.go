@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"photodtn/internal/geo"
 	"photodtn/internal/obs"
+	"photodtn/internal/runner"
 )
 
 // Series is one labelled curve of a figure: metric values over the X axis.
@@ -90,13 +92,53 @@ type Options struct {
 	// Quick trims sweeps and spans for use in benchmarks and smoke tests.
 	Quick bool
 	// Obs optionally attaches an observer to every run of the experiment;
-	// see Params.Obs. Nil leaves every run unobserved (bit-identical).
+	// see Params.Obs. Nil leaves every run unobserved (bit-identical). The
+	// orchestrator's own counters (runner.cells_*) land here too.
 	Obs *obs.Observer
+	// Workers bounds the number of concurrently simulated runs; <= 0 means
+	// GOMAXPROCS. Results are bit-identical for every value — the
+	// orchestrator applies summaries in run order no matter which worker
+	// finishes first.
+	Workers int
+	// Checkpoint, when non-nil, records every completed (scenario, scheme,
+	// run) cell and resumes previously completed ones, including across
+	// figures that share scenarios. The caller owns Open/Close.
+	Checkpoint *runner.Checkpoint
+
+	// ctx carries the experiment's cancellation context; set it with
+	// WithContext. Unexported so the zero Options value stays valid.
+	ctx context.Context
 }
 
 // DefaultOptions returns a configuration that regenerates every figure in
 // reasonable wall-clock time.
 func DefaultOptions() Options { return Options{Runs: 3, BaseSeed: 1} }
+
+// WithContext returns a copy of the options carrying ctx: cancelling it
+// aborts the experiment's remaining runs at the engine's next cancellation
+// point (completed cells stay in the checkpoint, if one is attached).
+func (o Options) WithContext(ctx context.Context) Options {
+	o.ctx = ctx
+	return o
+}
+
+// context returns the experiment's context, never nil.
+func (o Options) context() context.Context {
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
+}
+
+// runnerOptions projects the experiment options onto the orchestrator's.
+func (o Options) runnerOptions() runner.Options {
+	return runner.Options{
+		Workers:    o.Workers,
+		BaseSeed:   o.BaseSeed,
+		Checkpoint: o.Checkpoint,
+		Obs:        o.Obs,
+	}
+}
 
 func (o Options) normalized() Options {
 	if o.Runs <= 0 {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"photodtn/internal/runner"
 	"photodtn/internal/sim"
 )
 
@@ -16,6 +17,22 @@ func timeSeries(label string, avg *sim.Average) Series {
 		s.Delivered = append(s.Delivered, sm.Delivered)
 	}
 	return s
+}
+
+// runJobs executes a figure's whole job matrix over one orchestrator pool —
+// every (scheme, sweep point, run) cell shares the worker budget, so a slow
+// scheme never serialises the figure — and returns one average per job, in
+// job order.
+func runJobs(figID string, jobs []runner.Job, opts Options) ([]*sim.Average, error) {
+	aggs, err := runner.Run(opts.context(), jobs, opts.runnerOptions())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", figID, err)
+	}
+	avgs := make([]*sim.Average, len(aggs))
+	for i, agg := range aggs {
+		avgs[i] = sim.AverageOf(agg)
+	}
+	return avgs, nil
 }
 
 // Fig5 reproduces Fig. 5: point and aspect coverage over time on the MIT
@@ -35,12 +52,16 @@ func Fig5(opts Options) (*Figure, error) {
 		XLabel: "time (hours)",
 		Notes:  []string{fmt.Sprintf("averaged over %d runs (paper: 50)", opts.Runs)},
 	}
-	for _, scheme := range AllSchemes {
-		avg, err := RunAveraged(p, scheme, opts.Runs, opts.BaseSeed)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 %s: %w", scheme, err)
-		}
-		fig.Series = append(fig.Series, timeSeries(scheme, avg))
+	jobs := make([]runner.Job, len(AllSchemes))
+	for i, scheme := range AllSchemes {
+		jobs[i] = schemeJob(p, scheme, opts.Runs, opts.BaseSeed)
+	}
+	avgs, err := runJobs("fig5", jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, scheme := range AllSchemes {
+		fig.Series = append(fig.Series, timeSeries(scheme, avgs[i]))
 	}
 	return fig, nil
 }
@@ -50,59 +71,53 @@ func Fig5(opts Options) (*Figure, error) {
 // reference the paper compares the 30-second case against.
 func Fig6(opts Options) (*Figure, error) {
 	opts = opts.normalized()
-	caps := []struct {
-		label string
-		sec   float64
-	}{
-		{"Ours (10 min)", 600},
-		{"Ours (2 min)", 120},
-		{"Ours (1 min)", 60},
-		{"Ours (30 s)", 30},
+	type variant struct {
+		label  string
+		scheme string
+		sec    float64
+	}
+	variants := []variant{
+		{"Ours (10 min)", SchemeOurs, 600},
+		{"Ours (2 min)", SchemeOurs, 120},
+		{"Ours (1 min)", SchemeOurs, 60},
+		{"Ours (30 s)", SchemeOurs, 30},
 	}
 	if opts.Quick {
-		caps = caps[:2]
+		variants = variants[:2]
 	}
+	// Reference: ModifiedSpray with the full 10-minute durations.
+	variants = append(variants, variant{"ModifiedSpray (10 min)", SchemeModifiedSpray, 600})
 	fig := &Figure{
 		ID:     "fig6",
 		Title:  "Effect of contact duration (MIT-like trace, 2 MB/s, 0.6 GB storage)",
 		XLabel: "time (hours)",
 		Notes:  []string{fmt.Sprintf("averaged over %d runs (paper: 50)", opts.Runs)},
 	}
-	for _, c := range caps {
+	jobs := make([]runner.Job, len(variants))
+	for i, v := range variants {
 		p := DefaultParams(MIT)
 		p.SampleHours = 25
 		p.BandwidthMBs = 2
-		p.ContactCapSec = c.sec
+		p.ContactCapSec = v.sec
 		p.Obs = opts.Obs
 		if opts.Quick {
 			p.SpanHours = 60
 			p.SampleHours = 20
 		}
-		avg, err := RunAveraged(p, SchemeOurs, opts.Runs, opts.BaseSeed)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 %s: %w", c.label, err)
-		}
-		fig.Series = append(fig.Series, timeSeries(c.label, avg))
+		jobs[i] = schemeJob(p, v.scheme, opts.Runs, opts.BaseSeed)
 	}
-	// Reference: ModifiedSpray with the full 10-minute durations.
-	p := DefaultParams(MIT)
-	p.SampleHours = 25
-	p.BandwidthMBs = 2
-	p.ContactCapSec = 600
-	p.Obs = opts.Obs
-	if opts.Quick {
-		p.SpanHours = 60
-		p.SampleHours = 20
-	}
-	avg, err := RunAveraged(p, SchemeModifiedSpray, opts.Runs, opts.BaseSeed)
+	avgs, err := runJobs("fig6", jobs, opts)
 	if err != nil {
-		return nil, fmt.Errorf("fig6 reference: %w", err)
+		return nil, err
 	}
-	fig.Series = append(fig.Series, timeSeries("ModifiedSpray (10 min)", avg))
+	for i, v := range variants {
+		fig.Series = append(fig.Series, timeSeries(v.label, avgs[i]))
+	}
 	return fig, nil
 }
 
 // sweepFigure runs a parameter sweep and reports final metrics per value.
+// The whole (scheme × value) matrix goes through one orchestrator pool.
 func sweepFigure(id, title, xlabel string, kind TraceKind, values []float64,
 	apply func(*Params, float64), schemes []string, opts Options) (*Figure, error) {
 	fig := &Figure{
@@ -111,8 +126,8 @@ func sweepFigure(id, title, xlabel string, kind TraceKind, values []float64,
 		XLabel: xlabel,
 		Notes:  []string{fmt.Sprintf("averaged over %d runs (paper: 50)", opts.Runs)},
 	}
+	var jobs []runner.Job
 	for _, scheme := range schemes {
-		s := Series{Label: scheme}
 		for _, v := range values {
 			p := DefaultParams(kind)
 			p.Obs = opts.Obs
@@ -120,10 +135,17 @@ func sweepFigure(id, title, xlabel string, kind TraceKind, values []float64,
 				p.SpanHours = 60
 			}
 			apply(&p, v)
-			avg, err := RunAveraged(p, scheme, opts.Runs, opts.BaseSeed)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s @ %v: %w", id, scheme, v, err)
-			}
+			jobs = append(jobs, schemeJob(p, scheme, opts.Runs, opts.BaseSeed))
+		}
+	}
+	avgs, err := runJobs(id, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for si, scheme := range schemes {
+		s := Series{Label: scheme}
+		for vi, v := range values {
+			avg := avgs[si*len(values)+vi]
 			s.X = append(s.X, v)
 			s.PointFrac = append(s.PointFrac, avg.Final.PointFrac)
 			s.AspectDeg = append(s.AspectDeg, degrees(avg.Final.AspectRad))

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"photodtn/internal/obs"
+	"photodtn/internal/runner"
+	"photodtn/internal/sim"
+	"photodtn/internal/trace"
+)
+
+// tinyParams builds a small custom-trace scenario so parallelism and
+// checkpoint tests finish in seconds rather than minutes.
+func tinyParams(t *testing.T) Params {
+	t.Helper()
+	cfg := trace.SynthConfig{
+		Nodes: 12, Span: 20 * hour, Communities: 3,
+		IntraRate: 0.05 / hour, InterRate: 0.005 / hour,
+		MeanContactDur: 600, ScanInterval: 300, Seed: 5,
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(MIT)
+	p.CustomTrace = tr
+	p.PhotosPerHour = 40
+	p.SampleHours = 10
+	return p
+}
+
+// tinySweep runs a 2-scheme sweep over the tiny scenario and formats it —
+// the byte-level artifact the worker-count invariance is pinned on.
+func tinySweep(t *testing.T, opts Options) string {
+	t.Helper()
+	p := tinyParams(t)
+	fig, err := sweepFigure("tiny", "parallel invariance probe", "storage (GB)",
+		MIT, []float64{0.2, 0.6},
+		func(pp *Params, v float64) { *pp = p; pp.StorageGB = v },
+		[]string{SchemeOurs, SchemeSprayAndWait}, opts.normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fig.Format()
+}
+
+func TestSweepBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	base := tinySweep(t, Options{Runs: 3, BaseSeed: 1, Workers: 1})
+	for _, workers := range []int{2, 8} {
+		if got := tinySweep(t, Options{Runs: 3, BaseSeed: 1, Workers: workers}); got != base {
+			t.Fatalf("workers=%d output diverges from serial:\n%s\nvs\n%s", workers, got, base)
+		}
+	}
+}
+
+func TestSweepCheckpointResume(t *testing.T) {
+	opts := Options{Runs: 2, BaseSeed: 1, Workers: 2}
+	want := tinySweep(t, opts)
+
+	// First pass populates the checkpoint.
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	cp, err := runner.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(0, nil)
+	first := tinySweep(t, Options{Runs: 2, BaseSeed: 1, Workers: 2, Checkpoint: cp, Obs: o})
+	if first != want {
+		t.Fatal("checkpointed run diverges from plain run")
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 8 { // 2 schemes × 2 values × 2 runs
+		t.Fatalf("checkpoint holds %d cells, want 8", cp.Len())
+	}
+	if got := o.Counter("runner.cells_started").Value(); got != 8 {
+		t.Fatalf("first pass started %d cells, want 8", got)
+	}
+
+	// Second pass must resume every cell — zero simulations — and format
+	// byte-identically.
+	cp2, err := runner.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	o2 := obs.New(0, nil)
+	resumed := tinySweep(t, Options{Runs: 2, BaseSeed: 1, Workers: 2, Checkpoint: cp2, Obs: o2})
+	if resumed != want {
+		t.Fatal("resumed run diverges from uninterrupted run")
+	}
+	if got := o2.Counter("runner.cells_started").Value(); got != 0 {
+		t.Fatalf("resume started %d cells, want 0", got)
+	}
+	if got := o2.Counter("runner.cells_resumed").Value(); got != 8 {
+		t.Fatalf("resume resumed %d cells, want 8", got)
+	}
+}
+
+func TestRunAveragedContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunAveragedContext(ctx, tinyParams(t), SchemeSprayAndWait, Options{Runs: 2, BaseSeed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestJobKeyDistinguishesScenarios(t *testing.T) {
+	p := DefaultParams(MIT)
+	q := p
+	q.StorageGB = 0.8
+	if p.jobKey(SchemeOurs) == q.jobKey(SchemeOurs) {
+		t.Fatal("different storage, same key")
+	}
+	if p.jobKey(SchemeOurs) == p.jobKey(SchemeSprayAndWait) {
+		t.Fatal("different scheme, same key")
+	}
+	if p.jobKey(SchemeOurs) != p.jobKey(SchemeOurs) {
+		t.Fatal("key not stable")
+	}
+	// Observation must not change the key: observed runs are bit-identical
+	// to unobserved ones, so their checkpoints are interchangeable.
+	o := p
+	o.Obs = obs.New(0, nil)
+	if p.jobKey(SchemeOurs) != o.jobKey(SchemeOurs) {
+		t.Fatal("observer changed the key")
+	}
+}
+
+func TestRunAveragedSchemeLabelsKeyVariants(t *testing.T) {
+	// Two factories with identical Params but different labels must not
+	// share checkpoint records (the bug the label parameter exists to
+	// prevent).
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	cp, err := runner.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	p := tinyParams(t)
+	opts := Options{Runs: 1, BaseSeed: 1, Checkpoint: cp}
+	var built atomic.Int32
+	factory := func() sim.Scheme {
+		built.Add(1)
+		s, err := NewScheme(SchemeSprayAndWait)
+		if err != nil {
+			t.Error(err)
+		}
+		return s
+	}
+	if _, err := RunAveragedScheme(p, "variant-a", factory, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAveragedScheme(p, "variant-b", factory, opts); err != nil {
+		t.Fatal(err)
+	}
+	if built.Load() != 2 {
+		t.Fatalf("factory built %d schemes; variant-b resumed from variant-a's records", built.Load())
+	}
+}

@@ -1,0 +1,165 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestServeContextStopsOnCancel(t *testing.T) {
+	m := poiMap()
+	cc := newTestPeer(t, 0, m, 0)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- cc.ServeContext(ctx, l) }()
+
+	// The server must actually serve before we cancel it.
+	n := newTestPeer(t, 1, m, 8*mb)
+	if err := n.AddPhoto(viewFrom(1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DialContext(context.Background(), l.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ServeContext returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeContext did not return after cancel")
+	}
+}
+
+func TestServeContextListenerCloseStillCleanExit(t *testing.T) {
+	cc := newTestPeer(t, 0, poiMap(), 0)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cc.ServeContext(context.Background(), l) }()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("closing the listener must end Serve cleanly, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeContext did not return after listener close")
+	}
+}
+
+func TestDialContextCancelledDuringBackoff(t *testing.T) {
+	refused := errors.New("connection refused")
+	ctx, cancel := context.WithCancel(context.Background())
+	dials := 0
+	n := newTestPeer(t, 1, poiMap(), 8*mb,
+		WithRetry(10, time.Hour, time.Hour), // without cancellation this would sleep for hours
+		WithContextDialer(func(ctx context.Context, addr string) (net.Conn, error) {
+			dials++
+			cancel() // cancel while the first backoff sleep is pending
+			return nil, &net.OpError{Op: "dial", Err: refused}
+		}))
+	start := time.Now()
+	err := n.DialContext(ctx, "anywhere:1")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if dials != 1 {
+		t.Fatalf("dialed %d times after cancellation, want 1", dials)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+	if n.ContactErrors() == 0 {
+		t.Fatal("interrupted contact left no error trace")
+	}
+}
+
+func TestDialContextCancelledMidContact(t *testing.T) {
+	// A server that accepts and then goes silent: without cancellation the
+	// initiator would wait out its frame timeout.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(10 * time.Second) // never answer
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	n := newTestPeer(t, 1, poiMap(), 8*mb,
+		WithRetry(1, 0, 0), WithFrameTimeout(time.Minute))
+	start := time.Now()
+	err = n.DialContext(ctx, l.Addr().String())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; the connection was not deadline-poisoned", elapsed)
+	}
+}
+
+func TestContactIsDialContextBackground(t *testing.T) {
+	// The compatibility wrapper must behave exactly like the old Contact:
+	// full exchange against a served command center.
+	m := poiMap()
+	cc := newTestPeer(t, 0, m, 0)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cc.Serve(l) }()
+	n := newTestPeer(t, 1, m, 8*mb)
+	if err := n.AddPhoto(viewFrom(1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Contact(l.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cc.Photos()); got != 1 {
+		t.Fatalf("cc holds %d photos, want 1", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionInterfaceAcceptsExternalImplementations(t *testing.T) {
+	// The facade implements Option outside this package; pin the seam.
+	var applied bool
+	var custom Option = externalOption{apply: func(p *Peer) { applied = true }}
+	_ = New(1, poiMap(), 8*mb, custom)
+	if !applied {
+		t.Fatal("externally implemented Option was not applied")
+	}
+}
+
+type externalOption struct{ apply func(*Peer) }
+
+func (e externalOption) Apply(p *Peer) { e.apply(p) }

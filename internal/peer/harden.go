@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -35,31 +36,42 @@ const (
 // contact. Zero disables per-frame deadlines (not recommended outside
 // tests with transports that lack deadline support).
 func WithFrameTimeout(d time.Duration) Option {
-	return func(p *Peer) { p.frameTimeout = d }
+	return optionFunc(func(p *Peer) { p.frameTimeout = d })
 }
 
 // WithContactTimeout bounds the whole contact with an absolute deadline,
 // mirroring the finite contact duration of the DTN model. Zero (the
 // default) means only per-frame deadlines apply.
 func WithContactTimeout(d time.Duration) Option {
-	return func(p *Peer) { p.contactTimeout = d }
+	return optionFunc(func(p *Peer) { p.contactTimeout = d })
 }
 
 // WithRetry configures Contact's capped exponential backoff for transient
 // dial and IO failures: at most attempts tries, sleeping base, 2*base, ...
 // capped at max between them. attempts <= 1 disables retrying.
 func WithRetry(attempts int, base, max time.Duration) Option {
-	return func(p *Peer) {
+	return optionFunc(func(p *Peer) {
 		p.retryAttempts = attempts
 		p.retryBase = base
 		p.retryMax = max
-	}
+	})
 }
 
 // WithDialer replaces the TCP dialer used by Contact (tests inject failing
-// or in-memory transports through this).
+// or in-memory transports through this). The injected dialer does not see
+// the DialContext context; use WithContextDialer when the transport should
+// honour cancellation during connection establishment.
 func WithDialer(dial func(addr string) (net.Conn, error)) Option {
-	return func(p *Peer) { p.dial = dial }
+	return optionFunc(func(p *Peer) {
+		p.dial = func(_ context.Context, addr string) (net.Conn, error) { return dial(addr) }
+	})
+}
+
+// WithContextDialer replaces the dialer with a context-aware one: DialContext
+// passes its context through, so connection establishment aborts when the
+// caller cancels.
+func WithContextDialer(dial func(ctx context.Context, addr string) (net.Conn, error)) Option {
+	return optionFunc(func(p *Peer) { p.dial = dial })
 }
 
 // ContactErrors returns how many contacts ended in an error since the peer

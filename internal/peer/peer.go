@@ -12,6 +12,7 @@
 package peer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -37,41 +38,58 @@ var (
 	ErrProtocol = errors.New("peer: protocol violation")
 )
 
-// Option customises a Peer.
-type Option func(*Peer)
+// Option customises a Peer during New. Options are an interface (not a
+// function type) so other packages can implement them — the photodtn facade's
+// unified options (photodtn.WithObserver) satisfy this interface alongside
+// the constructors below.
+type Option interface {
+	// Apply applies the option to the peer. New calls it before finalising
+	// defaults, so options may leave fields unset.
+	Apply(*Peer)
+}
+
+// optionFunc adapts a plain function to Option.
+type optionFunc func(*Peer)
+
+// Apply implements Option.
+func (f optionFunc) Apply(p *Peer) { f(p) }
 
 // WithClock injects a logical clock (seconds); the default is wall time
 // since peer creation.
 func WithClock(clock func() float64) Option {
-	return func(p *Peer) { p.clock = clock }
+	return optionFunc(func(p *Peer) { p.clock = clock })
 }
 
 // WithSelectionConfig overrides the expected-coverage evaluation settings.
 func WithSelectionConfig(cfg selection.Config) Option {
-	return func(p *Peer) { p.selCfg = cfg }
+	return optionFunc(func(p *Peer) { p.selCfg = cfg })
 }
 
 // WithPthld overrides the metadata validity threshold.
 func WithPthld(v float64) Option {
-	return func(p *Peer) { p.pthld = v }
+	return optionFunc(func(p *Peer) { p.pthld = v })
 }
 
 // WithPayloadBytes makes PhotoData frames carry n synthetic payload bytes
 // (stand-ins for image files); 0 sends metadata only.
 func WithPayloadBytes(n int) Option {
-	return func(p *Peer) { p.payload = n }
+	return optionFunc(func(p *Peer) { p.payload = n })
 }
 
 // WithSeed fixes the nonce stream for reproducible contacts.
 func WithSeed(seed int64) Option {
-	return func(p *Peer) { p.rng = rand.New(rand.NewSource(seed)) }
+	return optionFunc(func(p *Peer) { p.rng = rand.New(rand.NewSource(seed)) })
 }
 
 // WithObserver instruments the peer: contact/retry/abort counters, the
 // selection subsystem's metrics, and session-abort trace events. A nil
 // observer (the default) keeps every instrumentation site a no-op.
+//
+// Deprecated: prefer the unified photodtn.WithObserver option, which
+// additionally covers the simulator and the selection layer with the same
+// observer. This constructor keeps working.
 func WithObserver(o *obs.Observer) Option {
-	return func(p *Peer) { p.obsv = o }
+	return optionFunc(func(p *Peer) { p.obsv = o })
 }
 
 // Peer is a live framework node. All exported methods are safe for
@@ -99,7 +117,7 @@ type Peer struct {
 	retryAttempts  int
 	retryBase      time.Duration
 	retryMax       time.Duration
-	dial           func(addr string) (net.Conn, error)
+	dial           func(ctx context.Context, addr string) (net.Conn, error)
 	sleep          func(time.Duration)
 
 	errMu          sync.Mutex
@@ -138,15 +156,15 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 	}
 	p.store = sim.NewStorage(capacity)
 	for _, o := range opts {
-		o(p)
+		o.Apply(p)
 	}
 	if p.clock == nil {
 		p.clock = func() float64 { return time.Since(p.start).Seconds() }
 	}
 	if p.dial == nil {
-		p.dial = func(addr string) (net.Conn, error) {
+		p.dial = func(ctx context.Context, addr string) (net.Conn, error) {
 			d := net.Dialer{Timeout: p.frameTimeout}
-			return d.Dial("tcp", addr)
+			return d.DialContext(ctx, "tcp", addr)
 		}
 	}
 	p.cache = metadata.NewCache(id, p.pthld)
@@ -198,17 +216,34 @@ func (p *Peer) DeliveryProb() float64 {
 // connection sequentially (a node has one radio). A contact that fails —
 // timeout, corruption, protocol violation — is recorded (ContactErrors,
 // LastContactError) and the peer keeps serving: one misbehaving or stalled
-// remote must not take the node offline.
+// remote must not take the node offline. It is a ServeContext with the
+// background context: it runs until the caller closes the listener.
 func (p *Peer) Serve(l net.Listener) error {
+	return p.ServeContext(context.Background(), l)
+}
+
+// ServeContext is Serve under a context: cancelling ctx closes the listener,
+// interrupts the contact in progress (its connection is deadline-poisoned),
+// and returns ctx's error. Closing the listener directly still stops the
+// loop with a nil error, exactly like Serve.
+func (p *Peer) ServeContext(ctx context.Context, l net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() { _ = l.Close() })
+	defer stop()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("peer %v: serve interrupted: %w", p.id, cerr)
+			}
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("peer %v: accept: %w", p.id, err)
 		}
-		err = p.ContactConn(conn, false)
+		err = p.contactCancellable(ctx, conn, false)
 		_ = conn.Close()
 		if err != nil && !errors.Is(err, io.EOF) {
 			p.noteContactError(err)
@@ -219,8 +254,20 @@ func (p *Peer) Serve(l net.Listener) error {
 // Contact dials the address and initiates a contact, retrying transient
 // dial/IO failures with capped exponential backoff (see WithRetry). A
 // contact abort is safe to retry from scratch: storage mutations are
-// atomic at contact end, so a failed attempt leaves no partial state.
+// atomic at contact end, so a failed attempt leaves no partial state. It is
+// a DialContext with the background context.
 func (p *Peer) Contact(addr string) error {
+	return p.DialContext(context.Background(), addr)
+}
+
+// DialContext is Contact under a context: the dial honours ctx, a
+// cancellation mid-contact poisons the connection's deadline so the contact
+// aborts at its next frame, and backoff sleeps between retries end early.
+// On cancellation the returned error wraps ctx's error.
+func (p *Peer) DialContext(ctx context.Context, addr string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	backoff := p.retryBase
 	attempts := p.retryAttempts
 	if attempts < 1 {
@@ -228,7 +275,14 @@ func (p *Peer) Contact(addr string) error {
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = p.contactOnce(addr)
+		err = p.contactOnce(ctx, addr)
+		if cerr := ctx.Err(); cerr != nil && err != nil {
+			// The failure happened under a cancelled context — report the
+			// cancellation, not whatever IO error it surfaced as.
+			err = fmt.Errorf("peer %v: contact interrupted: %w", p.id, cerr)
+			p.noteContactError(err)
+			return err
+		}
 		if err == nil || attempt >= attempts || !transient(err) {
 			if err != nil {
 				p.noteContactError(err)
@@ -236,7 +290,11 @@ func (p *Peer) Contact(addr string) error {
 			return err
 		}
 		p.cRetries.Inc()
-		p.sleep(backoff)
+		if werr := p.wait(ctx, backoff); werr != nil {
+			err = fmt.Errorf("peer %v: contact interrupted: %w", p.id, werr)
+			p.noteContactError(err)
+			return err
+		}
 		backoff *= 2
 		if backoff > p.retryMax {
 			backoff = p.retryMax
@@ -244,13 +302,46 @@ func (p *Peer) Contact(addr string) error {
 	}
 }
 
-func (p *Peer) contactOnce(addr string) error {
-	conn, err := p.dial(addr)
+func (p *Peer) contactOnce(ctx context.Context, addr string) error {
+	conn, err := p.dial(ctx, addr)
 	if err != nil {
 		return fmt.Errorf("peer %v: dial %s: %w", p.id, addr, err)
 	}
 	defer func() { _ = conn.Close() }()
-	return p.ContactConn(conn, true)
+	return p.contactCancellable(ctx, conn, true)
+}
+
+// contactCancellable runs one contact, poisoning the connection's deadline
+// the moment ctx is cancelled so a blocked frame read/write fails promptly
+// instead of waiting out its frame timeout.
+func (p *Peer) contactCancellable(ctx context.Context, conn net.Conn, initiator bool) error {
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Now()) })
+		defer stop()
+	}
+	err := p.ContactConn(conn, initiator)
+	if cerr := ctx.Err(); cerr != nil && err != nil {
+		return fmt.Errorf("peer %v: contact interrupted: %w", p.id, cerr)
+	}
+	return err
+}
+
+// wait sleeps for d or until ctx is cancelled. Without a cancellable
+// context it defers to the injected sleep (tests replace it to skip
+// backoff).
+func (p *Peer) wait(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		p.sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // ContactConn runs one contact over an established connection. When the

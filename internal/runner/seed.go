@@ -1,0 +1,27 @@
+package runner
+
+// golden is the SplitMix64 stream increment (the 64-bit golden ratio).
+const golden = 0x9E3779B97F4A7C15
+
+// SplitMix64 is the SplitMix64 output function: a full-avalanche 64-bit
+// mixer (Steele, Lea & Flood, OOPSLA 2014). It is the repository's standard
+// seed-derivation primitive: cheap, stateless, and statistically independent
+// outputs for sequential inputs.
+func SplitMix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D49BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// CellSeed derives the seed of cell idx from a base seed: the idx-th output
+// of the SplitMix64 stream seeded with base. The derivation is a pure
+// function of (base, idx) — it does not depend on how many cells exist, in
+// what order they execute, or where the cell's job sits in the matrix — so
+// parallel schedules, reordered sweeps, and checkpoint resumes all see the
+// same seed for the same cell.
+func CellSeed(base int64, idx int) int64 {
+	return int64(SplitMix64(uint64(base) + (uint64(idx)+1)*golden))
+}

@@ -74,6 +74,9 @@ type Config struct {
 	ParallelThreshold int
 	// Metrics optionally observes the selection machinery; the zero value
 	// disables it at no cost.
+	//
+	// Deprecated: prefer the unified photodtn.WithObserver option, which
+	// fills this field via ObserverMetrics. Direct assignment keeps working.
 	Metrics Metrics
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -84,6 +85,10 @@ type Config struct {
 	// Nil disables observability entirely; the run is then bit-identical to
 	// (and as fast as) an unobserved one, because every instrumentation site
 	// holds nil metric pointers that no-op.
+	//
+	// Deprecated: prefer the unified photodtn.WithObserver option, which
+	// installs one observer across the simulator, the selection layer, and
+	// live peers. Setting this field directly keeps working.
 	Obs *obs.Observer
 }
 
@@ -180,8 +185,26 @@ const (
 	evSample
 )
 
-// Run executes one simulation and returns its metrics.
+// Run executes one simulation and returns its metrics. It is a
+// RunContext with the background context.
 func Run(cfg Config, scheme Scheme) (*Result, error) {
+	return RunContext(context.Background(), cfg, scheme)
+}
+
+// cancelCheckEvery is how many events the engine processes between context
+// checks: coarse enough to keep the hot loop branch-cheap, fine enough that
+// cancellation lands within a fraction of a second even on dense traces.
+const cancelCheckEvery = 256
+
+// RunContext executes one simulation under a context. The engine polls ctx
+// every cancelCheckEvery events and aborts with ctx's error (wrapped) when
+// it is cancelled; schemes can additionally observe the same context via
+// World.Context during long per-contact computations. A nil ctx behaves
+// like context.Background.
+func RunContext(ctx context.Context, cfg Config, scheme Scheme) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -198,6 +221,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := newWorld(cfg.Map, cfg.Trace.Nodes, capacity, rng)
+	w.ctx = ctx
 	w.ParallelSelection = cfg.ParallelSelection
 	w.setObserver(cfg.Obs)
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
@@ -214,7 +238,10 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 	o := cfg.Obs
 	cContacts := o.Counter("sim.contacts")
 	cPhotos := o.Counter("sim.photos_taken")
-	for _, ev := range events {
+	for i, ev := range events {
+		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("sim: run interrupted: %w", ctx.Err())
+		}
 		w.now = ev.time
 		switch ev.kind {
 		case evCrash:

@@ -1,10 +1,11 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
+
+	"photodtn/internal/runner"
 )
 
 // RunFunc builds a fresh, independent (Config, Scheme) pair for one run.
@@ -35,81 +36,148 @@ type Average struct {
 	PhotosLostToCrash float64
 	AbortedTransfers  float64
 	MeanRecoverySec   float64
+
+	// FinalVar is the per-field sample variance of Final across runs
+	// (n−1 denominator; all zero for a single run, and zero when the
+	// average was produced by AverageResults rather than the streaming
+	// orchestrator).
+	FinalVar AvgSample
 }
 
 // ErrNoRuns is returned when RunMany is asked for zero runs.
 var ErrNoRuns = errors.New("sim: need at least one run")
 
+// Summarize projects a run result onto the orchestrator's numeric summary
+// (dropping the photo collection, which averages cannot use anyway).
+func Summarize(r *Result) *runner.Summary {
+	s := &runner.Summary{
+		Scheme:            r.Scheme,
+		Final:             summarySample(r.Final),
+		TransferredPhotos: float64(r.TransferredPhotos),
+		TransferredBytes:  float64(r.TransferredBytes),
+		NodeCrashes:       float64(r.NodeCrashes),
+		PhotosLostToCrash: float64(r.PhotosLostToCrash),
+		AbortedTransfers:  float64(r.AbortedTransfers),
+		MeanRecoverySec:   r.MeanRecoverySec,
+	}
+	if len(r.Samples) > 0 {
+		s.Samples = make([]runner.Sample, len(r.Samples))
+		for i, sm := range r.Samples {
+			s.Samples[i] = summarySample(sm)
+		}
+	}
+	return s
+}
+
+func summarySample(s Sample) runner.Sample {
+	return runner.Sample{
+		Time: s.Time, PointFrac: s.PointFrac, AspectRad: s.AspectRad,
+		Delivered: float64(s.Delivered),
+	}
+}
+
+// AverageOf converts an orchestrator aggregate back into the simulator's
+// Average (including the Final variance the streaming aggregation provides
+// for free).
+func AverageOf(agg *runner.Aggregate) *Average {
+	m := &agg.Mean
+	avg := &Average{
+		Scheme:            m.Scheme,
+		Runs:              agg.Runs,
+		Final:             avgSample(m.Final),
+		TransferredPhotos: m.TransferredPhotos,
+		TransferredBytes:  m.TransferredBytes,
+		NodeCrashes:       m.NodeCrashes,
+		PhotosLostToCrash: m.PhotosLostToCrash,
+		AbortedTransfers:  m.AbortedTransfers,
+		MeanRecoverySec:   m.MeanRecoverySec,
+		FinalVar:          avgSample(agg.Var.Final),
+	}
+	if len(m.Samples) > 0 {
+		avg.Samples = make([]AvgSample, len(m.Samples))
+		for i, sm := range m.Samples {
+			avg.Samples[i] = avgSample(sm)
+		}
+	}
+	return avg
+}
+
+func avgSample(s runner.Sample) AvgSample {
+	return AvgSample{Time: s.Time, PointFrac: s.PointFrac, AspectRad: s.AspectRad, Delivered: s.Delivered}
+}
+
+// Cell adapts a RunFunc to the orchestrator: one cell builds the run for
+// its seed, executes it under ctx, and returns the numeric summary.
+// experiments uses it to assemble whole sweep matrices over one worker pool.
+func Cell(f RunFunc) runner.CellFunc {
+	return func(ctx context.Context, runIdx int, seed int64) (*runner.Summary, error) {
+		cfg, scheme, err := f(seed)
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", runIdx, err)
+		}
+		res, err := RunContext(ctx, cfg, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", runIdx, err)
+		}
+		return Summarize(res), nil
+	}
+}
+
+// LegacySeeds is the seed family RunMany has always used — baseSeed,
+// baseSeed+1, ... — kept so committed reports and seed-parity tests keep
+// their exact seeds. New orchestrations should prefer the default
+// runner.CellSeed derivation.
+func LegacySeeds(baseSeed int64) runner.SeedFunc {
+	return func(runIdx int) int64 { return baseSeed + int64(runIdx) }
+}
+
 // RunMany executes runs independent simulations in parallel (bounded by
 // GOMAXPROCS) with seeds baseSeed, baseSeed+1, ... and averages their
-// metrics. All runs must produce the same sample count.
+// metrics. All runs must produce the same sample count. It is a
+// RunManyContext with the background context.
 func RunMany(runs int, baseSeed int64, f RunFunc) (*Average, error) {
+	return RunManyContext(context.Background(), runs, baseSeed, f)
+}
+
+// RunManyContext is RunMany under a context: cancelling ctx stops in-flight
+// runs at the engine's next cancellation point and returns ctx's error.
+// Aggregation is streaming (runner.Agg), so memory stays bounded by the
+// worker count, not the run count.
+func RunManyContext(ctx context.Context, runs int, baseSeed int64, f RunFunc) (*Average, error) {
 	if runs <= 0 {
 		return nil, ErrNoRuns
 	}
-	results := make([]*Result, runs)
-	errs := make([]error, runs)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := 0; i < runs; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg, scheme, err := f(baseSeed + int64(i))
-			if err != nil {
-				errs[i] = fmt.Errorf("run %d: %w", i, err)
-				return
-			}
-			res, err := Run(cfg, scheme)
-			if err != nil {
-				errs[i] = fmt.Errorf("run %d: %w", i, err)
-				return
-			}
-			results[i] = res
-		}(i)
+	job := runner.Job{
+		Key:  "sim.RunMany",
+		Runs: runs,
+		Cell: Cell(f),
+		Seed: LegacySeeds(baseSeed),
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	aggs, err := runner.Run(ctx, []runner.Job{job}, runner.Options{})
+	if err != nil {
+		return nil, err
 	}
-	return AverageResults(results)
+	return AverageOf(aggs[0]), nil
 }
 
 // AverageResults averages pre-computed run results; all runs must share a
-// sample layout. It is used by RunMany and by analytic evaluators (e.g.
-// the BestPossible fast path) that bypass the engine.
+// sample layout. It is used by analytic evaluators (e.g. the BestPossible
+// fast path) that bypass the engine; engine-backed paths go through the
+// streaming orchestrator instead and never materialise a result slice.
 func AverageResults(results []*Result) (*Average, error) {
 	n := len(results)
-	avg := &Average{Scheme: results[0].Scheme, Runs: n}
-	sampleCount := len(results[0].Samples)
-	for _, r := range results {
-		if len(r.Samples) != sampleCount {
-			return nil, fmt.Errorf("sim: sample counts differ across runs (%d vs %d)", len(r.Samples), sampleCount)
+	if n == 0 {
+		return nil, ErrNoRuns
+	}
+	agg := runner.NewAgg()
+	for i, r := range results {
+		if err := agg.Add(i, Summarize(r)); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
-	avg.Samples = make([]AvgSample, sampleCount)
-	inv := 1 / float64(n)
-	for _, r := range results {
-		for i, s := range r.Samples {
-			avg.Samples[i].Time = s.Time
-			avg.Samples[i].PointFrac += s.PointFrac * inv
-			avg.Samples[i].AspectRad += s.AspectRad * inv
-			avg.Samples[i].Delivered += float64(s.Delivered) * inv
-		}
-		avg.Final.Time = r.Final.Time
-		avg.Final.PointFrac += r.Final.PointFrac * inv
-		avg.Final.AspectRad += r.Final.AspectRad * inv
-		avg.Final.Delivered += float64(r.Final.Delivered) * inv
-		avg.TransferredPhotos += float64(r.TransferredPhotos) * inv
-		avg.TransferredBytes += float64(r.TransferredBytes) * inv
-		avg.NodeCrashes += float64(r.NodeCrashes) * inv
-		avg.PhotosLostToCrash += float64(r.PhotosLostToCrash) * inv
-		avg.AbortedTransfers += float64(r.AbortedTransfers) * inv
-		avg.MeanRecoverySec += r.MeanRecoverySec * inv
+	out, err := agg.Result("sim.AverageResults", n)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return avg, nil
+	return AverageOf(out), nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,6 +20,10 @@ type World struct {
 	// Rand is the run's deterministic RNG; schemes needing randomness must
 	// use it (never the global source).
 	Rand *rand.Rand
+
+	// ctx is the run's context (never nil once the engine built the world);
+	// schemes observe it through Context for long per-contact computations.
+	ctx context.Context
 
 	now      float64
 	storages []*Storage // index 1..numNodes; index 0 unused (CC is unbounded)
@@ -88,6 +93,17 @@ func (w *World) setObserver(o *obs.Observer) {
 // Schemes use it to register their own metrics and emit trace events — a
 // nil observer accepts every call and does nothing.
 func (w *World) Obs() *obs.Observer { return w.obsv }
+
+// Context returns the run's context. Schemes doing long per-contact work
+// (Monte Carlo sampling, large gain scans) may poll it to abandon work the
+// caller no longer wants; the engine itself polls between events, so most
+// schemes never need to. Never nil.
+func (w *World) Context() context.Context {
+	if w.ctx == nil {
+		return context.Background() // worlds built directly by tests
+	}
+	return w.ctx
+}
 
 // Now returns the current simulation time in seconds.
 func (w *World) Now() float64 { return w.now }

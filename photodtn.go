@@ -20,10 +20,28 @@
 //   - Experiment harnesses regenerating every figure and table of the
 //     paper's evaluation (the experiments aliases and cmd/photodtn-experiments).
 //
+// # Observability and cancellation
+//
+// Every layer accepts the same observer through one option: pass
+// WithObserver to RunSimulation, DefaultSelectionConfig, or NewPeer and the
+// simulator, the selection machinery, and the live peer all report into the
+// same registry. The per-layer hooks (sim.Config.Obs, selection
+// Config.Metrics, the peer WithObserver option) still work but are
+// deprecated in favour of this single entry point.
+//
+// Long-running entry points have context-aware forms — RunSimulationContext,
+// Peer.DialContext, Peer.ServeContext — and experiment harnesses run on a
+// parallel orchestrator (ExperimentOptions.Workers) with durable
+// checkpoint/resume (OpenRunCheckpoint). The context-free names remain as
+// thin context.Background wrappers.
+//
 // See README.md for a tour and DESIGN.md for the system inventory.
 package photodtn
 
 import (
+	"context"
+	"io"
+
 	"photodtn/internal/camera"
 	"photodtn/internal/core"
 	"photodtn/internal/coverage"
@@ -32,9 +50,11 @@ import (
 	"photodtn/internal/metadata"
 	"photodtn/internal/mobility"
 	"photodtn/internal/model"
+	"photodtn/internal/obs"
 	"photodtn/internal/peer"
 	"photodtn/internal/prophet"
 	"photodtn/internal/routing"
+	"photodtn/internal/runner"
 	"photodtn/internal/selection"
 	"photodtn/internal/sensor"
 	"photodtn/internal/sim"
@@ -114,8 +134,15 @@ type (
 	ReallocationResult = selection.Result
 )
 
-// DefaultSelectionConfig returns the evaluation defaults.
-func DefaultSelectionConfig() SelectionConfig { return selection.DefaultConfig() }
+// DefaultSelectionConfig returns the evaluation defaults, customised by any
+// unified options (e.g. WithObserver) that apply to the selection layer.
+func DefaultSelectionConfig(opts ...Option) SelectionConfig {
+	cfg := selection.DefaultConfig()
+	for _, o := range opts {
+		o.applySelection(&cfg)
+	}
+	return cfg
+}
 
 // ExpectedCoverage evaluates Definition 2 for the node set.
 func ExpectedCoverage(m *Map, cfg SelectionConfig, ccPhotos PhotoList, parts []Participant) Coverage {
@@ -221,8 +248,20 @@ type (
 	WorkloadConfig = workload.Config
 )
 
-// RunSimulation executes one run of a scheme.
-func RunSimulation(cfg SimConfig, s Scheme) (*SimResult, error) { return sim.Run(cfg, s) }
+// RunSimulation executes one run of a scheme. Unified options (e.g.
+// WithObserver) apply on top of the config.
+func RunSimulation(cfg SimConfig, s Scheme, opts ...Option) (*SimResult, error) {
+	return RunSimulationContext(context.Background(), cfg, s, opts...)
+}
+
+// RunSimulationContext is RunSimulation under a context: cancelling ctx
+// aborts the event loop promptly and returns the context's error.
+func RunSimulationContext(ctx context.Context, cfg SimConfig, s Scheme, opts ...Option) (*SimResult, error) {
+	for _, o := range opts {
+		o.applySim(&cfg)
+	}
+	return sim.RunContext(ctx, cfg, s)
+}
 
 // NewFramework returns the paper's scheme ("OurScheme"; set DisableMetadata
 // for the NoMetadata baseline).
@@ -281,6 +320,56 @@ var (
 	// WithSelectionConfig overrides a peer's evaluation settings.
 	WithSelectionConfig = peer.WithSelectionConfig
 )
+
+// Unified observability (see DESIGN.md).
+type (
+	// Observer collects metrics and an event trace across every layer.
+	Observer = obs.Observer
+	// ObsEvent is one trace event.
+	ObsEvent = obs.Event
+)
+
+// NewObserver builds an observer keeping at most traceCap trace events in
+// memory; a non-nil sink receives every event as JSON lines. traceCap 0
+// disables the in-memory trace.
+func NewObserver(traceCap int, sink io.Writer) *Observer { return obs.New(traceCap, sink) }
+
+// Option configures any layer of the framework from one value: it is a
+// PeerOption (pass it to NewPeer), a simulation option (pass it to
+// RunSimulation), and a selection option (pass it to
+// DefaultSelectionConfig). Implementations live in this package —
+// WithObserver is the canonical one.
+type Option interface {
+	PeerOption
+	applySim(cfg *sim.Config)
+	applySelection(cfg *selection.Config)
+}
+
+// WithObserver wires one observer into whichever layer the option is given
+// to: the simulator (RunSimulation), the selection machinery
+// (DefaultSelectionConfig), or a live peer (NewPeer). It replaces the three
+// per-layer hooks sim.Config.Obs, selection Config.Metrics, and the peer
+// WithObserver option, which remain for compatibility but are deprecated.
+func WithObserver(o *Observer) Option { return observerOption{o: o} }
+
+type observerOption struct{ o *Observer }
+
+// Apply implements PeerOption.
+func (w observerOption) Apply(p *Peer) { peer.WithObserver(w.o).Apply(p) }
+
+func (w observerOption) applySim(cfg *sim.Config) { cfg.Obs = w.o }
+
+func (w observerOption) applySelection(cfg *selection.Config) {
+	cfg.Metrics = selection.ObserverMetrics(w.o)
+}
+
+// RunCheckpoint is a durable record of completed experiment cells; pass one
+// through ExperimentOptions.Checkpoint to make interrupted sweeps resumable.
+type RunCheckpoint = runner.Checkpoint
+
+// OpenRunCheckpoint opens (creating if needed) a checkpoint file and loads
+// every completed cell recorded in it. Close it when the experiment is done.
+func OpenRunCheckpoint(path string) (*RunCheckpoint, error) { return runner.OpenCheckpoint(path) }
 
 // NewPhone creates a simulated camera phone (see camera.NewPhone).
 func NewPhone(owner NodeID, cfg PhoneConfig, seed int64) (*Phone, error) {

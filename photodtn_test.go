@@ -1,7 +1,10 @@
 package photodtn_test
 
 import (
+	"context"
+	"errors"
 	"net"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 
@@ -80,7 +83,10 @@ func TestFacadeExpectedCoverage(t *testing.T) {
 	}
 }
 
-func TestFacadeSimulation(t *testing.T) {
+// facadeSimConfig builds the small well-connected scenario the simulation
+// facade tests share.
+func facadeSimConfig(t *testing.T) photodtn.SimConfig {
+	t.Helper()
 	tr, err := photodtn.GenerateTrace(photodtn.TraceSynthConfig{
 		Nodes: 10, Span: 20 * 3600, Communities: 2,
 		IntraRate: 0.5 / 3600, InterRate: 0.05 / 3600,
@@ -89,10 +95,9 @@ func TestFacadeSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := facadeMap()
-	cfg := photodtn.SimConfig{
+	return photodtn.SimConfig{
 		Trace:           tr,
-		Map:             m,
+		Map:             facadeMap(),
 		StorageBytes:    100 << 20,
 		Gateways:        []photodtn.NodeID{1},
 		GatewayInterval: 4 * 3600,
@@ -103,6 +108,10 @@ func TestFacadeSimulation(t *testing.T) {
 			{Time: 200, Node: 3, Photo: facadePhoto(3, 0, photodtn.Vec{X: 320, Y: 0}, 0)},
 		},
 	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := facadeSimConfig(t)
 	res, err := photodtn.RunSimulation(cfg, photodtn.NewFramework(photodtn.DefaultFrameworkConfig()))
 	if err != nil {
 		t.Fatal(err)
@@ -163,6 +172,85 @@ func TestFacadePhonePipeline(t *testing.T) {
 	}
 	if photodtn.Degrees(photo.Orientation) > 10 && photodtn.Degrees(photo.Orientation) < 350 {
 		t.Fatalf("orientation %.1f° not pointing east", photodtn.Degrees(photo.Orientation))
+	}
+}
+
+func TestFacadeUnifiedObserver(t *testing.T) {
+	// One observer, one option, three layers: the same WithObserver value
+	// must wire the selection machinery, the simulator, and a live peer into
+	// the same registry.
+	o := photodtn.NewObserver(0, nil)
+	opt := photodtn.WithObserver(o)
+	m := facadeMap()
+
+	// Selection layer.
+	parts := []photodtn.Participant{{
+		Node: 1, P: 0.5,
+		Photos: photodtn.PhotoList{facadePhoto(1, 0, photodtn.Vec{X: 80, Y: 0}, 180)},
+	}}
+	_ = photodtn.ExpectedCoverage(m, photodtn.DefaultSelectionConfig(opt), nil, parts)
+	if o.Counter("selection.evaluators").Value() == 0 {
+		t.Fatal("selection layer did not report into the unified observer")
+	}
+
+	// Simulation layer.
+	if _, err := photodtn.RunSimulation(facadeSimConfig(t), photodtn.NewSprayAndWait(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if o.Counter("sim.contacts").Value() == 0 {
+		t.Fatal("simulation layer did not report into the unified observer")
+	}
+
+	// Peer layer: the same value is a PeerOption.
+	var ticks atomic.Int64
+	tick := func() float64 { return float64(ticks.Add(10)) }
+	cc := photodtn.NewPeer(photodtn.CommandCenter, m, 0, opt, photodtn.WithClock(tick), photodtn.WithSeed(1))
+	node := photodtn.NewPeer(1, m, 40<<20, opt, photodtn.WithClock(tick), photodtn.WithSeed(2))
+	if err := node.AddPhoto(facadePhoto(1, 0, photodtn.Vec{X: 80, Y: 0}, 180)); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cc.Serve(l) }()
+	if err := node.Contact(l.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if o.Counter("peer.contacts").Value() == 0 {
+		t.Fatal("peer layer did not report into the unified observer")
+	}
+}
+
+func TestFacadeRunSimulationContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := photodtn.RunSimulationContext(ctx, facadeSimConfig(t), photodtn.NewSprayAndWait())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFacadeRunCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	cp, err := photodtn.OpenRunCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 {
+		t.Fatalf("fresh checkpoint holds %d cells", cp.Len())
+	}
+	// ExperimentOptions carries it into any harness.
+	_ = photodtn.ExperimentOptions{Runs: 1, Workers: 2, Checkpoint: cp}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
