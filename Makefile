@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race race-obs race-runner bench bench-runner bench-short bench-all fuzz trace-demo
+.PHONY: tier1 build vet test race chaos bench bench-runner bench-short bench-all fuzz fuzz-short trace-demo
 
 # tier1 is the merge gate: everything must pass before a change lands.
-tier1: build vet test race bench-short
+tier1: build vet test race bench-short fuzz-short
 
 build:
 	$(GO) build ./...
@@ -14,18 +14,19 @@ vet:
 test:
 	$(GO) test ./...
 
+# race is the unified race pass over every package — the live peer and its
+# journal, the fault injectors, the orchestrator, and the observability-
+# instrumented layers included. It subsumes the former race-obs /
+# race-runner focused targets.
 race:
 	$(GO) test -race ./...
 
-# race-obs is the focused race pass over the observability-instrumented
-# packages (a faster loop than the full `race` while working on them).
-race-obs:
-	$(GO) test -race ./internal/obs/ ./internal/sim/ ./internal/coverage/ ./internal/peer/
-
-# race-runner is the focused race pass over the orchestrator and the layers
-# it parallelises (the packages the -workers flag exercises).
-race-runner:
-	$(GO) test -race ./internal/runner/ ./internal/sim/ ./internal/experiments/
+# chaos is the crash-recovery harness: it sweeps a kill across every
+# mutating disk operation of a durable peer's write sequence (clean and
+# torn-write kills), restarts from disk each time, and requires bit-exact
+# convergence with an uninterrupted reference run.
+chaos:
+	$(GO) test -race -count=1 -v ./internal/peer/ ./internal/journal/ ./internal/faults/
 
 # bench-runner regenerates the committed orchestrator baseline
 # BENCH_runner.json (worker-pool scaling, aggregation, seed derivation).
@@ -51,9 +52,17 @@ bench-short:
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-# Short fuzz pass over the wire decoder (corruption hardening).
+# Short fuzz pass over the wire decoders (corruption hardening): the framed
+# reader and the frame-free body decoder the journal replay shares.
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=30s ./internal/wire/
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeMessage -fuzztime=30s ./internal/wire/
+
+# fuzz-short is the tier-1 smoke pass over both fuzz targets: a few seconds
+# each, enough to replay the corpus plus a quick mutation burst.
+fuzz-short:
+	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=5s ./internal/wire/
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeMessage -fuzztime=5s ./internal/wire/
 
 # trace-demo produces a sample observability bundle under trace-demo/: a
 # JSONL event trace, the subsystem counters, and the run manifests.

@@ -87,7 +87,7 @@ func BenchmarkFig8PhotoRate(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks (DESIGN.md §6) ---
+// --- Ablation benchmarks (DESIGN.md §8) ---
 
 func BenchmarkAblationPthld(b *testing.B) {
 	benchFigure(b, func() (*experiments.Figure, error) { return experiments.AblationPthld(benchOpts()) })

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+
+	"photodtn"
+)
+
+// startCommandCenter serves a command-center peer on localhost using the
+// same demo map the CLI builds.
+func startCommandCenter(t *testing.T) (*photodtn.Peer, string) {
+	t.Helper()
+	hall := photodtn.NewPoI(0, photodtn.Vec{X: 300, Y: 300})
+	m := photodtn.NewMap([]photodtn.PoI{hall}, photodtn.Radians(30))
+	cc := photodtn.NewPeer(photodtn.CommandCenter, m, 0, photodtn.WithSeed(99))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = cc.Serve(l) }()
+	return cc, l.Addr().String()
+}
+
+func TestRunRequiresWork(t *testing.T) {
+	err := run(context.Background(), []string{"-id", "3"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "nothing to do") {
+		t.Fatalf("err = %v, want nothing-to-do", err)
+	}
+}
+
+func TestRunDurableUploadAndRestart(t *testing.T) {
+	cc, addr := startCommandCenter(t)
+	dir := t.TempDir()
+
+	var out bytes.Buffer
+	args := []string{"-id", "5", "-state-dir", dir, "-photos", "2", "-dial", addr}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("first run: %v (output: %s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "captured 2 photos") {
+		t.Fatalf("first run output: %s", out.String())
+	}
+	if got := len(cc.Photos()); got != 2 {
+		t.Fatalf("command center holds %d photos, want 2", got)
+	}
+
+	// A restarted process recovers from the journal and re-reports nothing:
+	// its photos were delivered and acknowledged, so the second contact
+	// moves no photos.
+	out.Reset()
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("second run: %v (output: %s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "recovered") {
+		t.Fatalf("second run did not recover: %s", out.String())
+	}
+	if got := len(cc.Photos()); got != 2 {
+		t.Fatalf("restart re-delivered: command center holds %d photos, want 2", got)
+	}
+	if !strings.Contains(out.String(), "journal: 2 contacts durable") {
+		t.Fatalf("second run output: %s", out.String())
+	}
+}
+
+func TestRunMemoryOnlyPeer(t *testing.T) {
+	_, addr := startCommandCenter(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-id", "7", "-photos", "1", "-dial", addr}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if strings.Contains(out.String(), "journal") {
+		t.Fatalf("memory-only run mentions the journal: %s", out.String())
+	}
+}

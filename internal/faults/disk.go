@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"photodtn/internal/journal"
+)
+
+// ErrDiskFault is the error every operation returns once the injected disk
+// has died. Callers treat it like a crashed process: the durable state on
+// the underlying filesystem is whatever the completed operations left
+// behind, and recovery happens by reopening the directory with a healthy
+// filesystem.
+var ErrDiskFault = errors.New("faults: injected disk failure")
+
+// DiskConfig parameterises the disk fault injector. The zero value injects
+// nothing. Operation indices are 1-based and count mutating operations
+// only (open, write, sync, rename, truncate, remove) in execution order,
+// so a crash-point sweep (FailAtOp = 1, 2, 3, ...) deterministically kills
+// the disk at every distinct point of the write sequence.
+type DiskConfig struct {
+	// FailAtOp is the index of the mutating operation that fails; every
+	// operation after it (including reads) fails too — the disk is gone.
+	// 0 never fails.
+	FailAtOp int
+	// TornWrite makes the failing operation, when it is a write, persist a
+	// deterministic prefix of its buffer before dying — the torn-write
+	// case a write-ahead log must truncate on recovery.
+	TornWrite bool
+	// CorruptAtOp flips one bit of the buffer written by the given
+	// mutating operation (when it is a write) and then reports success —
+	// silent bit rot the reader's checksums must catch. 0 never corrupts.
+	CorruptAtOp int
+}
+
+// DiskInjector wraps a journal.FS with deterministic fault injection. It
+// is safe for concurrent use.
+type DiskInjector struct {
+	cfg   DiskConfig
+	under journal.FS
+
+	mu   sync.Mutex
+	ops  int
+	dead bool
+}
+
+// NewDiskInjector wraps under (nil = the real filesystem) with the
+// configured faults.
+func NewDiskInjector(cfg DiskConfig, under journal.FS) *DiskInjector {
+	if under == nil {
+		under = journal.OSFS{}
+	}
+	return &DiskInjector{cfg: cfg, under: under}
+}
+
+// Ops returns how many mutating operations have been attempted so far. A
+// crash-point sweep uses the count of a clean run as its upper bound.
+func (d *DiskInjector) Ops() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ops
+}
+
+// Dead reports whether the injected disk has died.
+func (d *DiskInjector) Dead() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead
+}
+
+// step accounts one mutating operation and reports what to do with it:
+// fail it, corrupt it, or let it through.
+func (d *DiskInjector) step() (fail, corrupt bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead {
+		return true, false
+	}
+	d.ops++
+	if d.cfg.FailAtOp > 0 && d.ops >= d.cfg.FailAtOp {
+		d.dead = true
+		return true, false
+	}
+	return false, d.cfg.CorruptAtOp > 0 && d.ops == d.cfg.CorruptAtOp
+}
+
+// alive reports whether a non-mutating operation may proceed.
+func (d *DiskInjector) alive() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.dead
+}
+
+// OpenFile implements journal.FS.
+func (d *DiskInjector) OpenFile(name string, flag int, perm fs.FileMode) (journal.File, error) {
+	if fail, _ := d.step(); fail {
+		return nil, fmt.Errorf("%w: open %s", ErrDiskFault, name)
+	}
+	f, err := d.under.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{d: d, f: f, name: name}, nil
+}
+
+// ReadFile implements journal.FS.
+func (d *DiskInjector) ReadFile(name string) ([]byte, error) {
+	if !d.alive() {
+		return nil, fmt.Errorf("%w: read %s", ErrDiskFault, name)
+	}
+	return d.under.ReadFile(name)
+}
+
+// Rename implements journal.FS.
+func (d *DiskInjector) Rename(oldpath, newpath string) error {
+	if fail, _ := d.step(); fail {
+		return fmt.Errorf("%w: rename %s", ErrDiskFault, oldpath)
+	}
+	return d.under.Rename(oldpath, newpath)
+}
+
+// Remove implements journal.FS.
+func (d *DiskInjector) Remove(name string) error {
+	if fail, _ := d.step(); fail {
+		return fmt.Errorf("%w: remove %s", ErrDiskFault, name)
+	}
+	return d.under.Remove(name)
+}
+
+// Truncate implements journal.FS.
+func (d *DiskInjector) Truncate(name string, size int64) error {
+	if fail, _ := d.step(); fail {
+		return fmt.Errorf("%w: truncate %s", ErrDiskFault, name)
+	}
+	return d.under.Truncate(name, size)
+}
+
+// MkdirAll implements journal.FS.
+func (d *DiskInjector) MkdirAll(path string, perm fs.FileMode) error {
+	if !d.alive() {
+		return fmt.Errorf("%w: mkdir %s", ErrDiskFault, path)
+	}
+	return d.under.MkdirAll(path, perm)
+}
+
+// Stat implements journal.FS.
+func (d *DiskInjector) Stat(name string) (fs.FileInfo, error) {
+	if !d.alive() {
+		return nil, fmt.Errorf("%w: stat %s", ErrDiskFault, name)
+	}
+	return d.under.Stat(name)
+}
+
+// faultFile threads the injector through file writes and syncs.
+type faultFile struct {
+	d    *DiskInjector
+	f    journal.File
+	name string
+}
+
+// Write implements journal.File. The dying write persists a deterministic
+// prefix when TornWrite is set; a corrupting write flips one bit and
+// succeeds.
+func (f *faultFile) Write(p []byte) (int, error) {
+	fail, corrupt := f.d.step()
+	if fail {
+		if f.d.cfg.TornWrite && len(p) > 0 {
+			// Prefix length cycles through 0, 1/4, 1/2, 3/4 of the buffer
+			// as the crash-point advances, covering torn headers, torn
+			// payloads, and torn trailers across a sweep.
+			n := len(p) * (f.d.Ops() % 4) / 4
+			if n > 0 {
+				_, _ = f.f.Write(p[:n])
+				_ = f.f.Sync()
+			}
+		}
+		return 0, fmt.Errorf("%w: write %s", ErrDiskFault, f.name)
+	}
+	if corrupt && len(p) > 0 {
+		flipped := append([]byte(nil), p...)
+		flipped[len(flipped)/2] ^= 0x04
+		return f.f.Write(flipped)
+	}
+	return f.f.Write(p)
+}
+
+// Sync implements journal.File.
+func (f *faultFile) Sync() error {
+	if fail, _ := f.d.step(); fail {
+		return fmt.Errorf("%w: sync %s", ErrDiskFault, f.name)
+	}
+	return f.f.Sync()
+}
+
+// Close implements journal.File. Close never injects: a dying process
+// cannot fail to release its descriptors, and the harness relies on the
+// underlying file being closed so the directory can be reopened.
+func (f *faultFile) Close() error { return f.f.Close() }

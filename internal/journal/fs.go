@@ -1,0 +1,66 @@
+package journal
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the narrow filesystem surface the journal writes through. The
+// default implementation (OSFS) forwards to package os; the fault layer
+// (internal/faults.DiskInjector) wraps an FS to inject short writes, bit
+// corruption, and crash-points between operations, so every durability
+// claim can be tested against a disk that dies mid-sequence.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile reads the whole file (os.ReadFile semantics).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file; removing a missing file is an error
+	// (os.Remove semantics).
+	Remove(name string) error
+	// Truncate cuts a file to the given size.
+	Truncate(name string, size int64) error
+	// MkdirAll creates the directory and its parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Stat stats a file.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// File is the writable-file surface the journal needs: sequential writes,
+// durability barriers, and close.
+type File interface {
+	// Write appends bytes (the journal opens files with O_APPEND).
+	Write(p []byte) (int, error)
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Stat implements FS.
+func (OSFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }

@@ -1,0 +1,294 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) *Journal {
+	t.Helper()
+	j, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func appendAll(t *testing.T, j *Journal, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(1, []byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func payloads(recs []Record) []string {
+	out := make([]string, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, string(r.Payload))
+	}
+	return out
+}
+
+func TestFreshJournalIsEmpty(t *testing.T) {
+	j := mustOpen(t, t.TempDir())
+	defer j.Close()
+	if j.Stats().Recovered {
+		t.Fatal("fresh journal claims recovery")
+	}
+	if j.Snapshot() != nil || len(j.Records()) != 0 || j.Seq() != 0 {
+		t.Fatalf("fresh journal not empty: %+v", j.Stats())
+	}
+}
+
+func TestAppendReopenReplaysInOrder(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	appendAll(t, j, "a", "b", "c")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir)
+	defer j2.Close()
+	st := j2.Stats()
+	if !st.Recovered || st.Records != 3 || st.TruncatedBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	got := payloads(j2.Records())
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("records = %v, want %v", got, want)
+		}
+	}
+	if j2.Seq() != 3 {
+		t.Fatalf("seq = %d, want 3", j2.Seq())
+	}
+	// Appends continue the sequence.
+	appendAll(t, j2, "d")
+	if j2.Seq() != 4 {
+		t.Fatalf("seq after append = %d, want 4", j2.Seq())
+	}
+}
+
+func TestTornTailTruncatedToLastValidRecord(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	appendAll(t, j, "keep-1", "keep-2", "torn")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: cut it mid-payload.
+	wal := filepath.Join(dir, walName)
+	buf, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, buf[:len(buf)-6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir)
+	defer j2.Close()
+	st := j2.Stats()
+	if st.Records != 2 || st.TruncatedBytes == 0 {
+		t.Fatalf("stats = %+v, want 2 records and a truncated tail", st)
+	}
+	if got := payloads(j2.Records()); got[0] != "keep-1" || got[1] != "keep-2" {
+		t.Fatalf("records = %v", got)
+	}
+	// The file itself must have been cut back, so a third open is clean.
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3 := mustOpen(t, dir)
+	defer j3.Close()
+	if j3.Stats().TruncatedBytes != 0 {
+		t.Fatalf("second recovery still truncating: %+v", j3.Stats())
+	}
+	// New appends after recovery land where the tail was cut.
+	appendAll(t, j3, "after")
+	fi2, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi2.Size() <= fi.Size() {
+		t.Fatalf("append did not grow the truncated log: %d -> %d", fi.Size(), fi2.Size())
+	}
+}
+
+func TestCorruptRecordCutsItAndEverythingAfter(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	appendAll(t, j, "good", "flipped", "unreachable")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wal := filepath.Join(dir, walName)
+	buf, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the middle record. Record 1 occupies
+	// [0, recLen("good")); flip inside record 2's payload.
+	rec1 := recHeaderSize + len("good") + recTrailerSize
+	buf[rec1+recHeaderSize] ^= 0x40
+	if err := os.WriteFile(wal, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir)
+	defer j2.Close()
+	if got := payloads(j2.Records()); len(got) != 1 || got[0] != "good" {
+		t.Fatalf("records = %v, want [good]", got)
+	}
+	if j2.Stats().TruncatedBytes == 0 {
+		t.Fatal("corrupt record not counted as truncated")
+	}
+}
+
+func TestCheckpointCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	appendAll(t, j, "a", "b")
+	if err := j.Checkpoint([]byte("state-ab")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, "c")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir)
+	defer j2.Close()
+	if !bytes.Equal(j2.Snapshot(), []byte("state-ab")) {
+		t.Fatalf("snapshot = %q", j2.Snapshot())
+	}
+	st := j2.Stats()
+	if st.SnapshotSeq != 2 || st.Records != 1 || st.StaleRecords != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := payloads(j2.Records()); got[0] != "c" {
+		t.Fatalf("records = %v, want [c]", got)
+	}
+	if j2.Seq() != 3 {
+		t.Fatalf("seq = %d, want 3", j2.Seq())
+	}
+}
+
+func TestCrashBetweenSnapshotRenameAndLogReset(t *testing.T) {
+	// Simulate the crash window: snapshot committed but the old log still
+	// holds the records it covers. Recovery must not replay them twice.
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	appendAll(t, j, "a", "b")
+	if err := writeSnapshotFile(OSFS{}, filepath.Join(dir, snapTempName), j.Seq(), []byte("covers-ab")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, snapTempName), filepath.Join(dir, snapName)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil { // crash before the log reset
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir)
+	defer j2.Close()
+	st := j2.Stats()
+	if st.SnapshotSeq != 2 || st.Records != 0 || st.StaleRecords != 2 {
+		t.Fatalf("stats = %+v, want snapshot seq 2 covering both stale records", st)
+	}
+	if !bytes.Equal(j2.Snapshot(), []byte("covers-ab")) {
+		t.Fatalf("snapshot = %q", j2.Snapshot())
+	}
+	// The sequence continues after the covered records.
+	appendAll(t, j2, "c")
+	if j2.Seq() != 3 {
+		t.Fatalf("seq = %d, want 3", j2.Seq())
+	}
+}
+
+func TestStaleSnapshotTempIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapTempName), []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := mustOpen(t, dir)
+	defer j.Close()
+	if _, err := os.Stat(filepath.Join(dir, snapTempName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp survived open: %v", err)
+	}
+}
+
+func TestCorruptSnapshotRefusedLoudly(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	appendAll(t, j, "a")
+	if err := j.Checkpoint([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, snapName)
+	buf, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-5] ^= 0x01
+	if err := os.WriteFile(snap, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("err = %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j := mustOpen(t, t.TempDir())
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := j.Checkpoint(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPayloadTooBigRejected(t *testing.T) {
+	j := mustOpen(t, t.TempDir())
+	defer j.Close()
+	if err := j.Append(1, make([]byte, MaxPayload+1)); !errors.Is(err, ErrPayloadTooBig) {
+		t.Fatalf("err = %v, want ErrPayloadTooBig", err)
+	}
+}
+
+func TestEmptyPayloadRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	if err := j.Append(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, dir)
+	defer j2.Close()
+	recs := j2.Records()
+	if len(recs) != 1 || recs[0].Type != 7 || len(recs[0].Payload) != 0 {
+		t.Fatalf("records = %+v", recs)
+	}
+}

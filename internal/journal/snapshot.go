@@ -1,0 +1,76 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Snapshot file layout:
+//
+//	[8-byte magic "PDTNSNAP"][1-byte version][8-byte LE covered sequence]
+//	[4-byte LE payload length][payload][4-byte LE CRC-32C of everything
+//	after the magic]
+//
+// The file is only ever produced by write-temp + fsync + rename, so a
+// reader either sees a complete snapshot or none at all; the checksum
+// guards against bit rot, not torn writes.
+
+var snapMagic = [8]byte{'P', 'D', 'T', 'N', 'S', 'N', 'A', 'P'}
+
+const snapVersion = 1
+
+// writeSnapshotFile writes the snapshot encoding to path and fsyncs it.
+// The caller renames it into place.
+func writeSnapshotFile(fsys FS, path string, seq uint64, payload []byte) error {
+	buf := make([]byte, 0, len(snapMagic)+1+8+4+len(payload)+4)
+	buf = append(buf, snapMagic[:]...)
+	buf = append(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[len(snapMagic):], crcTable))
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close snapshot: %w", err)
+	}
+	return nil
+}
+
+// decodeSnapshot validates a snapshot file image and returns the covered
+// sequence number and payload.
+func decodeSnapshot(buf []byte) (uint64, []byte, error) {
+	const hdr = 8 + 1 + 8 + 4
+	if len(buf) < hdr+4 {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrCorruptSnapshot, len(buf))
+	}
+	if [8]byte(buf[:8]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrCorruptSnapshot)
+	}
+	if buf[8] != snapVersion {
+		return 0, nil, fmt.Errorf("%w: version %d", ErrCorruptSnapshot, buf[8])
+	}
+	seq := binary.LittleEndian.Uint64(buf[9:])
+	n := binary.LittleEndian.Uint32(buf[17:])
+	if uint64(len(buf)) != uint64(hdr)+uint64(n)+4 {
+		return 0, nil, fmt.Errorf("%w: payload claims %d bytes, file has %d", ErrCorruptSnapshot, n, len(buf))
+	}
+	sum := crc32.Checksum(buf[8:hdr+int(n)], crcTable)
+	if binary.LittleEndian.Uint32(buf[hdr+int(n):]) != sum {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
+	}
+	payload := append([]byte(nil), buf[hdr:hdr+int(n)]...)
+	return seq, payload, nil
+}

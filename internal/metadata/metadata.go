@@ -180,6 +180,18 @@ func (c *Cache) DropInvalid(now float64) int {
 	return dropped
 }
 
+// Entries returns every cached entry — valid or stale — sorted by node ID.
+// It is the snapshot surface for durable peers: a restart must restore the
+// cache exactly, and what is stale is for IsValid to decide at use time.
+func (c *Cache) Entries() []Entry {
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
 // ValidEntries returns the currently valid entries sorted by node ID
 // (deterministic order for the selection algorithm).
 func (c *Cache) ValidEntries(now float64) []Entry {

@@ -56,3 +56,41 @@ func (r *RateEstimator) PeerRate(peer model.NodeID, now float64) float64 {
 
 // Contacts returns the total number of observed contacts.
 func (r *RateEstimator) Contacts() int { return r.total }
+
+// RateSnapshot is a RateEstimator's serialisable state.
+type RateSnapshot struct {
+	// Started reports whether any contact has been observed.
+	Started bool
+	// Start is the first observation's timestamp.
+	Start float64
+	// PerPeer maps each peer to its observed contact count.
+	PerPeer map[model.NodeID]int
+}
+
+// Snapshot captures the estimator's state for durable storage.
+func (r *RateEstimator) Snapshot() RateSnapshot {
+	s := RateSnapshot{Started: r.started, Start: r.start}
+	if len(r.perPeer) > 0 {
+		s.PerPeer = make(map[model.NodeID]int, len(r.perPeer))
+		for peer, n := range r.perPeer {
+			s.PerPeer[peer] = n
+		}
+	}
+	return s
+}
+
+// Restore replaces the estimator's state with a previously captured
+// snapshot — the crash-recovery path of a durable peer.
+func (r *RateEstimator) Restore(s RateSnapshot) {
+	r.started = s.Started
+	r.start = s.Start
+	r.total = 0
+	r.perPeer = make(map[model.NodeID]int, len(s.PerPeer))
+	for peer, n := range s.PerPeer {
+		if n <= 0 {
+			continue
+		}
+		r.perPeer[peer] = n
+		r.total += n
+	}
+}

@@ -35,6 +35,10 @@ const (
 	// EvNodeCrash records a node crash wiping its storage; Value is the
 	// number of photos lost.
 	EvNodeCrash
+	// EvPeerRecovery records a live peer recovering its durable state from
+	// disk after a restart; A is the peer, Value is the number of journal
+	// records replayed on top of the snapshot.
+	EvPeerRecovery
 )
 
 // String returns the stable JSONL name of the kind.
@@ -56,6 +60,8 @@ func (k EventKind) String() string {
 		return "session-abort"
 	case EvNodeCrash:
 		return "node-crash"
+	case EvPeerRecovery:
+		return "peer-recovery"
 	default:
 		return "unknown"
 	}

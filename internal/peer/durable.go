@@ -1,0 +1,609 @@
+package peer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"photodtn/internal/coverage"
+	"photodtn/internal/journal"
+	"photodtn/internal/metadata"
+	"photodtn/internal/model"
+	"photodtn/internal/obs"
+	"photodtn/internal/wire"
+)
+
+// ErrJournal reports that the peer's durable state is broken: the journal
+// could not be opened or recovered, or a commit append failed mid-life. A
+// peer in this state refuses every mutating operation — continuing in
+// memory while the disk silently diverges is exactly the failure mode a
+// write-ahead log exists to prevent. The wrapped cause is in the chain.
+var ErrJournal = errors.New("peer: journal unavailable")
+
+// DefaultSnapshotEvery is how many committed contacts a peer journals
+// before compacting the log into an atomic snapshot.
+const DefaultSnapshotEvery = 32
+
+// WithJournal makes the peer durable: all state the contact protocol
+// depends on — the photo store, the metadata cache, PROPHET delivery
+// predictabilities, the learned contact rate, and delivery
+// acknowledgements — is journaled to dir and recovered on the next
+// construction with the same dir. Recovery failures are sticky: the peer
+// is created but every mutating call returns ErrJournal (use Open to get
+// the error directly).
+func WithJournal(dir string) Option {
+	return optionFunc(func(p *Peer) { p.stateDir = dir })
+}
+
+// WithJournalFS overrides the filesystem the journal writes through
+// (fault-injection tests plug a faults.DiskInjector in here). It only has
+// an effect together with WithJournal.
+func WithJournalFS(fs journal.FS) Option {
+	return optionFunc(func(p *Peer) { p.jfs = fs })
+}
+
+// WithSnapshotEvery overrides how many committed contacts trigger a
+// snapshot + log compaction (default DefaultSnapshotEvery; v < 1 disables
+// automatic snapshots — the log grows until Checkpoint is called).
+func WithSnapshotEvery(v int) Option {
+	return optionFunc(func(p *Peer) { p.snapEvery = v })
+}
+
+// Open creates a durable peer rooted at dir, recovering any state a
+// previous incarnation journaled there. It is New with WithJournal(dir)
+// plus explicit recovery error reporting.
+func Open(dir string, id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) (*Peer, error) {
+	p := New(id, m, capacity, append([]Option{WithJournal(dir)}, opts...)...)
+	if err := p.JournalError(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// JournalError returns the sticky journal failure, if any (nil for
+// memory-only peers and healthy durable peers).
+func (p *Peer) JournalError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.journalErr
+}
+
+// JournalStats describes a durable peer's recovery and commit history.
+type JournalStats struct {
+	// Enabled reports whether the peer journals at all.
+	Enabled bool
+	// Recovered reports whether the last Open found prior state on disk.
+	Recovered bool
+	// Commits is the number of durably committed contacts, including
+	// those recovered from disk.
+	Commits uint64
+	// RecordsReplayed is the number of journal records replayed on top of
+	// the snapshot during recovery.
+	RecordsReplayed int
+	// TruncatedBytes is the torn/corrupt tail recovery cut from the log.
+	TruncatedBytes int64
+}
+
+// JournalStats returns the peer's durability statistics (zero for
+// memory-only peers).
+func (p *Peer) JournalStats() JournalStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := JournalStats{Commits: p.commits}
+	if p.jnl == nil {
+		s.Enabled = p.stateDir != ""
+		return s
+	}
+	js := p.jnl.Stats()
+	s.Enabled = true
+	s.Recovered = js.Recovered
+	s.RecordsReplayed = js.Records
+	s.TruncatedBytes = js.TruncatedBytes
+	return s
+}
+
+// Checkpoint forces a snapshot + log compaction now (also done
+// automatically every WithSnapshotEvery commits). It is a no-op for
+// memory-only peers.
+func (p *Peer) Checkpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.jnl == nil {
+		return p.journalErr
+	}
+	return p.checkpointLocked()
+}
+
+// Close releases the journal handle (the state stays recoverable on
+// disk). Memory-only peers close trivially.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.jnl == nil {
+		return nil
+	}
+	err := p.jnl.Close()
+	p.jnl = nil
+	return err
+}
+
+// StateDigest returns an order-insensitive FNV-1a digest of the protocol
+// state a restart must preserve: the photo collection, the metadata cache,
+// the PROPHET table, and the learned contact rates. Two peers with equal
+// digests hold the same photos, believe the same snapshots, and advertise
+// the same probabilities — the recovery invariant the chaos harness pins.
+func (p *Peer) StateDigest() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := fnv.New64a()
+	buf := make([]byte, 0, 4096)
+
+	photos := p.store.List()
+	sort.Slice(photos, func(i, j int) bool { return photos[i].ID < photos[j].ID })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(photos)))
+	for _, ph := range photos {
+		buf = ph.AppendBinary(buf)
+	}
+
+	entries := p.cache.Entries()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Node))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Lambda))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.P))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Timestamp))
+		ids := e.Photos.IDs()
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+		for _, id := range ids {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+		}
+	}
+
+	table := p.table.Snapshot()
+	dsts := make([]model.NodeID, 0, len(table))
+	for dst := range table {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.table.LastAged()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dsts)))
+	for _, dst := range dsts {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(dst))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(table[dst]))
+	}
+
+	rs := p.rate.Snapshot()
+	peers := make([]model.NodeID, 0, len(rs.PerPeer))
+	for peer := range rs.PerPeer {
+		peers = append(peers, peer)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	if rs.Started {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rs.Start))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(peers)))
+	for _, peer := range peers {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(peer))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rs.PerPeer[peer]))
+	}
+
+	_, _ = h.Write(buf)
+	return h.Sum64()
+}
+
+// Journal record types.
+const (
+	// recPhotoAdd journals one locally captured photo (AddPhoto).
+	recPhotoAdd byte = 1
+	// recContactCommit journals one completed contact as an atomic batch
+	// of sub-records — a contact that dies mid-protocol leaves no durable
+	// trace, matching the live protocol's discard-unfinished semantics.
+	recContactCommit byte = 2
+)
+
+// Sub-record kinds inside a contact commit.
+const (
+	// subEncounter: rate observation + PROPHET encounter + transitivity
+	// with the advertised delivery probability.
+	subEncounter byte = 1
+	// subMetaPut: one metadata cache Put.
+	subMetaPut byte = 2
+	// subMetaDrop: DropInvalid at the session time.
+	subMetaDrop byte = 3
+	// subStoreReplace: the §III-D reallocation's ReplaceAll.
+	subStoreReplace byte = 4
+	// subStoreAdd: one photo stored (command-center upload receipt).
+	subStoreAdd byte = 5
+	// subAckDelivered: delivery acknowledgement — photos leave the store
+	// and join the command-center cache entry.
+	subAckDelivered byte = 6
+)
+
+// openJournal opens/recovers the journal configured by WithJournal. It
+// runs at the end of New, after every option and default is in place.
+func (p *Peer) openJournal() error {
+	j, err := journal.Open(p.stateDir, &journal.Options{FS: p.jfs})
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrJournal, err)
+	}
+	if snap := j.Snapshot(); snap != nil {
+		if err := p.restoreSnapshot(snap); err != nil {
+			_ = j.Close()
+			return fmt.Errorf("%w: restore snapshot: %w", ErrJournal, err)
+		}
+	}
+	for i, rec := range j.Records() {
+		if err := p.replayRecord(rec); err != nil {
+			_ = j.Close()
+			return fmt.Errorf("%w: replay record %d (seq %d): %w", ErrJournal, i, rec.Seq, err)
+		}
+	}
+	p.jnl = j
+	if st := j.Stats(); st.Recovered {
+		p.obsv.Counter("journal.recoveries").Inc()
+		p.obsv.Counter("journal.records_replayed").Add(int64(st.Records))
+		p.obsv.Counter("journal.truncated_bytes").Add(st.TruncatedBytes)
+		p.obsv.Emit(obs.Event{
+			Time: p.clock(), Kind: obs.EvPeerRecovery,
+			A: int32(p.id), B: obs.NoNode, Photo: obs.NoPhoto,
+			Value: float64(st.Records),
+		})
+	}
+	return nil
+}
+
+// --- journaling hooks (no-ops for memory-only peers) ---
+
+// pendingSub frames one sub-record into the in-flight contact batch.
+func (p *Peer) pendingSub(kind byte, payload []byte) {
+	if p.jnl == nil {
+		return
+	}
+	p.pending = append(p.pending, kind)
+	p.pending = binary.LittleEndian.AppendUint32(p.pending, uint32(len(payload)))
+	p.pending = append(p.pending, payload...)
+}
+
+func (p *Peer) logEncounter(peer model.NodeID, now, deliveryProb float64) {
+	if p.jnl == nil {
+		return
+	}
+	buf := make([]byte, 0, 4+8+8)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(peer))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(now))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(deliveryProb))
+	p.pendingSub(subEncounter, buf)
+}
+
+func (p *Peer) logMetaPut(e metadata.Entry) {
+	if p.jnl == nil {
+		return
+	}
+	p.pendingSub(subMetaPut, wire.AppendMetaEntry(nil, wire.MetaEntry{
+		Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
+	}))
+}
+
+func (p *Peer) logMetaDrop(now float64) {
+	if p.jnl == nil {
+		return
+	}
+	p.pendingSub(subMetaDrop, binary.LittleEndian.AppendUint64(nil, math.Float64bits(now)))
+}
+
+func (p *Peer) logStoreReplace(final model.PhotoList) {
+	if p.jnl == nil {
+		return
+	}
+	p.pendingSub(subStoreReplace, final.AppendBinary(nil))
+}
+
+func (p *Peer) logStoreAdd(photo model.Photo) {
+	if p.jnl == nil {
+		return
+	}
+	p.pendingSub(subStoreAdd, photo.AppendBinary(nil))
+}
+
+func (p *Peer) logAckDelivered(session float64, acked model.PhotoList) {
+	if p.jnl == nil {
+		return
+	}
+	buf := binary.LittleEndian.AppendUint64(nil, math.Float64bits(session))
+	p.pendingSub(subAckDelivered, acked.AppendBinary(buf))
+}
+
+// commitContactLocked appends the in-flight contact batch as one atomic
+// record. A failure poisons the peer: its memory state now leads its
+// durable state, and pretending otherwise would undo the journal's
+// guarantees.
+func (p *Peer) commitContactLocked() error {
+	if p.jnl == nil {
+		return nil
+	}
+	if err := p.jnl.Append(recContactCommit, p.pending); err != nil {
+		p.journalErr = fmt.Errorf("%w: commit contact: %w", ErrJournal, err)
+		return p.journalErr
+	}
+	p.commits++
+	p.sinceSnap++
+	p.obsv.Counter("journal.commits").Inc()
+	if p.snapEvery > 0 && p.sinceSnap >= p.snapEvery {
+		return p.checkpointLocked()
+	}
+	return nil
+}
+
+// checkpointLocked writes an atomic snapshot and compacts the log.
+func (p *Peer) checkpointLocked() error {
+	if err := p.jnl.Checkpoint(p.encodeSnapshot()); err != nil {
+		p.journalErr = fmt.Errorf("%w: checkpoint: %w", ErrJournal, err)
+		return p.journalErr
+	}
+	p.sinceSnap = 0
+	p.obsv.Counter("journal.checkpoints").Inc()
+	return nil
+}
+
+// --- snapshot encoding ---
+
+const peerSnapVersion = 1
+
+// encodeSnapshot serialises the peer's full protocol state, reusing the
+// wire/model append codecs.
+func (p *Peer) encodeSnapshot() []byte {
+	buf := []byte{peerSnapVersion}
+	buf = p.store.List().AppendBinary(buf)
+
+	entries := p.cache.Entries()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = wire.AppendMetaEntry(buf, wire.MetaEntry{
+			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
+		})
+	}
+
+	table := p.table.Snapshot()
+	dsts := make([]model.NodeID, 0, len(table))
+	for dst := range table {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.table.LastAged()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dsts)))
+	for _, dst := range dsts {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(dst))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(table[dst]))
+	}
+
+	rs := p.rate.Snapshot()
+	peers := make([]model.NodeID, 0, len(rs.PerPeer))
+	for peer := range rs.PerPeer {
+		peers = append(peers, peer)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	if rs.Started {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rs.Start))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(peers)))
+	for _, peer := range peers {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(peer))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rs.PerPeer[peer]))
+	}
+
+	return binary.LittleEndian.AppendUint64(buf, p.commits)
+}
+
+// restoreSnapshot rebuilds the peer's state from an encodeSnapshot image.
+func (p *Peer) restoreSnapshot(buf []byte) error {
+	if len(buf) < 1 {
+		return errors.New("empty snapshot")
+	}
+	if buf[0] != peerSnapVersion {
+		return fmt.Errorf("snapshot version %d, want %d", buf[0], peerSnapVersion)
+	}
+	buf = buf[1:]
+
+	photos, buf, err := model.DecodePhotoList(buf)
+	if err != nil {
+		return fmt.Errorf("snapshot photos: %w", err)
+	}
+	if err := p.store.ReplaceAll(photos); err != nil {
+		return fmt.Errorf("snapshot photos: %w", err)
+	}
+
+	if len(buf) < 4 {
+		return errors.New("snapshot cache header")
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	for i := uint32(0); i < n; i++ {
+		var e wire.MetaEntry
+		e, buf, err = wire.DecodeMetaEntry(buf)
+		if err != nil {
+			return fmt.Errorf("snapshot cache entry %d: %w", i, err)
+		}
+		p.cache.Put(metadata.Entry{
+			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
+		})
+	}
+
+	if len(buf) < 8+4 {
+		return errors.New("snapshot table header")
+	}
+	lastAged := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	n = binary.LittleEndian.Uint32(buf[8:])
+	buf = buf[12:]
+	if uint64(len(buf)) < uint64(n)*12 {
+		return errors.New("snapshot table entries")
+	}
+	table := make(map[model.NodeID]float64, n)
+	for i := uint32(0); i < n; i++ {
+		dst := model.NodeID(binary.LittleEndian.Uint32(buf))
+		table[dst] = math.Float64frombits(binary.LittleEndian.Uint64(buf[4:]))
+		buf = buf[12:]
+	}
+	p.table.Restore(table, lastAged)
+
+	if len(buf) < 1+8+4 {
+		return errors.New("snapshot rate header")
+	}
+	rs := metadata.RateSnapshot{
+		Started: buf[0] == 1,
+		Start:   math.Float64frombits(binary.LittleEndian.Uint64(buf[1:])),
+	}
+	n = binary.LittleEndian.Uint32(buf[9:])
+	buf = buf[13:]
+	if uint64(len(buf)) < uint64(n)*8 {
+		return errors.New("snapshot rate entries")
+	}
+	if n > 0 {
+		rs.PerPeer = make(map[model.NodeID]int, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		peer := model.NodeID(binary.LittleEndian.Uint32(buf))
+		rs.PerPeer[peer] = int(binary.LittleEndian.Uint32(buf[4:]))
+		buf = buf[8:]
+	}
+	p.rate.Restore(rs)
+
+	if len(buf) != 8 {
+		return fmt.Errorf("snapshot trailer: %d bytes", len(buf))
+	}
+	p.commits = binary.LittleEndian.Uint64(buf)
+	return nil
+}
+
+// --- record replay ---
+
+// replayRecord applies one recovered journal record.
+func (p *Peer) replayRecord(rec journal.Record) error {
+	switch rec.Type {
+	case recPhotoAdd:
+		photo, rest, err := model.DecodePhoto(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("photo add: %w", err)
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("photo add: %d trailing bytes", len(rest))
+		}
+		if err := p.store.Add(photo); err != nil {
+			return fmt.Errorf("photo add: %w", err)
+		}
+		return nil
+	case recContactCommit:
+		if err := p.replayContact(rec.Payload); err != nil {
+			return err
+		}
+		p.commits++
+		return nil
+	default:
+		return fmt.Errorf("unknown record type %d", rec.Type)
+	}
+}
+
+// replayContact applies a contact commit's sub-records in order.
+func (p *Peer) replayContact(buf []byte) error {
+	for len(buf) > 0 {
+		if len(buf) < 5 {
+			return fmt.Errorf("contact sub-record header: %d bytes", len(buf))
+		}
+		kind := buf[0]
+		n := binary.LittleEndian.Uint32(buf[1:])
+		buf = buf[5:]
+		if uint64(len(buf)) < uint64(n) {
+			return fmt.Errorf("contact sub-record %d: claims %d bytes, has %d", kind, n, len(buf))
+		}
+		payload := buf[:n]
+		buf = buf[n:]
+		if err := p.replaySub(kind, payload); err != nil {
+			return fmt.Errorf("contact sub-record %d: %w", kind, err)
+		}
+	}
+	return nil
+}
+
+func (p *Peer) replaySub(kind byte, payload []byte) error {
+	switch kind {
+	case subEncounter:
+		if len(payload) != 4+8+8 {
+			return fmt.Errorf("encounter payload %d bytes", len(payload))
+		}
+		peer := model.NodeID(binary.LittleEndian.Uint32(payload))
+		now := math.Float64frombits(binary.LittleEndian.Uint64(payload[4:]))
+		dp := math.Float64frombits(binary.LittleEndian.Uint64(payload[12:]))
+		p.rate.Observe(peer, now)
+		p.table.Encounter(peer, now)
+		p.table.Transitive(peer, map[model.NodeID]float64{model.CommandCenter: dp})
+		return nil
+	case subMetaPut:
+		e, rest, err := wire.DecodeMetaEntry(payload)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("%d trailing bytes", len(rest))
+		}
+		p.cache.Put(metadata.Entry{
+			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
+		})
+		return nil
+	case subMetaDrop:
+		if len(payload) != 8 {
+			return fmt.Errorf("drop payload %d bytes", len(payload))
+		}
+		p.cache.DropInvalid(math.Float64frombits(binary.LittleEndian.Uint64(payload)))
+		return nil
+	case subStoreReplace:
+		final, rest, err := model.DecodePhotoList(payload)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("%d trailing bytes", len(rest))
+		}
+		return p.store.ReplaceAll(final)
+	case subStoreAdd:
+		photo, rest, err := model.DecodePhoto(payload)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("%d trailing bytes", len(rest))
+		}
+		return p.store.Add(photo)
+	case subAckDelivered:
+		if len(payload) < 8 {
+			return fmt.Errorf("ack payload %d bytes", len(payload))
+		}
+		session := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		acked, rest, err := model.DecodePhotoList(payload[8:])
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("%d trailing bytes", len(rest))
+		}
+		for _, photo := range acked {
+			p.store.Remove(photo.ID)
+		}
+		p.cache.Put(metadata.Entry{
+			Node:      model.CommandCenter,
+			Photos:    acked,
+			Timestamp: session,
+		})
+		return nil
+	default:
+		return errors.New("unknown sub-record kind")
+	}
+}

@@ -18,6 +18,27 @@ import (
 // the radio forever.
 var ErrTimeout = errors.New("peer: deadline exceeded")
 
+// ErrRetriesExhausted reports that a dialled contact failed transiently on
+// every configured attempt (see WithRetry). The final attempt's error is in
+// the chain; callers schedule the next contact opportunity instead of
+// retrying immediately.
+var ErrRetriesExhausted = errors.New("peer: contact retries exhausted")
+
+// ErrContactRejected reports that a dialled contact failed in a way
+// retrying cannot fix — a protocol violation, a checksum mismatch, a
+// misbehaving remote. The underlying cause is in the chain.
+var ErrContactRejected = errors.New("peer: contact rejected")
+
+// classifyContactErr tags a final (post-retry) contact failure with the
+// sentinel callers branch on: transient failures that survived every
+// attempt become ErrRetriesExhausted, everything else ErrContactRejected.
+func classifyContactErr(err error) error {
+	if transient(err) {
+		return fmt.Errorf("%w: %w", ErrRetriesExhausted, err)
+	}
+	return fmt.Errorf("%w: %w", ErrContactRejected, err)
+}
+
 // Hardening defaults. Frame deadlines are on by default: a single stalled
 // remote must never wedge a node (the live-peer counterpart of a contact
 // that physically ends when the nodes move apart).

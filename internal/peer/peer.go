@@ -20,9 +20,11 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"photodtn/internal/coverage"
+	"photodtn/internal/journal"
 	"photodtn/internal/metadata"
 	"photodtn/internal/model"
 	"photodtn/internal/obs"
@@ -36,6 +38,9 @@ import (
 var (
 	// ErrProtocol reports an unexpected message during a contact.
 	ErrProtocol = errors.New("peer: protocol violation")
+	// ErrServing reports a second concurrent Serve on a peer — a node has
+	// one radio, and two accept loops would race for it.
+	ErrServing = errors.New("peer: already serving")
 )
 
 // Option customises a Peer during New. Options are an interface (not a
@@ -123,12 +128,24 @@ type Peer struct {
 	errMu          sync.Mutex
 	contactErrs    int64
 	lastContactErr error
+	serving        atomic.Bool
 
 	// Observability (nil — no-op — unless WithObserver is given).
 	obsv      *obs.Observer
 	cContacts *obs.Counter
 	cRetries  *obs.Counter
 	cAborts   *obs.Counter
+
+	// Durability (zero — memory-only — unless WithJournal is given; see
+	// durable.go).
+	stateDir   string
+	jfs        journal.FS
+	jnl        *journal.Journal
+	journalErr error
+	pending    []byte // framed sub-records of the contact in flight
+	commits    uint64 // durably committed contacts, recovered + live
+	snapEvery  int
+	sinceSnap  int
 }
 
 // New creates a peer. The command center (id 0) gets unbounded storage and
@@ -150,6 +167,8 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 		retryBase:     DefaultRetryBase,
 		retryMax:      DefaultRetryMax,
 		sleep:         time.Sleep,
+
+		snapEvery: DefaultSnapshotEvery,
 	}
 	if id.IsCommandCenter() {
 		capacity = math.MaxInt64 / 4
@@ -173,6 +192,12 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 	p.cAborts = p.obsv.Counter("peer.contact_aborts")
 	p.selCfg.Metrics = selection.ObserverMetrics(p.obsv)
 	p.fpc.SetMetrics(p.obsv.Counter("coverage.fp_cache_hits"), p.obsv.Counter("coverage.fp_cache_misses"))
+	if p.stateDir != "" {
+		// Recovery failures are sticky rather than fatal here (New cannot
+		// return an error): the peer exists but refuses to mutate state it
+		// cannot make durable. Open surfaces the error directly.
+		p.journalErr = p.openJournal()
+	}
 	return p
 }
 
@@ -180,11 +205,22 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 func (p *Peer) ID() model.NodeID { return p.id }
 
 // AddPhoto stores a locally taken photo (rejecting it if it cannot fit).
+// Durable peers journal the admission before reporting success.
 func (p *Peer) AddPhoto(photo model.Photo) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.journalErr != nil {
+		return fmt.Errorf("peer %v: %w", p.id, p.journalErr)
+	}
 	if err := p.store.Add(photo); err != nil {
 		return fmt.Errorf("peer %v: %w", p.id, err)
+	}
+	if p.jnl != nil {
+		if err := p.jnl.Append(recPhotoAdd, photo.AppendBinary(nil)); err != nil {
+			p.store.Remove(photo.ID) // keep memory behind, not ahead of, disk
+			p.journalErr = fmt.Errorf("%w: journal photo: %w", ErrJournal, err)
+			return fmt.Errorf("peer %v: %w", p.id, p.journalErr)
+		}
 	}
 	return nil
 }
@@ -230,6 +266,10 @@ func (p *Peer) ServeContext(ctx context.Context, l net.Listener) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if !p.serving.CompareAndSwap(false, true) {
+		return fmt.Errorf("peer %v: %w", p.id, ErrServing)
+	}
+	defer p.serving.Store(false)
 	stop := context.AfterFunc(ctx, func() { _ = l.Close() })
 	defer stop()
 	for {
@@ -285,6 +325,7 @@ func (p *Peer) DialContext(ctx context.Context, addr string) error {
 		}
 		if err == nil || attempt >= attempts || !transient(err) {
 			if err != nil {
+				err = classifyContactErr(err)
 				p.noteContactError(err)
 			}
 			return err
@@ -359,9 +400,27 @@ func (p *Peer) ContactConn(conn io.ReadWriter, initiator bool) error {
 	return nil
 }
 
+// contactConn brackets one contact session with the durability protocol:
+// sub-records accumulated while the session mutates state are committed as
+// one atomic journal record when — and only when — the session succeeds. An
+// aborted contact leaves no durable trace, exactly mirroring the in-memory
+// graceful-abort semantics.
 func (p *Peer) contactConn(conn io.ReadWriter, initiator bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.journalErr != nil {
+		return p.journalErr
+	}
+	p.pending = p.pending[:0]
+	err := p.contactSession(conn, initiator)
+	if err == nil {
+		err = p.commitContactLocked()
+	}
+	p.pending = p.pending[:0]
+	return err
+}
+
+func (p *Peer) contactSession(conn io.ReadWriter, initiator bool) error {
 	p.cContacts.Inc()
 	now := p.clock()
 
@@ -402,6 +461,7 @@ func (p *Peer) contactConn(conn io.ReadWriter, initiator bool) error {
 	// Transitivity through the peer toward the command center, using the
 	// advertised predictability.
 	p.table.Transitive(theirs.Node, map[model.NodeID]float64{model.CommandCenter: theirs.DeliveryProb})
+	p.logEncounter(theirs.Node, now, theirs.DeliveryProb)
 
 	// Metadata exchange: own collection first, then gossiped cache entries.
 	// Strict turn-taking (initiator writes first) keeps the protocol
@@ -476,8 +536,10 @@ func (p *Peer) absorbMetadata(h wire.Hello, md wire.Metadata, session float64) m
 			entry.Timestamp = session
 		}
 		p.cache.Put(entry)
+		p.logMetaPut(entry)
 	}
 	p.cache.DropInvalid(session)
+	p.logMetaDrop(session)
 	return peerPhotos
 }
 
@@ -568,6 +630,7 @@ func (p *Peer) applyPlan(conn io.ReadWriter, sel model.PhotoList, received map[m
 	if err := p.store.ReplaceAll(final); err != nil {
 		return fmt.Errorf("peer %v: apply plan: %w", p.id, err)
 	}
+	p.logStoreReplace(final)
 	if initiator {
 		if err := wire.Write(conn, wire.Bye{}); err != nil {
 			return err
@@ -625,6 +688,13 @@ func (p *Peer) receivePhotos(conn io.ReadWriter) (map[model.PhotoID]model.Photo,
 // coverage, in marginal-gain order, then frees the delivered copies.
 func (p *Peer) uploadLocked(conn io.ReadWriter, session float64) error {
 	ccEntry, _ := p.cache.Get(model.CommandCenter)
+	// The command center's own snapshot (just absorbed, authoritative) is a
+	// delivery acknowledgement (§III-B): any held photo it lists already
+	// arrived — through another relay, or in a contact whose ack this node
+	// lost to a crash — so purge it instead of re-reporting it.
+	if purged := p.purgeDelivered(ccEntry.Photos); len(purged) > 0 {
+		p.logAckDelivered(session, purged)
+	}
 	plan := selection.SelectForUpload(p.fpc, p.selCfg, ccEntry.Photos, p.store.List())
 	var ids []model.PhotoID
 	for _, photo := range plan {
@@ -651,11 +721,25 @@ func (p *Peer) uploadLocked(conn io.ReadWriter, session float64) error {
 		Photos:    append(entry.Photos.Clone(), acked...),
 		Timestamp: session,
 	})
+	p.logAckDelivered(session, acked)
 	_, err = readAs[wire.Bye](conn)
 	if err != nil {
 		return err
 	}
 	return wire.Write(conn, wire.Bye{})
+}
+
+// purgeDelivered removes held photos that appear in the delivered list,
+// returning what was dropped.
+func (p *Peer) purgeDelivered(delivered model.PhotoList) model.PhotoList {
+	var purged model.PhotoList
+	for _, photo := range p.store.List() {
+		if delivered.Contains(photo.ID) {
+			p.store.Remove(photo.ID)
+			purged = append(purged, photo)
+		}
+	}
+	return purged
 }
 
 // receiveUploadLocked is the command-center side of an upload.
@@ -670,6 +754,7 @@ func (p *Peer) receiveUploadLocked(conn io.ReadWriter) error {
 			if err := p.store.Add(photo); err != nil {
 				return fmt.Errorf("peer %v: store upload: %w", p.id, err)
 			}
+			p.logStoreAdd(photo)
 		}
 		ids = append(ids, id)
 	}

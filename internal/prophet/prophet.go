@@ -158,6 +158,21 @@ func (t *Table) Transitive(peer model.NodeID, peerP map[model.NodeID]float64) {
 	}
 }
 
+// Restore replaces the table's state with a previously captured Snapshot
+// and aging timestamp — the crash-recovery path of a durable peer. Entries
+// are copied; zero and negative probabilities are dropped (they would have
+// been aged out).
+func (t *Table) Restore(entries map[model.NodeID]float64, lastAged float64) {
+	t.p = make(map[model.NodeID]float64, len(entries))
+	for dst, v := range entries {
+		if dst == t.owner || v <= 0 {
+			continue
+		}
+		t.p[dst] = v
+	}
+	t.lastAged = lastAged
+}
+
 // Snapshot returns a copy of the table's entries, suitable for sending to a
 // peer during a contact.
 func (t *Table) Snapshot() map[model.NodeID]float64 {

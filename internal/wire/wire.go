@@ -159,13 +159,41 @@ func (Metadata) Type() MsgType { return MsgMetadata }
 func (m Metadata) appendBody(dst []byte) []byte {
 	dst = appendU32(dst, uint32(len(m.Entries)))
 	for _, e := range m.Entries {
-		dst = appendU32(dst, uint32(e.Node))
-		dst = appendF64(dst, e.Lambda)
-		dst = appendF64(dst, e.P)
-		dst = appendF64(dst, e.Timestamp)
-		dst = e.Photos.AppendBinary(dst)
+		dst = AppendMetaEntry(dst, e)
 	}
 	return dst
+}
+
+// AppendMetaEntry appends the binary encoding of one metadata entry (the
+// element encoding of a Metadata body) to dst. It is exported so other
+// durable encodings — the peer's write-ahead journal records — reuse the
+// wire layout instead of inventing a second one.
+func AppendMetaEntry(dst []byte, e MetaEntry) []byte {
+	dst = appendU32(dst, uint32(e.Node))
+	dst = appendF64(dst, e.Lambda)
+	dst = appendF64(dst, e.P)
+	dst = appendF64(dst, e.Timestamp)
+	return e.Photos.AppendBinary(dst)
+}
+
+// DecodeMetaEntry decodes one metadata entry from the front of b,
+// returning the entry and the remaining bytes.
+func DecodeMetaEntry(b []byte) (MetaEntry, []byte, error) {
+	if len(b) < 4+8*3 {
+		return MetaEntry{}, b, fmt.Errorf("%w: metadata entry header", ErrBadMessage)
+	}
+	e := MetaEntry{
+		Node:      model.NodeID(binary.LittleEndian.Uint32(b)),
+		Lambda:    f64(b[4:]),
+		P:         f64(b[12:]),
+		Timestamp: f64(b[20:]),
+	}
+	var err error
+	e.Photos, b, err = model.DecodePhotoList(b[28:])
+	if err != nil {
+		return MetaEntry{}, b, fmt.Errorf("%w: metadata entry photos: %v", ErrBadMessage, err)
+	}
+	return e, b, nil
 }
 
 func decodeMetadata(b []byte) (Metadata, error) {
@@ -183,19 +211,13 @@ func decodeMetadata(b []byte) (Metadata, error) {
 	}
 	out := Metadata{Entries: make([]MetaEntry, 0, capHint)}
 	for i := uint32(0); i < n; i++ {
-		if len(b) < 4+8*3 {
-			return Metadata{}, fmt.Errorf("%w: metadata entry %d", ErrBadMessage, i)
-		}
-		e := MetaEntry{
-			Node:      model.NodeID(binary.LittleEndian.Uint32(b)),
-			Lambda:    f64(b[4:]),
-			P:         f64(b[12:]),
-			Timestamp: f64(b[20:]),
-		}
-		var err error
-		e.Photos, b, err = model.DecodePhotoList(b[28:])
+		var (
+			e   MetaEntry
+			err error
+		)
+		e, b, err = DecodeMetaEntry(b)
 		if err != nil {
-			return Metadata{}, fmt.Errorf("%w: metadata entry %d photos: %v", ErrBadMessage, i, err)
+			return Metadata{}, fmt.Errorf("metadata entry %d: %w", i, err)
 		}
 		out.Entries = append(out.Entries, e)
 	}
@@ -214,27 +236,47 @@ type PhotoRequest struct {
 func (PhotoRequest) Type() MsgType { return MsgPhotoRequest }
 
 func (r PhotoRequest) appendBody(dst []byte) []byte {
-	dst = appendU32(dst, uint32(len(r.IDs)))
-	for _, id := range r.IDs {
+	return AppendPhotoIDs(dst, r.IDs)
+}
+
+// AppendPhotoIDs appends a count-prefixed photo-ID list (the PhotoRequest
+// and Ack body encoding) to dst. Exported for reuse by the peer's journal
+// records.
+func AppendPhotoIDs(dst []byte, ids []model.PhotoID) []byte {
+	dst = appendU32(dst, uint32(len(ids)))
+	for _, id := range ids {
 		dst = appendU64(dst, uint64(id))
 	}
 	return dst
 }
 
-func decodePhotoRequest(b []byte) (PhotoRequest, error) {
+// DecodePhotoIDs decodes a count-prefixed photo-ID list from the front of
+// b, returning the list and the remaining bytes.
+func DecodePhotoIDs(b []byte) ([]model.PhotoID, []byte, error) {
 	if len(b) < 4 {
-		return PhotoRequest{}, fmt.Errorf("%w: request header", ErrBadMessage)
+		return nil, b, fmt.Errorf("%w: id list header", ErrBadMessage)
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
-	if uint64(len(b)) != uint64(n)*8 {
-		return PhotoRequest{}, fmt.Errorf("%w: request claims %d ids with %d bytes", ErrBadMessage, n, len(b))
+	if uint64(len(b)) < uint64(n)*8 {
+		return nil, b, fmt.Errorf("%w: id list claims %d ids with %d bytes", ErrBadMessage, n, len(b))
 	}
-	out := PhotoRequest{IDs: make([]model.PhotoID, 0, n)}
+	out := make([]model.PhotoID, 0, n)
 	for i := uint32(0); i < n; i++ {
-		out.IDs = append(out.IDs, model.PhotoID(binary.LittleEndian.Uint64(b[8*i:])))
+		out = append(out, model.PhotoID(binary.LittleEndian.Uint64(b[8*i:])))
 	}
-	return out, nil
+	return out, b[8*n:], nil
+}
+
+func decodePhotoRequest(b []byte) (PhotoRequest, error) {
+	ids, rest, err := DecodePhotoIDs(b)
+	if err != nil {
+		return PhotoRequest{}, err
+	}
+	if len(rest) != 0 {
+		return PhotoRequest{}, fmt.Errorf("%w: %d trailing request bytes", ErrBadMessage, len(rest))
+	}
+	return PhotoRequest{IDs: ids}, nil
 }
 
 // PhotoData delivers one photo. Payload carries the (possibly truncated or
@@ -332,7 +374,15 @@ func Read(r io.Reader) (Message, error) {
 	if got := binary.LittleEndian.Uint32(trailer); got != sum {
 		return nil, fmt.Errorf("%w: got %08x, computed %08x", ErrChecksum, got, sum)
 	}
-	switch t := MsgType(hdr[4]); t {
+	return DecodeBody(MsgType(hdr[4]), body)
+}
+
+// DecodeBody decodes a message body of the given type — the frame-free
+// half of Read, exported so checksummed containers other than the stream
+// framing (journal records, fuzzers) can reuse the message codecs. It
+// never panics on malformed input; it returns ErrBadMessage instead.
+func DecodeBody(t MsgType, body []byte) (Message, error) {
+	switch t {
 	case MsgHello:
 		return retErr(decodeHello(body))
 	case MsgMetadata:
@@ -353,7 +403,7 @@ func Read(r io.Reader) (Message, error) {
 		}
 		return Bye{}, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, hdr[4])
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, t)
 	}
 }
 

@@ -307,6 +307,15 @@ func NewPeer(id NodeID, m *Map, capacity int64, opts ...PeerOption) *Peer {
 	return peer.New(id, m, capacity, opts...)
 }
 
+// OpenPeer creates a durable live node rooted at dir, recovering any state a
+// previous incarnation journaled there (see peer.Open and DESIGN.md §7).
+func OpenPeer(dir string, id NodeID, m *Map, capacity int64, opts ...PeerOption) (*Peer, error) {
+	return peer.Open(dir, id, m, capacity, opts...)
+}
+
+// PeerJournalStats describes a durable peer's recovery and commit history.
+type PeerJournalStats = peer.JournalStats
+
 // Peer options re-exported for facade users.
 var (
 	// WithClock injects a logical clock into a peer.
@@ -319,6 +328,12 @@ var (
 	WithPayloadBytes = peer.WithPayloadBytes
 	// WithSelectionConfig overrides a peer's evaluation settings.
 	WithSelectionConfig = peer.WithSelectionConfig
+	// WithJournal makes a peer durable: its state journals to the directory
+	// and survives restarts (OpenPeer is the error-reporting form).
+	WithJournal = peer.WithJournal
+	// WithSnapshotEvery sets how many committed contacts trigger a
+	// snapshot + journal compaction.
+	WithSnapshotEvery = peer.WithSnapshotEvery
 )
 
 // Unified observability (see DESIGN.md).
