@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos bench bench-runner bench-short bench-all fuzz fuzz-short trace-demo
+.PHONY: tier1 build vet test race chaos bench bench-runner bench-short bench-all bench-diff fuzz fuzz-short trace-demo
 
 # tier1 is the merge gate: everything must pass before a change lands.
 tier1: build vet test race bench-short fuzz-short
@@ -35,13 +35,32 @@ bench-runner:
 		| $(GO) run ./cmd/benchjson -o BENCH_runner.json
 	@echo "wrote BENCH_runner.json"
 
-# bench regenerates the committed evaluator baseline BENCH_selection.json
-# from the selection micro-benchmarks (construction / Gain / Commit /
-# GreedyFill at several scales).
+# bench regenerates the committed performance baselines: the selection
+# micro-benchmarks (construction / Gain / Commit / GreedyFill / stale
+# recompute at several scales) into BENCH_selection.json, and the
+# engine-level Table-I run (incremental vs from-scratch selection) into
+# BENCH_engine.json.
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkEvaluator -benchmem -benchtime=500ms ./internal/selection/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_selection.json
 	@echo "wrote BENCH_selection.json"
+	$(GO) test -run='^$$' -bench=BenchmarkEngineTable1 -benchmem -benchtime=5x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_engine.json
+	@echo "wrote BENCH_engine.json"
+
+# bench-diff reruns the baseline benchmarks and compares them against the
+# committed JSON documents; it fails when any ns/op or allocs/op ratio
+# exceeds the threshold. The time threshold is generous because shared CI
+# hardware is noisy; allocs/op is exact and is the real tripwire.
+bench-diff:
+	$(GO) test -run='^$$' -bench=BenchmarkEvaluator -benchmem -benchtime=300ms ./internal/selection/ \
+		| $(GO) run ./cmd/benchjson -o .bench_selection_new.json
+	$(GO) run ./cmd/benchjson -diff -threshold 1.6 BENCH_selection.json .bench_selection_new.json
+	$(GO) test -run='^$$' -bench=BenchmarkEngineTable1 -benchmem -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson -o .bench_engine_new.json
+	$(GO) run ./cmd/benchjson -diff -threshold 1.6 BENCH_engine.json .bench_engine_new.json
+	@rm -f .bench_selection_new.json .bench_engine_new.json
+	@echo "bench-diff: no regressions"
 
 # bench-short is the tier-1 smoke pass: every benchmark must run (a single
 # iteration) without failing; timings are not meaningful.
@@ -52,17 +71,19 @@ bench-short:
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-# Short fuzz pass over the wire decoders (corruption hardening): the framed
-# reader and the frame-free body decoder the journal replay shares.
+# Fuzz pass over the wire decoders (corruption hardening) and the arc-set
+# geometry kernel every coverage computation bottoms out in.
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=30s ./internal/wire/
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeMessage -fuzztime=30s ./internal/wire/
+	$(GO) test -run=Fuzz -fuzz=FuzzArcSet -fuzztime=30s ./internal/geo/
 
-# fuzz-short is the tier-1 smoke pass over both fuzz targets: a few seconds
+# fuzz-short is the tier-1 smoke pass over all fuzz targets: a few seconds
 # each, enough to replay the corpus plus a quick mutation burst.
 fuzz-short:
 	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=5s ./internal/wire/
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeMessage -fuzztime=5s ./internal/wire/
+	$(GO) test -run=Fuzz -fuzz=FuzzArcSet -fuzztime=5s ./internal/geo/
 
 # trace-demo produces a sample observability bundle under trace-demo/: a
 # JSONL event trace, the subsystem counters, and the run manifests.

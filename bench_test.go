@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"photodtn/internal/core"
 	"photodtn/internal/coverage"
 	"photodtn/internal/experiments"
 	"photodtn/internal/faults"
@@ -87,7 +88,7 @@ func BenchmarkFig8PhotoRate(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks (DESIGN.md §8) ---
+// --- Ablation benchmarks (DESIGN.md §9) ---
 
 func BenchmarkAblationPthld(b *testing.B) {
 	benchFigure(b, func() (*experiments.Figure, error) { return experiments.AblationPthld(benchOpts()) })
@@ -275,6 +276,48 @@ func BenchmarkSimOurSchemeShortRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineTable1 measures a full engine run at the paper's Table I
+// settings (MIT-like trace, default storage, workload, gateways) over a
+// fixed 120-hour prefix. The world — trace, map, photo workload — is built
+// once outside the timer, so the measurement isolates the engine and the
+// per-contact selection machinery that dominates it. The two variants pin
+// the incremental-selection ablation: "incremental" is the default
+// dirty-PoI/cull/session path, "fromscratch" disables it and re-walks every
+// candidate residual in full (the pre-incremental behaviour). Selections,
+// and therefore results, are identical; only the work per contact differs.
+func BenchmarkEngineTable1(b *testing.B) {
+	p := experiments.DefaultParams(experiments.MIT)
+	p.SpanHours = 120
+	cfg, _, err := experiments.Build(p, experiments.SchemeOurs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runWith := func(b *testing.B, core2 func() sim.Scheme) {
+		b.ReportAllocs()
+		var delivered int
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(cfg, core2())
+			if err != nil {
+				b.Fatal(err)
+			}
+			delivered = res.Final.Delivered
+		}
+		if delivered == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		runWith(b, func() sim.Scheme { return core.New(core.DefaultConfig()) })
+	})
+	b.Run("fromscratch", func(b *testing.B) {
+		runWith(b, func() sim.Scheme {
+			cc := core.DefaultConfig()
+			cc.Selection.DisableIncremental = true
+			return core.New(cc)
+		})
+	})
 }
 
 // BenchmarkEngineWithFaults compares the engine's fault-free path with the

@@ -5,10 +5,23 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./internal/selection/ | benchjson -o BENCH_selection.json
+//	benchjson -diff [-threshold 1.30] old.json new.json
 //
-// The input is read from stdin; the environment header lines (goos, goarch,
-// pkg, cpu) and every benchmark result line are parsed, everything else is
-// ignored. Output is indented JSON sorted in input order.
+// In the default mode the input is read from stdin; the environment header
+// lines (goos, goarch, pkg, cpu) and every benchmark result line are parsed,
+// everything else is ignored. Output is indented JSON sorted in input order.
+//
+// In -diff mode two previously converted documents are compared: for every
+// benchmark present in both, the new/old ratios of ns/op, B/op, and
+// allocs/op are printed, and the exit status is non-zero when any ns/op or
+// allocs/op ratio exceeds the threshold (a regression). The allocs gate
+// additionally requires an absolute growth beyond allocSlack: benchmarks
+// with near-zero allocation counts (pooled steady-state paths) see their
+// first-iteration warm-up amortised over an iteration count that varies
+// run to run, so a pure ratio on a small count is noise, not a regression.
+// B/op is reported but not gated — it tracks allocs/op and is the noisier
+// of the two. Benchmarks present on only one side are listed but never
+// gate.
 package main
 
 import (
@@ -16,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -47,7 +61,19 @@ type Document struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two benchmark JSON documents: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 1.30, "new/old ratio above which a ns/op or allocs/op change is a regression (with -diff)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two arguments: old.json new.json"))
+		}
+		if diffDocs(flag.Arg(0), flag.Arg(1), *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc := Document{
 		GoOS:      runtime.GOOS,
@@ -156,6 +182,97 @@ func trimProcs(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// allocSlack is the absolute allocs/op growth below which the allocs ratio
+// never gates, however large: amortised warm-up on near-allocation-free
+// benchmarks moves small counts by a few tens between runs.
+const allocSlack = 48
+
+// diffDocs compares two converted documents and reports whether any
+// benchmark regressed: a new/old ratio of ns/op or allocs/op above the
+// threshold (allocs additionally needs absolute growth beyond allocSlack).
+// Ratios are printed for every benchmark present in both documents;
+// one-sided benchmarks are listed but never gate.
+func diffDocs(oldPath, newPath string, threshold float64) (regressed bool) {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	oldByName := make(map[string]Result, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
+		oldByName[r.Name] = r
+	}
+
+	fmt.Printf("%-60s %12s %12s %8s %8s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns", "B/op", "allocs")
+	seen := make(map[string]bool, len(newDoc.Benchmarks))
+	for _, nr := range newDoc.Benchmarks {
+		seen[nr.Name] = true
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			fmt.Printf("%-60s %12s %12.0f %8s %8s %8s  (new)\n",
+				nr.Name, "-", nr.NsPerOp, "-", "-", "-")
+			continue
+		}
+		nsRatio := ratio(nr.NsPerOp, or.NsPerOp)
+		bRatio := ratio(float64(nr.BytesPerOp), float64(or.BytesPerOp))
+		aRatio := ratio(float64(nr.AllocsPerOp), float64(or.AllocsPerOp))
+		flag := ""
+		if nsRatio > threshold || (aRatio > threshold && nr.AllocsPerOp-or.AllocsPerOp > allocSlack) {
+			flag = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-60s %12.0f %12.0f %8s %8s %8s%s\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp,
+			fmtRatio(nsRatio), fmtRatio(bRatio), fmtRatio(aRatio), flag)
+	}
+	for _, or := range oldDoc.Benchmarks {
+		if !seen[or.Name] {
+			fmt.Printf("%-60s %12.0f %12s %8s %8s %8s  (removed)\n",
+				or.Name, or.NsPerOp, "-", "-", "-", "-")
+		}
+	}
+	if regressed {
+		fmt.Printf("\nregression: at least one ns/op or allocs/op ratio exceeds %.2f\n", threshold)
+	}
+	return regressed
+}
+
+// ratio returns new/old, or 1 when the old value is zero and the new one is
+// too; a metric appearing from zero reports as +Inf and is caught by any
+// threshold.
+func ratio(newV, oldV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return newV / oldV
+}
+
+func fmtRatio(r float64) string {
+	if math.IsInf(r, 1) {
+		return "+inf"
+	}
+	return fmt.Sprintf("%.2fx", r)
+}
+
+func loadDoc(path string) (*Document, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
 }
 
 func fatal(err error) {

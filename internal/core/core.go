@@ -68,6 +68,9 @@ type Scheme struct {
 	nodes []*nodeState
 	solo  map[model.PhotoID]coverage.Coverage
 	fpc   *coverage.FootprintCache
+	// sel is the scheme's selection arena: pools, heaps, residuals, and
+	// scenario buffers are recycled across every contact of the run.
+	sel *selection.Session
 
 	// Observability (all nil — no-ops — when the world has no observer).
 	obsv           *obs.Observer
@@ -98,6 +101,7 @@ func (s *Scheme) Init(w *sim.World) {
 	s.cfg.Selection.Parallel = s.cfg.Selection.Parallel || w.ParallelSelection
 	s.solo = make(map[model.PhotoID]coverage.Coverage)
 	s.fpc = coverage.NewFootprintCache(w.Map)
+	s.sel = selection.NewSession()
 	o := w.Obs()
 	s.obsv = o
 	s.cfg.Selection.Metrics = selection.ObserverMetrics(o)
@@ -147,11 +151,13 @@ func (s *Scheme) OnPhoto(node model.NodeID, p model.Photo) {
 }
 
 // lowestSolo returns the stored photo (or the incoming one) with the least
-// standalone coverage, ties broken by ID for determinism.
+// standalone coverage, ties broken by ID for determinism. It scans the
+// storage in place (no copy): the minimum is order-independent, and the
+// caller only mutates the storage after the scan returns.
 func (s *Scheme) lowestSolo(st *sim.Storage, incoming model.Photo) model.PhotoID {
 	bestID := incoming.ID
 	bestCov := s.soloCoverage(incoming)
-	for _, q := range st.List() {
+	for _, q := range st.Photos() {
 		c := s.soloCoverage(q)
 		if c.Less(bestCov) || (c.Cmp(bestCov) == 0 && q.ID < bestID) {
 			bestID, bestCov = q.ID, c
@@ -182,7 +188,7 @@ func (s *Scheme) ccContact(sess *sim.Session, node model.NodeID) {
 	// Upload photos in marginal-gain order over what the command center
 	// already has (live knowledge during the contact).
 	st := s.w.Storage(node)
-	plan := selection.SelectForUpload(s.fpc, s.selCfg(), s.w.CCPhotos(), st.List())
+	plan := s.sel.SelectForUpload(s.fpc, s.selCfg(), s.w.CCPhotos(), st.List())
 	for _, p := range plan {
 		if err := sess.Transfer(model.CommandCenter, p); err != nil {
 			break // budget exhausted; unfinished transfer discarded
@@ -261,7 +267,7 @@ func (s *Scheme) peerContact(sess *sim.Session) {
 	}
 
 	cfg := s.selCfg()
-	res := selection.Reallocate(s.fpc, cfg, ccPhotos, background,
+	res := s.sel.Reallocate(s.fpc, cfg, ccPhotos, background,
 		selection.Alloc{Node: a, P: pa, Capacity: stA.Capacity(), Photos: photosA},
 		selection.Alloc{Node: b, P: pb, Capacity: stB.Capacity(), Photos: photosB},
 	)

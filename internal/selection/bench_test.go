@@ -142,5 +142,79 @@ func BenchmarkEvaluatorGreedyFill(b *testing.B) {
 				ev.Release()
 			}
 		})
+		// The session variant recycles evaluator, heap, candidate, and
+		// residual storage across iterations — the per-contact steady state
+		// core.Scheme runs in.
+		b.Run(sc.name+"/session", func(b *testing.B) {
+			m, ccFPs, bg, pool := benchInstance(b, sc)
+			capacity := int64(max(5, len(pool)/3)) * (4 << 20)
+			s := NewSession()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := s.evaluator(m, sc.cfg, ccFPs, bg)
+				if sel := GreedyFill(ev, pool, capacity); len(sel) == 0 {
+					b.Fatal("selected nothing")
+				}
+				ev.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluatorGainStale measures one full stale-recompute storm — an
+// evaluator construction, the initial gain scan, then several commits each
+// followed by a refresh of every candidate (the worst case the CELF loop
+// can hit). "fromscratch" is the pre-incremental machinery: a standalone
+// evaluator re-walking full residuals; "incremental" is the session-backed
+// dirty-PoI path, where a refresh re-walks only entries the commit touched.
+func BenchmarkEvaluatorGainStale(b *testing.B) {
+	const rounds = 6
+	for _, sc := range benchScales() {
+		run := func(b *testing.B, s *Session, cfg Config) {
+			m, ccFPs, bg, pool := benchInstance(b, sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var ev *Evaluator
+				var cands []*cand
+				if s != nil {
+					ev = s.evaluator(m, cfg, ccFPs, bg)
+					s.cands.reset()
+					cands = s.heapItems[:0]
+				} else {
+					ev = NewEvaluator(m, cfg, ccFPs, bg)
+				}
+				for _, it := range pool {
+					var c *cand
+					if s != nil {
+						c = s.cands.take()
+					} else {
+						c = new(cand)
+					}
+					c.item = it
+					cands = append(cands, c)
+				}
+				ev.gainBatch(cands)
+				for r := 0; r < rounds; r++ {
+					ev.Commit(cands[r].item.FP)
+					for _, c := range cands {
+						ev.gainCand(c, nil)
+					}
+				}
+				if s != nil {
+					s.heapItems = cands[:0]
+				}
+				ev.Release()
+			}
+		}
+		b.Run(sc.name+"/fromscratch", func(b *testing.B) {
+			cfg := sc.cfg
+			cfg.DisableIncremental = true
+			run(b, nil, cfg)
+		})
+		b.Run(sc.name+"/incremental", func(b *testing.B) {
+			run(b, NewSession(), sc.cfg)
+		})
 	}
 }

@@ -72,6 +72,13 @@ type Config struct {
 	// ParallelThreshold is the minimum number of candidates before workers
 	// engage; below it the serial scan wins. Zero means a sensible default.
 	ParallelThreshold int
+	// DisableIncremental turns off the incremental CELF machinery — dirty-PoI
+	// gain invalidation and zero-gain candidate culling — and re-walks every
+	// candidate residual in full on each refresh, the pre-incremental
+	// behaviour. Selections are identical either way (the incremental path is
+	// exact, not approximate); the switch exists for differential tests and
+	// ablation benchmarks.
+	DisableIncremental bool
 	// Metrics optionally observes the selection machinery; the zero value
 	// disables it at no cost.
 	//
@@ -126,16 +133,31 @@ type bgNode struct {
 type Evaluator struct {
 	m  *coverage.Map
 	ds *coverage.DeltaSet
+	// sess, when non-nil, supplies recycled arenas (candidates, heaps,
+	// residuals) and marks the evaluator itself as session-owned: Release
+	// then keeps the DeltaSet shell alive for the next contact's Reuse.
+	sess *Session
 
-	parallel  bool
-	threshold int
-	metrics   Metrics
+	noIncremental bool
+	parallel      bool
+	threshold     int
+	metrics       Metrics
 }
 
-// NewEvaluator builds an evaluator. ccFPs are the footprints of the photos
-// already at the command center; background holds the other nodes of M with
-// their delivery probabilities and the footprints of their photos.
+// NewEvaluator builds a standalone evaluator. ccFPs are the footprints of
+// the photos already at the command center; background holds the other nodes
+// of M with their delivery probabilities and the footprints of their photos.
+// Contact-rate callers should prefer a Session, which recycles everything an
+// evaluator allocates.
 func NewEvaluator(m *coverage.Map, cfg Config, ccFPs []coverage.Footprint, background []bgNode) *Evaluator {
+	ev := &Evaluator{ds: &coverage.DeltaSet{}}
+	ev.init(m, cfg, ccFPs, background, nil)
+	return ev
+}
+
+// init (re)builds the evaluator in place. e.ds must point at a DeltaSet
+// shell (possibly released); sess may be nil for standalone use.
+func (e *Evaluator) init(m *coverage.Map, cfg Config, ccFPs []coverage.Footprint, background []bgNode, sess *Session) {
 	cfg = cfg.normalized()
 	base := m.AcquireState()
 	for _, fp := range ccFPs {
@@ -143,7 +165,12 @@ func NewEvaluator(m *coverage.Map, cfg Config, ccFPs []coverage.Footprint, backg
 	}
 	// Nodes that deliver surely belong in the base; nodes that never
 	// deliver or have no useful photos can be dropped.
-	live := make([]bgNode, 0, len(background))
+	var live []bgNode
+	if sess != nil {
+		live = sess.live[:0]
+	} else {
+		live = make([]bgNode, 0, len(background))
+	}
 	for _, b := range background {
 		if len(b.fps) == 0 || b.p <= 0 {
 			continue
@@ -156,40 +183,66 @@ func NewEvaluator(m *coverage.Map, cfg Config, ccFPs []coverage.Footprint, backg
 		}
 		live = append(live, b)
 	}
-	ev := &Evaluator{
-		m:         m,
-		ds:        coverage.NewDeltaSet(base),
-		parallel:  cfg.Parallel,
-		threshold: cfg.ParallelThreshold,
-		metrics:   cfg.Metrics,
-	}
+	e.m = m
+	e.ds.Reuse(base)
+	e.sess = sess
+	e.noIncremental = cfg.DisableIncremental
+	e.parallel = cfg.Parallel
+	e.threshold = cfg.ParallelThreshold
+	e.metrics = cfg.Metrics
 	if len(live) <= cfg.ExactLimit {
-		ev.enumerate(live)
+		e.enumerate(live)
 	} else {
-		ev.sample(live, cfg)
+		e.sample(live, cfg)
 	}
-	ev.metrics.Evaluators.Inc()
-	ev.metrics.Scenarios.Observe(float64(ev.ds.Scenarios()))
-	return ev
+	if sess != nil {
+		sess.live = live[:0] // return the (possibly grown) buffer
+	}
+	e.metrics.Evaluators.Inc()
+	e.metrics.Scenarios.Observe(float64(e.ds.Scenarios()))
 }
 
 // compileLive subtracts the (now final) base from every live node's
 // footprints once; scenario construction then replays the cheap residuals
-// instead of re-subtracting the base per outcome.
+// instead of re-subtracting the base per outcome. With a session, the
+// residuals and the index come from its arenas — compiled arc and entry
+// storage survives from contact to contact.
 func (e *Evaluator) compileLive(live []bgNode) [][]coverage.Residual {
 	total := 0
 	for _, b := range live {
 		total += len(b.fps)
 	}
-	flat := make([]coverage.Residual, total)
-	resid := make([][]coverage.Residual, len(live))
+	var flat []coverage.Residual
+	var resid [][]coverage.Residual
+	if s := e.sess; s != nil {
+		if len(s.residFlat) < total {
+			grown := make([]coverage.Residual, total)
+			copy(grown, s.residFlat) // keep the recycled piece storage
+			s.residFlat = grown
+		}
+		flat = s.residFlat[:total]
+		resid = s.residIdx[:0]
+	} else {
+		flat = make([]coverage.Residual, total)
+	}
 	k := 0
 	for i, b := range live {
-		resid[i] = flat[k : k+len(b.fps) : k+len(b.fps)]
+		sub := flat[k : k+len(b.fps) : k+len(b.fps)]
 		k += len(b.fps)
 		for j, fp := range b.fps {
-			e.ds.CompileResidual(fp, &resid[i][j])
+			e.ds.CompileResidual(fp, &sub[j])
 		}
+		if e.sess != nil {
+			resid = append(resid, sub)
+		} else {
+			if resid == nil {
+				resid = make([][]coverage.Residual, len(live))
+			}
+			resid[i] = sub
+		}
+	}
+	if e.sess != nil {
+		e.sess.residIdx = resid[:0]
 	}
 	return resid
 }
@@ -280,10 +333,14 @@ func (e *Evaluator) Scenarios() int {
 
 // Release returns the evaluator's pooled coverage states to the map for
 // reuse by later contacts. Optional — skipping it only forfeits recycling —
-// but the evaluator must not be used afterwards.
+// but the evaluator must not be used afterwards. Session-owned evaluators
+// keep their DeltaSet shell so the next contact can revive it with Reuse.
 func (e *Evaluator) Release() {
-	if e.ds != nil {
-		e.ds.Release()
+	if e.ds == nil || e.ds.Base() == nil {
+		return
+	}
+	e.ds.Release()
+	if e.sess == nil {
 		e.ds = nil
 	}
 }

@@ -20,8 +20,12 @@ type Item struct {
 // no PoI, so their expected coverage gain is identically zero and the
 // greedy would never pick them (the paper's "irrelevant photos").
 func BuildPool(fpc *coverage.FootprintCache, collections ...model.PhotoList) []Item {
-	seen := make(map[model.PhotoID]bool)
-	var pool []Item
+	return appendPool(nil, make(map[model.PhotoID]bool), fpc, collections)
+}
+
+// appendPool is the shared pool-compilation loop behind BuildPool and
+// Session.BuildPool; seen must be empty on entry.
+func appendPool(pool []Item, seen map[model.PhotoID]bool, fpc *coverage.FootprintCache, collections []model.PhotoList) []Item {
 	for _, col := range collections {
 		for _, p := range col {
 			if seen[p.ID] {
@@ -51,8 +55,13 @@ type cand struct {
 	// CELF round.
 	resid    coverage.Residual
 	compiled bool
-	gain     coverage.Coverage
-	round    int // selection round the gain was computed in
+	// gcache decomposes the cached gain per residual entry so a stale
+	// refresh after a Commit re-walks only the entries whose PoI the commit
+	// touched (dirty-PoI invalidation). Unused when the evaluator runs with
+	// DisableIncremental.
+	gcache coverage.GainCache
+	gain   coverage.Coverage
+	round  int // selection round the gain was computed in
 }
 
 func (h *candHeap) Len() int { return len(h.items) }
@@ -90,19 +99,53 @@ func (h *candHeap) Pop() any {
 // heap order is a strict total order (gain, then photo ID), so the
 // selection is bit-identical to the serial scan.
 func GreedyFill(ev *Evaluator, pool []Item, capacity int64) model.PhotoList {
-	h := &candHeap{items: make([]*cand, 0, len(pool))}
+	h := &candHeap{}
+	s := ev.sess
+	if s != nil {
+		s.cands.reset()
+		h.items = s.heapItems[:0]
+	} else {
+		h.items = make([]*cand, 0, len(pool))
+	}
 	for _, it := range pool {
 		if it.Photo.Size > capacity {
 			continue
 		}
-		h.items = append(h.items, &cand{item: it, round: 0})
+		var c *cand
+		if s != nil {
+			c = s.cands.take()
+		} else {
+			c = &cand{}
+		}
+		c.item = it
+		h.items = append(h.items, c)
 	}
 	// Initial scan: every candidate's gain against the fresh scenario set.
 	ev.gainBatch(h.items)
+	if !ev.noIncremental {
+		// Zero-gain culling: gains are sums of non-negative per-entry
+		// contributions that only shrink as commits grow the overlays, so a
+		// gain that is exactly zero now is zero forever — the candidate can
+		// never be selected (the loop stops before picking a zero-gain top)
+		// and need not ride the heap at all.
+		kept := h.items[:0]
+		for _, c := range h.items {
+			if !c.gain.IsZero() {
+				kept = append(kept, c)
+			}
+		}
+		for i := len(kept); i < len(h.items); i++ {
+			h.items[i] = nil
+		}
+		h.items = kept
+	}
 	heap.Init(h)
 
 	var selected model.PhotoList
 	var stale []*cand // scratch for batched stale recomputation
+	if s != nil {
+		stale = s.stale[:0]
+	}
 	remaining := capacity
 	round := 0
 	for h.Len() > 0 && remaining > 0 {
@@ -126,11 +169,18 @@ func GreedyFill(ev *Evaluator, pool []Item, capacity int64) model.PhotoList {
 				}
 				ev.gainBatch(stale)
 				for _, c := range stale {
+					if !ev.noIncremental && c.gain.IsZero() {
+						continue // culled for good
+					}
 					heap.Push(h, c)
 				}
 			} else {
 				ev.gainCand(top, nil)
 				ev.metrics.GainEvals.Inc()
+				if !ev.noIncremental && top.gain.IsZero() {
+					heap.Pop(h) // culled for good
+					continue
+				}
 				top.round = round
 				heap.Fix(h, 0)
 			}
@@ -148,22 +198,32 @@ func GreedyFill(ev *Evaluator, pool []Item, capacity int64) model.PhotoList {
 		round++
 	}
 	ev.metrics.Rounds.Add(int64(round))
+	if s != nil {
+		s.heapItems = h.items[:0]
+		s.stale = stale[:0]
+	}
 	return selected
 }
 
 // gainCand refreshes a candidate's gain, compiling its residual on first
 // use. A nil scratch selects the evaluator's serial scratch; concurrent
-// callers must pass their own.
+// callers must pass their own (each candidate is owned by exactly one
+// worker at a time, so its gain cache needs no locking).
 func (e *Evaluator) gainCand(c *cand, sc *coverage.GainScratch) {
 	if !c.compiled {
 		e.ds.CompileResidual(c.item.FP, &c.resid)
 		c.compiled = true
+		c.gcache.Reset()
 	}
-	if sc != nil {
-		c.gain = e.ds.GainResidual(&c.resid, sc)
-	} else {
-		c.gain = e.ds.GainCached(&c.resid)
+	if e.noIncremental {
+		if sc != nil {
+			c.gain = e.ds.GainResidual(&c.resid, sc)
+		} else {
+			c.gain = e.ds.GainCached(&c.resid)
+		}
+		return
 	}
+	c.gain = e.ds.GainResidualCached(&c.resid, &c.gcache, sc)
 }
 
 // gainBatch fills in the gain of every candidate, fanning out to a worker
@@ -237,16 +297,27 @@ type Result struct {
 // background holds the other valid metadata entries, excluding a and b
 // themselves.
 func Reallocate(fpc *coverage.FootprintCache, cfg Config, ccPhotos model.PhotoList, background []Participant, a, b Alloc) Result {
+	s := AcquireSession()
+	defer s.Release()
+	return s.Reallocate(fpc, cfg, ccPhotos, background, a, b)
+}
+
+// Reallocate is the session form of the package-level Reallocate: identical
+// selections, but every working buffer — pools, heaps, residual arenas,
+// scenario overlays — comes from the session's recycled storage.
+func (s *Session) Reallocate(fpc *coverage.FootprintCache, cfg Config, ccPhotos model.PhotoList, background []Participant, a, b Alloc) Result {
 	m := fpc.Map()
-	ccFPs := footprintsOf(fpc, ccPhotos)
-	bg := make([]bgNode, 0, len(background)+1)
+	s.fps = s.fps[:0]
+	ccFPs := s.footprints(fpc, ccPhotos)
+	bg := s.bg[:0]
 	for _, p := range background {
 		if p.Node == a.Node || p.Node == b.Node || p.Node.IsCommandCenter() {
 			continue // never double-count the contacting pair or the CC
 		}
-		bg = append(bg, bgNode{p: p.P, fps: footprintsOf(fpc, p.Photos)})
+		bg = append(bg, bgNode{p: p.P, fps: s.footprints(fpc, p.Photos)})
 	}
-	pool := BuildPool(fpc, a.Photos, b.Photos)
+	s.bg = bg
+	pool := s.BuildPool(fpc, a.Photos, b.Photos)
 
 	first, second := a, b
 	aFirst := true
@@ -255,14 +326,16 @@ func Reallocate(fpc *coverage.FootprintCache, cfg Config, ccPhotos model.PhotoLi
 		aFirst = false
 	}
 
-	ev1 := NewEvaluator(m, cfg, ccFPs, bg)
-	firstSel := GreedyFill(ev1, pool, first.Capacity)
-	ev1.Release()
+	ev := s.evaluator(m, cfg, ccFPs, bg)
+	firstSel := GreedyFill(ev, pool, first.Capacity)
+	ev.Release()
 
-	bg2 := append(bg[:len(bg):len(bg)], bgNode{p: first.P, fps: footprintsOf(fpc, firstSel)})
-	ev2 := NewEvaluator(m, cfg, ccFPs, bg2)
-	secondSel := GreedyFill(ev2, pool, second.Capacity)
-	ev2.Release()
+	bg2 := append(s.bg2[:0], bg...)
+	bg2 = append(bg2, bgNode{p: first.P, fps: s.footprints(fpc, firstSel)})
+	s.bg2 = bg2
+	ev = s.evaluator(m, cfg, ccFPs, bg2)
+	secondSel := GreedyFill(ev, pool, second.Capacity)
+	ev.Release()
 
 	if aFirst {
 		return Result{ASel: firstSel, BSel: secondSel, AFirst: true}
@@ -275,9 +348,18 @@ func Reallocate(fpc *coverage.FootprintCache, cfg Config, ccPhotos model.PhotoLi
 // prioritising by marginal gain over what the command center already has.
 // Returns photos in upload priority order.
 func SelectForUpload(fpc *coverage.FootprintCache, cfg Config, ccPhotos, nodePhotos model.PhotoList) model.PhotoList {
-	ev := NewEvaluator(fpc.Map(), cfg, footprintsOf(fpc, ccPhotos), nil)
+	s := AcquireSession()
+	defer s.Release()
+	return s.SelectForUpload(fpc, cfg, ccPhotos, nodePhotos)
+}
+
+// SelectForUpload is the session form of the package-level SelectForUpload;
+// identical selections from recycled storage.
+func (s *Session) SelectForUpload(fpc *coverage.FootprintCache, cfg Config, ccPhotos, nodePhotos model.PhotoList) model.PhotoList {
+	s.fps = s.fps[:0]
+	ev := s.evaluator(fpc.Map(), cfg, s.footprints(fpc, ccPhotos), nil)
 	defer ev.Release()
-	pool := BuildPool(fpc, nodePhotos)
+	pool := s.BuildPool(fpc, nodePhotos)
 	// Upload capacity is bounded by the contact budget, not storage; pass
 	// the total pool size and let the transfer phase cut it off.
 	return GreedyFill(ev, pool, model.PhotoList(nodePhotos).TotalSize())

@@ -1,0 +1,5 @@
+//go:build !race
+
+package selection
+
+const raceEnabled = false

@@ -8,7 +8,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"photodtn/internal/model"
 )
@@ -25,22 +24,24 @@ var (
 // Storage is a node's photo store with a byte capacity. It also tracks a
 // per-photo copy counter for spray-based schemes (unused counters stay 0).
 // Storage is not safe for concurrent use.
+//
+// The collection is kept as an insertion-ordered slice plus an ID index:
+// schemes walk the collection at every contact (and eviction policies scan
+// it per admitted photo), so iteration must not pay a sort or a map walk.
 type Storage struct {
 	capacity int64
 	used     int64
-	photos   map[model.PhotoID]model.Photo
+	list     model.PhotoList // stored photos in insertion (FIFO) order
+	index    map[model.PhotoID]int
 	copies   map[model.PhotoID]int
-	arrival  map[model.PhotoID]int64 // insertion order for FIFO policies
-	nextSeq  int64
 }
 
 // NewStorage returns an empty storage with the given byte capacity.
 func NewStorage(capacity int64) *Storage {
 	return &Storage{
 		capacity: capacity,
-		photos:   make(map[model.PhotoID]model.Photo),
+		index:    make(map[model.PhotoID]int),
 		copies:   make(map[model.PhotoID]int),
-		arrival:  make(map[model.PhotoID]int64),
 	}
 }
 
@@ -54,18 +55,21 @@ func (s *Storage) Used() int64 { return s.used }
 func (s *Storage) Free() int64 { return s.capacity - s.used }
 
 // Len returns the number of stored photos.
-func (s *Storage) Len() int { return len(s.photos) }
+func (s *Storage) Len() int { return len(s.list) }
 
 // Has reports whether the photo is stored.
 func (s *Storage) Has(id model.PhotoID) bool {
-	_, ok := s.photos[id]
+	_, ok := s.index[id]
 	return ok
 }
 
 // Get returns a stored photo.
 func (s *Storage) Get(id model.PhotoID) (model.Photo, bool) {
-	p, ok := s.photos[id]
-	return p, ok
+	i, ok := s.index[id]
+	if !ok {
+		return model.Photo{}, false
+	}
+	return s.list[i], true
 }
 
 // Add stores a photo. It fails with ErrNoSpace if the photo does not fit
@@ -77,24 +81,27 @@ func (s *Storage) Add(p model.Photo) error {
 	if p.Size > s.Free() {
 		return fmt.Errorf("%w: need %d bytes, have %d", ErrNoSpace, p.Size, s.Free())
 	}
-	s.photos[p.ID] = p
+	s.index[p.ID] = len(s.list)
+	s.list = append(s.list, p)
 	s.used += p.Size
-	s.arrival[p.ID] = s.nextSeq
-	s.nextSeq++
 	return nil
 }
 
 // Remove drops a photo (and its copy counter); it is a no-op for absent
-// photos.
+// photos. FIFO order of the remaining photos is preserved.
 func (s *Storage) Remove(id model.PhotoID) {
-	p, ok := s.photos[id]
+	i, ok := s.index[id]
 	if !ok {
 		return
 	}
-	s.used -= p.Size
-	delete(s.photos, id)
+	s.used -= s.list[i].Size
+	copy(s.list[i:], s.list[i+1:])
+	s.list = s.list[:len(s.list)-1]
+	for j := i; j < len(s.list); j++ {
+		s.index[s.list[j].ID] = j
+	}
+	delete(s.index, id)
 	delete(s.copies, id)
-	delete(s.arrival, id)
 }
 
 // Copies returns the spray copy counter of a photo (0 if untracked).
@@ -107,17 +114,18 @@ func (s *Storage) SetCopies(id model.PhotoID, n int) {
 	}
 }
 
-// List returns the stored photos ordered by insertion (FIFO order).
+// List returns a copy of the stored photos ordered by insertion (FIFO
+// order). The copy is safe to hold while mutating the storage.
 func (s *Storage) List() model.PhotoList {
-	out := make(model.PhotoList, 0, len(s.photos))
-	for _, p := range s.photos {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		return s.arrival[out[i].ID] < s.arrival[out[j].ID]
-	})
+	out := make(model.PhotoList, len(s.list))
+	copy(out, s.list)
 	return out
 }
+
+// Photos returns the stored photos in insertion (FIFO) order without
+// copying. The slice is read-only and is invalidated by any mutation of the
+// storage — use List when removing or adding while iterating.
+func (s *Storage) Photos() model.PhotoList { return s.list }
 
 // ReplaceAll atomically replaces the whole collection (the reallocation
 // semantics of §III-D). It fails with ErrNoSpace if the new collection does
@@ -135,18 +143,17 @@ func (s *Storage) ReplaceAll(photos model.PhotoList) error {
 	if total > s.capacity {
 		return fmt.Errorf("%w: collection needs %d bytes, capacity %d", ErrNoSpace, total, s.capacity)
 	}
-	s.photos = make(map[model.PhotoID]model.Photo, len(photos))
+	s.list = s.list[:0]
+	s.index = make(map[model.PhotoID]int, len(photos))
 	s.copies = make(map[model.PhotoID]int)
-	s.arrival = make(map[model.PhotoID]int64, len(photos))
 	s.used = 0
 	for _, p := range photos {
 		if s.Has(p.ID) {
 			continue
 		}
-		s.photos[p.ID] = p
+		s.index[p.ID] = len(s.list)
+		s.list = append(s.list, p)
 		s.used += p.Size
-		s.arrival[p.ID] = s.nextSeq
-		s.nextSeq++
 	}
 	return nil
 }

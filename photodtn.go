@@ -132,7 +132,19 @@ type (
 	Alloc = selection.Alloc
 	// ReallocationResult is the outcome of the two-node greedy.
 	ReallocationResult = selection.Result
+	// SelectionSession owns the reusable buffers of the selection phase —
+	// evaluator, scenario overlays, compiled residuals, candidate arena,
+	// CELF heap, dedup maps — and recycles them across contacts. One session
+	// serves one goroutine at a time; selected photo lists it returns are
+	// freshly allocated and safe to keep.
+	SelectionSession = selection.Session
 )
+
+// NewSelectionSession returns an empty session. Long-lived callers that run
+// a selection per contact (as core.Scheme does) should hold one session and
+// call its Reallocate/SelectForUpload methods; the steady state then
+// allocates only the returned selections.
+func NewSelectionSession() *SelectionSession { return selection.NewSession() }
 
 // DefaultSelectionConfig returns the evaluation defaults, customised by any
 // unified options (e.g. WithObserver) that apply to the selection layer.
@@ -149,13 +161,15 @@ func ExpectedCoverage(m *Map, cfg SelectionConfig, ccPhotos PhotoList, parts []P
 	return selection.ExpectedCoverage(m, cfg, ccPhotos, parts)
 }
 
-// Reallocate runs the §III-D two-node greedy reallocation.
+// Reallocate runs the §III-D two-node greedy reallocation. It borrows a
+// pooled SelectionSession for the call; hold your own session when running
+// one selection per contact.
 func Reallocate(fpc *FootprintCache, cfg SelectionConfig, ccPhotos PhotoList, background []Participant, a, b Alloc) ReallocationResult {
 	return selection.Reallocate(fpc, cfg, ccPhotos, background, a, b)
 }
 
 // SelectForUpload orders a node's photos by marginal gain over the command
-// center's collection.
+// center's collection. It borrows a pooled SelectionSession for the call.
 func SelectForUpload(fpc *FootprintCache, cfg SelectionConfig, ccPhotos, nodePhotos PhotoList) PhotoList {
 	return selection.SelectForUpload(fpc, cfg, ccPhotos, nodePhotos)
 }
