@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos bench bench-runner bench-short bench-all bench-diff fuzz fuzz-short trace-demo
+.PHONY: tier1 build vet test race soak-short chaos bench bench-runner bench-short bench-all bench-diff fuzz fuzz-short trace-demo
 
 # tier1 is the merge gate: everything must pass before a change lands.
-tier1: build vet test race bench-short fuzz-short
+tier1: build vet test race soak-short bench-short fuzz-short
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ test:
 # race-runner focused targets.
 race:
 	$(GO) test -race ./...
+
+# soak-short is the concurrent-serving soak: one serving peer versus N
+# simultaneous dialers under the race detector — admission limiting, no
+# head-of-line blocking, digest convergence against a serialized reference,
+# and the fault-injection invariants (no duplicate or lost deliveries).
+soak-short:
+	$(GO) test -race -count=1 -run '^TestSoak' ./internal/peer/
 
 # chaos is the crash-recovery harness: it sweeps a kill across every
 # mutating disk operation of a durable peer's write sequence (clean and

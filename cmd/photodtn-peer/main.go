@@ -6,11 +6,13 @@
 //
 //	photodtn-peer -id N [-state-dir DIR] [-listen ADDR] [-dial ADDR]
 //	              [-photos N] [-storage-mb MB] [-snapshot-every N] [-seed S]
+//	              [-max-contacts N]
 //
-// With -listen the peer serves contacts until interrupted; with -dial it
-// contacts a remote peer once (both may be combined: serve after an initial
-// contact). The -photos flag captures synthetic photos through the
-// simulated phone pipeline before any contact.
+// With -listen the peer serves contacts until interrupted, handling up to
+// -max-contacts connections concurrently (excess accepts are rejected with
+// a clean abort); with -dial it contacts a remote peer once (both may be
+// combined: serve after an initial contact). The -photos flag captures
+// synthetic photos through the simulated phone pipeline before any contact.
 //
 // With -state-dir the peer is durable: photo admissions and contact
 // outcomes journal to the directory, and a restarted process recovers
@@ -46,14 +48,15 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("photodtn-peer", flag.ContinueOnError)
 	var (
-		id        = fs.Int("id", 1, "node ID (0 = command center)")
-		stateDir  = fs.String("state-dir", "", "journal directory; state survives restarts (empty = memory only)")
-		listen    = fs.String("listen", "", "serve contacts on this address until interrupted")
-		dial      = fs.String("dial", "", "contact the remote peer at this address")
-		photos    = fs.Int("photos", 0, "capture this many synthetic photos before contacting")
-		storageMB = fs.Int64("storage-mb", 64, "storage capacity in MB")
-		snapEvery = fs.Int("snapshot-every", 0, "checkpoint the journal every N contacts (0 = default)")
-		seed      = fs.Int64("seed", 1, "seed for the nonce stream and the synthetic camera")
+		id          = fs.Int("id", 1, "node ID (0 = command center)")
+		stateDir    = fs.String("state-dir", "", "journal directory; state survives restarts (empty = memory only)")
+		listen      = fs.String("listen", "", "serve contacts on this address until interrupted")
+		dial        = fs.String("dial", "", "contact the remote peer at this address")
+		photos      = fs.Int("photos", 0, "capture this many synthetic photos before contacting")
+		storageMB   = fs.Int64("storage-mb", 64, "storage capacity in MB")
+		snapEvery   = fs.Int("snapshot-every", 0, "checkpoint the journal every N contacts (0 = default)")
+		seed        = fs.Int64("seed", 1, "seed for the nonce stream and the synthetic camera")
+		maxContacts = fs.Int("max-contacts", 0, "serve at most N contacts concurrently (0 = 4×GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +74,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	opts := []photodtn.PeerOption{photodtn.WithSeed(*seed)}
 	if *snapEvery > 0 {
 		opts = append(opts, photodtn.WithSnapshotEvery(*snapEvery))
+	}
+	if *maxContacts > 0 {
+		opts = append(opts, photodtn.WithMaxContacts(*maxContacts))
 	}
 	var p *photodtn.Peer
 	if *stateDir != "" {

@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// closableBuf records whether the remote-facing Close fired.
+type closableBuf struct {
+	data   []byte
+	closed bool
+}
+
+func (b *closableBuf) Read(p []byte) (int, error) {
+	if len(b.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+func (b *closableBuf) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *closableBuf) Close() error {
+	b.closed = true
+	return nil
+}
+
+func TestKillTransportSchedule(t *testing.T) {
+	buf := &closableBuf{}
+	kt := NewKillTransport(buf, 3)
+
+	for i := 0; i < 2; i++ {
+		if _, err := kt.Write([]byte{byte(i)}); err != nil {
+			t.Fatalf("write %d before the schedule: %v", i+1, err)
+		}
+	}
+	if kt.Killed() {
+		t.Fatal("killed before the scheduled write")
+	}
+	if _, err := kt.Write([]byte{9}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("scheduled write: %v, want ErrKilled", err)
+	}
+	if !kt.Killed() {
+		t.Fatal("Killed() false after the schedule fired")
+	}
+	if !buf.closed {
+		t.Fatal("underlying closer not closed on kill")
+	}
+	if len(buf.data) != 2 {
+		t.Fatalf("killed write reached the transport: %d bytes", len(buf.data))
+	}
+	if _, err := kt.Read(make([]byte, 1)); !errors.Is(err, ErrKilled) {
+		t.Fatalf("read after kill: %v, want ErrKilled", err)
+	}
+	if _, err := kt.Write([]byte{9}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("write after kill: %v, want ErrKilled", err)
+	}
+}
+
+func TestKillTransportFloorsSchedule(t *testing.T) {
+	kt := NewKillTransport(&closableBuf{}, 0)
+	if _, err := kt.Write([]byte{1}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("first write with schedule 0: %v, want ErrKilled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"io"
 	"math/rand"
 	"sync"
@@ -67,6 +68,68 @@ func (t *Transport) Write(p []byte) (int, error) {
 		}
 		return n, err
 	}
+	return t.rw.Write(p)
+}
+
+// ErrKilled reports a connection ended by a KillTransport's schedule — the
+// live-path stand-in for a node dying (or walking out of radio range)
+// mid-contact.
+var ErrKilled = errors.New("faults: connection killed mid-contact")
+
+// KillTransport wraps an io.ReadWriter and kills the connection after a
+// fixed number of writes: the scheduled write and everything after it fail
+// with ErrKilled, and an underlying io.Closer is closed so the remote sees
+// the death too (EOF / reset) instead of waiting out its frame deadline.
+// It is the per-connection fault schedule the concurrent-serving suites
+// layer over N simultaneous dialers: each dialer dies at a different,
+// deterministic point of the contact protocol.
+type KillTransport struct {
+	rw io.ReadWriter
+
+	mu        sync.Mutex
+	remaining int
+	killed    bool
+}
+
+// NewKillTransport wraps rw; the connection dies on the writes-th write
+// (counting from 1). writes < 1 kills on the first write.
+func NewKillTransport(rw io.ReadWriter, writes int) *KillTransport {
+	if writes < 1 {
+		writes = 1
+	}
+	return &KillTransport{rw: rw, remaining: writes - 1}
+}
+
+// Killed reports whether the schedule has fired.
+func (t *KillTransport) Killed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.killed
+}
+
+// Read implements io.Reader; after the kill it fails with ErrKilled.
+func (t *KillTransport) Read(p []byte) (int, error) {
+	if t.Killed() {
+		return 0, ErrKilled
+	}
+	return t.rw.Read(p)
+}
+
+// Write implements io.Writer with the kill schedule.
+func (t *KillTransport) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	if !t.killed && t.remaining == 0 {
+		t.killed = true
+		if c, ok := t.rw.(io.Closer); ok {
+			_ = c.Close()
+		}
+	}
+	if t.killed {
+		t.mu.Unlock()
+		return 0, ErrKilled
+	}
+	t.remaining--
+	t.mu.Unlock()
 	return t.rw.Write(p)
 }
 

@@ -31,6 +31,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // File names inside a journal directory.
@@ -50,6 +51,11 @@ var (
 	ErrCorruptSnapshot = errors.New("journal: corrupt snapshot")
 	// ErrPayloadTooBig reports a record payload over MaxPayload.
 	ErrPayloadTooBig = errors.New("journal: payload exceeds MaxPayload")
+	// ErrConcurrentUse reports two overlapping Append/Checkpoint calls. The
+	// journal is a single-writer log by contract — the peer commits every
+	// contact under its own lock — so an overlap is a serialisation bug in
+	// the caller, caught here before it can interleave two records' bytes.
+	ErrConcurrentUse = errors.New("journal: concurrent use of single-writer log")
 )
 
 // MaxPayload bounds a record payload; larger appends are rejected and a
@@ -119,6 +125,18 @@ type Journal struct {
 	records []Record
 	stats   Stats
 	closed  bool
+	// writing guards the single-writer contract: it is raised for the
+	// duration of every Append/Checkpoint and trips ErrConcurrentUse when a
+	// second writer overlaps (see ErrConcurrentUse).
+	writing atomic.Bool
+}
+
+// enterWrite claims the single-writer slot; the caller must release it.
+func (j *Journal) enterWrite() error {
+	if !j.writing.CompareAndSwap(false, true) {
+		return ErrConcurrentUse
+	}
+	return nil
 }
 
 // Open opens (creating if needed) the journal in dir, recovering any
@@ -181,6 +199,10 @@ func (j *Journal) Seq() uint64 { return j.nextSeq - 1 }
 // the journal was opened with NoSync): when Append returns nil the record
 // is durable and will be replayed by the next Open.
 func (j *Journal) Append(typ byte, payload []byte) error {
+	if err := j.enterWrite(); err != nil {
+		return err
+	}
+	defer j.writing.Store(false)
 	if j.closed {
 		return ErrClosed
 	}
@@ -212,6 +234,10 @@ func (j *Journal) Append(typ byte, payload []byte) error {
 // old snapshot + full log recover; after the rename but before the log
 // reset, recovery skips the covered records by sequence number.
 func (j *Journal) Checkpoint(state []byte) error {
+	if err := j.enterWrite(); err != nil {
+		return err
+	}
+	defer j.writing.Store(false)
 	if j.closed {
 		return ErrClosed
 	}

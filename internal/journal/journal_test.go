@@ -292,3 +292,27 @@ func TestEmptyPayloadRoundTrips(t *testing.T) {
 		t.Fatalf("records = %+v", recs)
 	}
 }
+
+func TestSingleWriterGuard(t *testing.T) {
+	j := mustOpen(t, t.TempDir())
+	defer j.Close()
+
+	// Simulate an overlapping writer: with the write slot held, both Append
+	// and Checkpoint must refuse rather than interleave fsynced frames.
+	if !j.writing.CompareAndSwap(false, true) {
+		t.Fatal("write slot unexpectedly held")
+	}
+	if err := j.Append(1, []byte("x")); !errors.Is(err, ErrConcurrentUse) {
+		t.Fatalf("Append under held slot: %v, want ErrConcurrentUse", err)
+	}
+	if err := j.Checkpoint([]byte("snap")); !errors.Is(err, ErrConcurrentUse) {
+		t.Fatalf("Checkpoint under held slot: %v, want ErrConcurrentUse", err)
+	}
+	j.writing.Store(false)
+
+	// Slot released: normal operation resumes.
+	appendAll(t, j, "a")
+	if err := j.Checkpoint([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -150,6 +150,16 @@ func mergeCC(a, b Entry) Entry {
 	return out
 }
 
+// Clone returns a deep copy of the cache: same owner, threshold, and
+// entries (photo lists copied), sharing no mutable state with the original.
+func (c *Cache) Clone() *Cache {
+	out := &Cache{owner: c.owner, pthld: c.pthld, entries: make(map[model.NodeID]Entry, len(c.entries))}
+	for node, e := range c.entries {
+		out.entries[node] = cloneEntry(e)
+	}
+	return out
+}
+
 // Get returns the cached entry for a node, valid or not.
 func (c *Cache) Get(node model.NodeID) (Entry, bool) {
 	e, ok := c.entries[node]

@@ -57,6 +57,20 @@ func (r *RateEstimator) PeerRate(peer model.NodeID, now float64) float64 {
 // Contacts returns the total number of observed contacts.
 func (r *RateEstimator) Contacts() int { return r.total }
 
+// Clone returns an independent copy of the estimator.
+func (r *RateEstimator) Clone() *RateEstimator {
+	c := &RateEstimator{
+		started: r.started,
+		start:   r.start,
+		total:   r.total,
+		perPeer: make(map[model.NodeID]int, len(r.perPeer)),
+	}
+	for peer, n := range r.perPeer {
+		c.perPeer[peer] = n
+	}
+	return c
+}
+
 // RateSnapshot is a RateEstimator's serialisable state.
 type RateSnapshot struct {
 	// Started reports whether any contact has been observed.

@@ -70,6 +70,22 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add shifts the gauge by delta (CAS loop — safe for concurrent use). It
+// suits up/down quantities like in-flight contact sessions, where Set would
+// race between readers of the old value.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the last recorded value.
 func (g *Gauge) Value() float64 {
 	if g == nil {

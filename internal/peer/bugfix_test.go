@@ -1,0 +1,116 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"photodtn/internal/obs"
+)
+
+// scriptedListener feeds Accept a fixed sequence of errors and connections,
+// then reports net.ErrClosed.
+type scriptedListener struct {
+	mu    sync.Mutex
+	steps []any // error or net.Conn, consumed in order
+}
+
+func (l *scriptedListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.steps) == 0 {
+		return nil, net.ErrClosed
+	}
+	s := l.steps[0]
+	l.steps = l.steps[1:]
+	if err, ok := s.(error); ok {
+		return nil, err
+	}
+	return s.(net.Conn), nil
+}
+
+func (l *scriptedListener) Close() error   { return nil }
+func (l *scriptedListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zero} }
+
+// Regression: Serve treated every Accept error as "peer offline" and
+// returned, so a burst of EMFILE (fd pressure) or ECONNABORTED (remote gave
+// up in the backlog) took the node off the air. Transient accept failures
+// must be retried with capped backoff; the loop ends only on net.ErrClosed,
+// context cancellation, or a permanent error.
+func TestServeRetriesTransientAcceptErrors(t *testing.T) {
+	m := poiMap()
+	o := obs.New(0, nil)
+	cc := newTestPeer(t, 0, m, 0, WithObserver(o),
+		WithRetry(3, time.Millisecond, 4*time.Millisecond))
+
+	var slept []time.Duration
+	cc.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	serverSide, clientSide := net.Pipe()
+	_ = clientSide.Close() // the accepted contact fails instantly; that's fine
+	l := &scriptedListener{steps: []any{
+		&net.OpError{Op: "accept", Net: "tcp", Err: syscall.EMFILE},
+		&net.OpError{Op: "accept", Net: "tcp", Err: syscall.ECONNABORTED},
+		&net.OpError{Op: "accept", Net: "tcp", Err: syscall.EMFILE},
+		serverSide,
+	}}
+
+	if err := cc.Serve(l); err != nil {
+		t.Fatalf("Serve returned %v; transient accept errors must not end the loop", err)
+	}
+	if got := o.Counter("peer.accept_retries").Value(); got != 3 {
+		t.Fatalf("accept_retries = %d, want 3", got)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("backoff sleeps = %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff sleeps = %v, want %v (doubling, capped)", slept, want)
+		}
+	}
+}
+
+func TestServeStopsOnPermanentAcceptError(t *testing.T) {
+	m := poiMap()
+	cc := newTestPeer(t, 0, m, 0)
+	cc.sleep = func(time.Duration) {}
+	boom := errors.New("listener torn off")
+	l := &scriptedListener{steps: []any{boom}}
+	if err := cc.Serve(l); !errors.Is(err, boom) {
+		t.Fatalf("Serve = %v, want the permanent accept error", err)
+	}
+}
+
+// Regression: a contact that failed under a cancelled context reported
+// "contact interrupted: <ctx err>", swallowing the underlying IO error —
+// errors.Is could match context.Canceled or the real cause, never both.
+// The wrap now joins them.
+func TestInterruptedContactJoinsBothCauses(t *testing.T) {
+	m := poiMap()
+	n := newTestPeer(t, 1, m, 20*mb, WithRetry(1, time.Millisecond, time.Millisecond))
+	n.sleep = func(time.Duration) {}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the deadline poison fires before the hello
+
+	a, b := net.Pipe()
+	defer func() { _ = b.Close() }()
+	n.dial = func(context.Context, string) (net.Conn, error) { return a, nil }
+
+	err := n.DialContext(ctx, "unused:0")
+	if err == nil {
+		t.Fatal("contact under a cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not match context.Canceled", err)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, does not match the underlying ErrTimeout", err)
+	}
+}

@@ -259,78 +259,31 @@ func (p *Peer) openJournal() error {
 	return nil
 }
 
-// --- journaling hooks (no-ops for memory-only peers) ---
+// --- sub-record payload encoders (shared by sessions and replay tests) ---
 
-// pendingSub frames one sub-record into the in-flight contact batch.
-func (p *Peer) pendingSub(kind byte, payload []byte) {
-	if p.jnl == nil {
-		return
-	}
-	p.pending = append(p.pending, kind)
-	p.pending = binary.LittleEndian.AppendUint32(p.pending, uint32(len(payload)))
-	p.pending = append(p.pending, payload...)
-}
-
-func (p *Peer) logEncounter(peer model.NodeID, now, deliveryProb float64) {
-	if p.jnl == nil {
-		return
-	}
+func encodeEncounter(peer model.NodeID, now, deliveryProb float64) []byte {
 	buf := make([]byte, 0, 4+8+8)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(peer))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(now))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(deliveryProb))
-	p.pendingSub(subEncounter, buf)
+	return buf
 }
 
-func (p *Peer) logMetaPut(e metadata.Entry) {
-	if p.jnl == nil {
-		return
-	}
-	p.pendingSub(subMetaPut, wire.AppendMetaEntry(nil, wire.MetaEntry{
-		Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
-	}))
+func encodeMetaDrop(now float64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, math.Float64bits(now))
 }
 
-func (p *Peer) logMetaDrop(now float64) {
-	if p.jnl == nil {
-		return
-	}
-	p.pendingSub(subMetaDrop, binary.LittleEndian.AppendUint64(nil, math.Float64bits(now)))
-}
-
-func (p *Peer) logStoreReplace(final model.PhotoList) {
-	if p.jnl == nil {
-		return
-	}
-	p.pendingSub(subStoreReplace, final.AppendBinary(nil))
-}
-
-func (p *Peer) logStoreAdd(photo model.Photo) {
-	if p.jnl == nil {
-		return
-	}
-	p.pendingSub(subStoreAdd, photo.AppendBinary(nil))
-}
-
-func (p *Peer) logAckDelivered(session float64, acked model.PhotoList) {
-	if p.jnl == nil {
-		return
-	}
+func encodeAckDelivered(session float64, acked model.PhotoList) []byte {
 	buf := binary.LittleEndian.AppendUint64(nil, math.Float64bits(session))
-	p.pendingSub(subAckDelivered, acked.AppendBinary(buf))
+	return acked.AppendBinary(buf)
 }
 
-// commitContactLocked appends the in-flight contact batch as one atomic
-// record. A failure poisons the peer: its memory state now leads its
-// durable state, and pretending otherwise would undo the journal's
-// guarantees.
-func (p *Peer) commitContactLocked() error {
+// noteCommitLocked does the bookkeeping after a contact commit's journal
+// append succeeded (or for a memory-only peer, after its in-memory apply):
+// commit counters and the periodic snapshot compaction.
+func (p *Peer) noteCommitLocked() error {
 	if p.jnl == nil {
 		return nil
-	}
-	if err := p.jnl.Append(recContactCommit, p.pending); err != nil {
-		p.journalErr = fmt.Errorf("%w: commit contact: %w", ErrJournal, err)
-		return p.journalErr
 	}
 	p.commits++
 	p.sinceSnap++
@@ -502,7 +455,7 @@ func (p *Peer) replayRecord(rec journal.Record) error {
 		}
 		return nil
 	case recContactCommit:
-		if err := p.replayContact(rec.Payload); err != nil {
+		if err := p.peerState.applyOps(rec.Payload); err != nil {
 			return err
 		}
 		p.commits++
@@ -512,8 +465,12 @@ func (p *Peer) replayRecord(rec journal.Record) error {
 	}
 }
 
-// replayContact applies a contact commit's sub-records in order.
-func (p *Peer) replayContact(buf []byte) error {
+// applyOps applies a framed batch of contact sub-records in order. It is
+// the single mutation path shared by crash recovery (replaying journaled
+// commits), a session's private clone (mutations recorded mid-contact), and
+// the live commit (re-applying the session's ops under the peer lock) — so
+// a recovered peer converges on the same state the live path produced.
+func (st peerState) applyOps(buf []byte) error {
 	for len(buf) > 0 {
 		if len(buf) < 5 {
 			return fmt.Errorf("contact sub-record header: %d bytes", len(buf))
@@ -526,14 +483,15 @@ func (p *Peer) replayContact(buf []byte) error {
 		}
 		payload := buf[:n]
 		buf = buf[n:]
-		if err := p.replaySub(kind, payload); err != nil {
+		if err := st.apply(kind, payload); err != nil {
 			return fmt.Errorf("contact sub-record %d: %w", kind, err)
 		}
 	}
 	return nil
 }
 
-func (p *Peer) replaySub(kind byte, payload []byte) error {
+// apply executes one contact sub-record against the state bundle.
+func (st peerState) apply(kind byte, payload []byte) error {
 	switch kind {
 	case subEncounter:
 		if len(payload) != 4+8+8 {
@@ -542,9 +500,9 @@ func (p *Peer) replaySub(kind byte, payload []byte) error {
 		peer := model.NodeID(binary.LittleEndian.Uint32(payload))
 		now := math.Float64frombits(binary.LittleEndian.Uint64(payload[4:]))
 		dp := math.Float64frombits(binary.LittleEndian.Uint64(payload[12:]))
-		p.rate.Observe(peer, now)
-		p.table.Encounter(peer, now)
-		p.table.Transitive(peer, map[model.NodeID]float64{model.CommandCenter: dp})
+		st.rate.Observe(peer, now)
+		st.table.Encounter(peer, now)
+		st.table.Transitive(peer, map[model.NodeID]float64{model.CommandCenter: dp})
 		return nil
 	case subMetaPut:
 		e, rest, err := wire.DecodeMetaEntry(payload)
@@ -554,7 +512,7 @@ func (p *Peer) replaySub(kind byte, payload []byte) error {
 		if len(rest) != 0 {
 			return fmt.Errorf("%d trailing bytes", len(rest))
 		}
-		p.cache.Put(metadata.Entry{
+		st.cache.Put(metadata.Entry{
 			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
 		})
 		return nil
@@ -562,7 +520,7 @@ func (p *Peer) replaySub(kind byte, payload []byte) error {
 		if len(payload) != 8 {
 			return fmt.Errorf("drop payload %d bytes", len(payload))
 		}
-		p.cache.DropInvalid(math.Float64frombits(binary.LittleEndian.Uint64(payload)))
+		st.cache.DropInvalid(math.Float64frombits(binary.LittleEndian.Uint64(payload)))
 		return nil
 	case subStoreReplace:
 		final, rest, err := model.DecodePhotoList(payload)
@@ -572,7 +530,7 @@ func (p *Peer) replaySub(kind byte, payload []byte) error {
 		if len(rest) != 0 {
 			return fmt.Errorf("%d trailing bytes", len(rest))
 		}
-		return p.store.ReplaceAll(final)
+		return st.store.ReplaceAll(final)
 	case subStoreAdd:
 		photo, rest, err := model.DecodePhoto(payload)
 		if err != nil {
@@ -581,7 +539,7 @@ func (p *Peer) replaySub(kind byte, payload []byte) error {
 		if len(rest) != 0 {
 			return fmt.Errorf("%d trailing bytes", len(rest))
 		}
-		return p.store.Add(photo)
+		return st.store.Add(photo)
 	case subAckDelivered:
 		if len(payload) < 8 {
 			return fmt.Errorf("ack payload %d bytes", len(payload))
@@ -595,9 +553,9 @@ func (p *Peer) replaySub(kind byte, payload []byte) error {
 			return fmt.Errorf("%d trailing bytes", len(rest))
 		}
 		for _, photo := range acked {
-			p.store.Remove(photo.ID)
+			st.store.Remove(photo.ID)
 		}
-		p.cache.Put(metadata.Entry{
+		st.cache.Put(metadata.Entry{
 			Node:      model.CommandCenter,
 			Photos:    acked,
 			Timestamp: session,

@@ -229,3 +229,22 @@ func transient(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
 }
+
+// transientAccept reports whether a listener Accept failure is transient —
+// a per-connection or resource-pressure hiccup the serve loop should ride
+// out with backoff rather than take the whole peer offline. Everything
+// else (notably net.ErrClosed and context cancellation) ends the loop.
+func transientAccept(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, syscall.ECONNABORTED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EMFILE),
+		errors.Is(err, syscall.ENFILE),
+		errors.Is(err, syscall.EINTR):
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -9,6 +9,11 @@
 // (exchanged over the wire) and a shared seed (XOR of the hello nonces)
 // into the same greedy, so they arrive at the same plan without a
 // leader-election round.
+//
+// A peer serves contacts concurrently: each accepted connection runs as an
+// independent session against a snapshot of the peer's state and commits
+// its effects in one short critical section with conflict validation (see
+// session.go and DESIGN.md). WithMaxContacts bounds the concurrency.
 package peer
 
 import (
@@ -19,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +92,15 @@ func WithSeed(seed int64) Option {
 	return optionFunc(func(p *Peer) { p.rng = rand.New(rand.NewSource(seed)) })
 }
 
+// WithMaxContacts bounds how many accepted contacts the peer serves
+// concurrently (default 4×GOMAXPROCS). An accept over the limit is rejected
+// with a clean abort — the connection is closed before any protocol byte,
+// so the remote fails its hello and retries later — never queued behind
+// running sessions. n < 1 restores the default.
+func WithMaxContacts(n int) Option {
+	return optionFunc(func(p *Peer) { p.maxContacts = n })
+}
+
 // WithObserver instruments the peer: contact/retry/abort counters, the
 // selection subsystem's metrics, and session-abort trace events. A nil
 // observer (the default) keeps every instrumentation site a no-op.
@@ -97,24 +112,51 @@ func WithObserver(o *obs.Observer) Option {
 	return optionFunc(func(p *Peer) { p.obsv = o })
 }
 
+// peerState bundles the mutable protocol state a contact reads and writes:
+// the photo store, the metadata cache, the learned contact rate, and the
+// PROPHET table. Sessions clone it at snapshot time and the commit path
+// applies their op logs back to the shared copy (session.go); recovery
+// replays journal records through the same apply code (durable.go).
+type peerState struct {
+	store *sim.Storage
+	cache *metadata.Cache
+	rate  *metadata.RateEstimator
+	table *prophet.Table
+}
+
+// clone deep-copies the protocol state for a session snapshot.
+func (st peerState) clone() peerState {
+	return peerState{
+		store: st.store.Clone(),
+		cache: st.cache.Clone(),
+		rate:  st.rate.Clone(),
+		table: st.table.Clone(),
+	}
+}
+
 // Peer is a live framework node. All exported methods are safe for
-// concurrent use; a peer serialises its contacts, as a single-radio device
-// would.
+// concurrent use. Contacts run as concurrent sessions: each plans against a
+// snapshot of the peer's state and commits under the peer lock in one short
+// critical section, so a stalled remote never head-of-line-blocks the node.
 type Peer struct {
 	id  model.NodeID
 	fpc *coverage.FootprintCache
 
-	mu      sync.Mutex
-	store   *sim.Storage
-	cache   *metadata.Cache
-	rate    *metadata.RateEstimator
-	table   *prophet.Table
+	// mu guards the shared protocol state below. It is held only for short
+	// snapshot/commit critical sections, never across contact IO.
+	mu sync.Mutex
+	peerState
 	selCfg  selection.Config
 	pthld   float64
 	clock   func() float64
 	payload int
 	rng     *rand.Rand
 	start   time.Time
+	// storeGen counts committed mutations of the photo store (guarded by
+	// mu). Sessions remember the generation they snapshotted; a commit that
+	// would replace the collection re-plans or aborts when the generation
+	// moved (see session.commit).
+	storeGen uint64
 
 	// Hardening knobs (see harden.go).
 	frameTimeout   time.Duration
@@ -130,11 +172,21 @@ type Peer struct {
 	lastContactErr error
 	serving        atomic.Bool
 
+	// Concurrency accounting: maxContacts bounds serve-side admissions
+	// (active), inflight counts every live session (served + dialled).
+	maxContacts int
+	active      atomic.Int64
+	inflight    atomic.Int64
+
 	// Observability (nil — no-op — unless WithObserver is given).
-	obsv      *obs.Observer
-	cContacts *obs.Counter
-	cRetries  *obs.Counter
-	cAborts   *obs.Counter
+	obsv           *obs.Observer
+	cContacts      *obs.Counter
+	cRetries       *obs.Counter
+	cAborts        *obs.Counter
+	cConflicts     *obs.Counter
+	cRejects       *obs.Counter
+	cAcceptRetries *obs.Counter
+	gInflight      *obs.Gauge
 
 	// Durability (zero — memory-only — unless WithJournal is given; see
 	// durable.go).
@@ -142,7 +194,6 @@ type Peer struct {
 	jfs        journal.FS
 	jnl        *journal.Journal
 	journalErr error
-	pending    []byte // framed sub-records of the contact in flight
 	commits    uint64 // durably committed contacts, recovered + live
 	snapEvery  int
 	sinceSnap  int
@@ -154,9 +205,6 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 	p := &Peer{
 		id:     id,
 		fpc:    coverage.NewFootprintCache(m),
-		cache:  nil, // set below, after pthld is known
-		rate:   metadata.NewRateEstimator(),
-		table:  prophet.NewTable(id, prophet.DefaultConfig()),
 		selCfg: selection.DefaultConfig(),
 		pthld:  metadata.DefaultPthld,
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
@@ -170,6 +218,8 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 
 		snapEvery: DefaultSnapshotEvery,
 	}
+	p.rate = metadata.NewRateEstimator()
+	p.table = prophet.NewTable(id, prophet.DefaultConfig())
 	if id.IsCommandCenter() {
 		capacity = math.MaxInt64 / 4
 	}
@@ -186,10 +236,17 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 			return d.DialContext(ctx, "tcp", addr)
 		}
 	}
+	if p.maxContacts < 1 {
+		p.maxContacts = 4 * runtime.GOMAXPROCS(0)
+	}
 	p.cache = metadata.NewCache(id, p.pthld)
 	p.cContacts = p.obsv.Counter("peer.contacts")
 	p.cRetries = p.obsv.Counter("peer.contact_retries")
 	p.cAborts = p.obsv.Counter("peer.contact_aborts")
+	p.cConflicts = p.obsv.Counter("peer.commit_conflicts")
+	p.cRejects = p.obsv.Counter("peer.admission_rejected")
+	p.cAcceptRetries = p.obsv.Counter("peer.accept_retries")
+	p.gInflight = p.obsv.Gauge("peer.contacts_inflight")
 	p.selCfg.Metrics = selection.ObserverMetrics(p.obsv)
 	p.fpc.SetMetrics(p.obsv.Counter("coverage.fp_cache_hits"), p.obsv.Counter("coverage.fp_cache_misses"))
 	if p.stateDir != "" {
@@ -203,6 +260,9 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 
 // ID returns the peer's node ID.
 func (p *Peer) ID() model.NodeID { return p.id }
+
+// MaxContacts returns the serve-side admission limit (see WithMaxContacts).
+func (p *Peer) MaxContacts() int { return p.maxContacts }
 
 // AddPhoto stores a locally taken photo (rejecting it if it cannot fit).
 // Durable peers journal the admission before reporting success.
@@ -222,6 +282,7 @@ func (p *Peer) AddPhoto(photo model.Photo) error {
 			return fmt.Errorf("peer %v: %w", p.id, p.journalErr)
 		}
 	}
+	p.storeGen++
 	return nil
 }
 
@@ -248,20 +309,29 @@ func (p *Peer) DeliveryProb() float64 {
 	return p.table.DeliveryProb(p.clock())
 }
 
-// Serve accepts contacts on the listener until it is closed, handling each
-// connection sequentially (a node has one radio). A contact that fails —
+// InflightContacts returns how many contact sessions (served + dialled) are
+// currently running.
+func (p *Peer) InflightContacts() int { return int(p.inflight.Load()) }
+
+// Serve accepts contacts on the listener until it is closed, handling up to
+// MaxContacts connections concurrently (admission beyond that is rejected
+// by closing the connection — see WithMaxContacts). A contact that fails —
 // timeout, corruption, protocol violation — is recorded (ContactErrors,
 // LastContactError) and the peer keeps serving: one misbehaving or stalled
-// remote must not take the node offline. It is a ServeContext with the
-// background context: it runs until the caller closes the listener.
+// remote must not take the node offline. Transient accept failures (EMFILE,
+// ECONNABORTED, ...) are retried with capped backoff; only net.ErrClosed,
+// context cancellation, or a permanent error end the loop. It is a
+// ServeContext with the background context: it runs until the caller closes
+// the listener.
 func (p *Peer) Serve(l net.Listener) error {
 	return p.ServeContext(context.Background(), l)
 }
 
 // ServeContext is Serve under a context: cancelling ctx closes the listener,
-// interrupts the contact in progress (its connection is deadline-poisoned),
-// and returns ctx's error. Closing the listener directly still stops the
-// loop with a nil error, exactly like Serve.
+// interrupts the contacts in progress (their connections are
+// deadline-poisoned), and returns ctx's error after the in-flight sessions
+// drain. Closing the listener directly still stops the loop with a nil
+// error, exactly like Serve.
 func (p *Peer) ServeContext(ctx context.Context, l net.Listener) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -272,6 +342,9 @@ func (p *Peer) ServeContext(ctx context.Context, l net.Listener) error {
 	defer p.serving.Store(false)
 	stop := context.AfterFunc(ctx, func() { _ = l.Close() })
 	defer stop()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	backoff := p.retryBase
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -281,12 +354,53 @@ func (p *Peer) ServeContext(ctx context.Context, l net.Listener) error {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
+			if transientAccept(err) {
+				// EMFILE, ECONNABORTED and friends starve themselves out;
+				// returning here would take the whole node offline over a
+				// burst of them.
+				p.cAcceptRetries.Inc()
+				if werr := p.wait(ctx, backoff); werr != nil {
+					return fmt.Errorf("peer %v: serve interrupted: %w", p.id, werr)
+				}
+				backoff *= 2
+				if backoff > p.retryMax {
+					backoff = p.retryMax
+				}
+				continue
+			}
 			return fmt.Errorf("peer %v: accept: %w", p.id, err)
 		}
-		err = p.contactCancellable(ctx, conn, false)
-		_ = conn.Close()
-		if err != nil && !errors.Is(err, io.EOF) {
-			p.noteContactError(err)
+		backoff = p.retryBase
+		if !p.admitContact() {
+			// Over the limit: reject cleanly rather than queue. The remote
+			// sees its hello fail and treats it like any aborted contact.
+			p.cRejects.Inc()
+			_ = conn.Close()
+			continue
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer p.active.Add(-1)
+			err := p.contactCancellable(ctx, conn, false)
+			_ = conn.Close()
+			if err != nil && !errors.Is(err, io.EOF) {
+				p.noteContactError(err)
+			}
+		}(conn)
+	}
+}
+
+// admitContact claims a serve-side concurrency slot (released by the
+// session goroutine).
+func (p *Peer) admitContact() bool {
+	for {
+		n := p.active.Load()
+		if n >= int64(p.maxContacts) {
+			return false
+		}
+		if p.active.CompareAndSwap(n, n+1) {
+			return true
 		}
 	}
 }
@@ -294,8 +408,8 @@ func (p *Peer) ServeContext(ctx context.Context, l net.Listener) error {
 // Contact dials the address and initiates a contact, retrying transient
 // dial/IO failures with capped exponential backoff (see WithRetry). A
 // contact abort is safe to retry from scratch: storage mutations are
-// atomic at contact end, so a failed attempt leaves no partial state. It is
-// a DialContext with the background context.
+// atomic at contact commit, so a failed attempt leaves no partial state. It
+// is a DialContext with the background context.
 func (p *Peer) Contact(addr string) error {
 	return p.DialContext(context.Background(), addr)
 }
@@ -303,7 +417,8 @@ func (p *Peer) Contact(addr string) error {
 // DialContext is Contact under a context: the dial honours ctx, a
 // cancellation mid-contact poisons the connection's deadline so the contact
 // aborts at its next frame, and backoff sleeps between retries end early.
-// On cancellation the returned error wraps ctx's error.
+// On cancellation the returned error wraps ctx's error alongside the
+// underlying failure, so errors.Is matches both.
 func (p *Peer) DialContext(ctx context.Context, addr string) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -318,8 +433,9 @@ func (p *Peer) DialContext(ctx context.Context, addr string) error {
 		err = p.contactOnce(ctx, addr)
 		if cerr := ctx.Err(); cerr != nil && err != nil {
 			// The failure happened under a cancelled context — report the
-			// cancellation, not whatever IO error it surfaced as.
-			err = fmt.Errorf("peer %v: contact interrupted: %w", p.id, cerr)
+			// cancellation joined with the IO error it surfaced as, so
+			// callers can match either cause.
+			err = fmt.Errorf("peer %v: contact interrupted: %w", p.id, errors.Join(cerr, err))
 			p.noteContactError(err)
 			return err
 		}
@@ -332,7 +448,7 @@ func (p *Peer) DialContext(ctx context.Context, addr string) error {
 		}
 		p.cRetries.Inc()
 		if werr := p.wait(ctx, backoff); werr != nil {
-			err = fmt.Errorf("peer %v: contact interrupted: %w", p.id, werr)
+			err = fmt.Errorf("peer %v: contact interrupted: %w", p.id, errors.Join(werr, err))
 			p.noteContactError(err)
 			return err
 		}
@@ -354,7 +470,9 @@ func (p *Peer) contactOnce(ctx context.Context, addr string) error {
 
 // contactCancellable runs one contact, poisoning the connection's deadline
 // the moment ctx is cancelled so a blocked frame read/write fails promptly
-// instead of waiting out its frame timeout.
+// instead of waiting out its frame timeout. A failure under a cancelled
+// context reports both causes — the cancellation and the IO/protocol error
+// it surfaced as — joined, so errors.Is matches either.
 func (p *Peer) contactCancellable(ctx context.Context, conn net.Conn, initiator bool) error {
 	if ctx.Done() != nil {
 		stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Now()) })
@@ -362,7 +480,7 @@ func (p *Peer) contactCancellable(ctx context.Context, conn net.Conn, initiator 
 	}
 	err := p.ContactConn(conn, initiator)
 	if cerr := ctx.Err(); cerr != nil && err != nil {
-		return fmt.Errorf("peer %v: contact interrupted: %w", p.id, cerr)
+		return fmt.Errorf("peer %v: contact interrupted: %w", p.id, errors.Join(cerr, err))
 	}
 	return err
 }
@@ -391,381 +509,39 @@ func (p *Peer) wait(ctx context.Context, d time.Duration) error {
 // timeout, so a stalled remote ends the contact with ErrTimeout instead of
 // hanging. Any mid-contact failure aborts gracefully: unfinished transfers
 // are discarded and the peer's storage and metadata caches stay exactly as
-// the protocol last committed them.
+// the last committed session left them — an aborted session leaves no
+// partial state, in memory or on disk.
 func (p *Peer) ContactConn(conn io.ReadWriter, initiator bool) error {
 	conn = newTimedConn(conn, p.frameTimeout, p.contactTimeout)
-	if err := p.contactConn(conn, initiator); err != nil {
+	if err := p.runContact(conn, initiator); err != nil {
 		return fmt.Errorf("peer %v: contact aborted: %w", p.id, err)
 	}
 	return nil
 }
 
-// contactConn brackets one contact session with the durability protocol:
-// sub-records accumulated while the session mutates state are committed as
-// one atomic journal record when — and only when — the session succeeds. An
-// aborted contact leaves no durable trace, exactly mirroring the in-memory
-// graceful-abort semantics.
-func (p *Peer) contactConn(conn io.ReadWriter, initiator bool) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.journalErr != nil {
-		return p.journalErr
-	}
-	p.pending = p.pending[:0]
-	err := p.contactSession(conn, initiator)
-	if err == nil {
-		err = p.commitContactLocked()
-	}
-	p.pending = p.pending[:0]
-	return err
-}
-
-func (p *Peer) contactSession(conn io.ReadWriter, initiator bool) error {
-	p.cContacts.Inc()
-	now := p.clock()
-
-	mine := wire.Hello{
-		Node:         p.id,
-		Lambda:       p.rate.Rate(now),
-		DeliveryProb: p.deliveryProbLocked(now),
-		Time:         now,
-		Nonce:        p.rng.Uint64(),
-		Capacity:     p.store.Capacity(),
-	}
-	var theirs wire.Hello
-	if initiator {
-		if err := wire.Write(conn, mine); err != nil {
-			return err
-		}
-		h, err := readAs[wire.Hello](conn)
-		if err != nil {
-			return err
-		}
-		theirs = h
-	} else {
-		h, err := readAs[wire.Hello](conn)
-		if err != nil {
-			return err
-		}
-		theirs = h
-		if err := wire.Write(conn, mine); err != nil {
-			return err
-		}
-	}
-	// Use a shared session clock so both sides make identical validity and
-	// selection decisions.
-	session := math.Max(mine.Time, theirs.Time)
-
-	p.rate.Observe(theirs.Node, now)
-	p.table.Encounter(theirs.Node, now)
-	// Transitivity through the peer toward the command center, using the
-	// advertised predictability.
-	p.table.Transitive(theirs.Node, map[model.NodeID]float64{model.CommandCenter: theirs.DeliveryProb})
-	p.logEncounter(theirs.Node, now, theirs.DeliveryProb)
-
-	// Metadata exchange: own collection first, then gossiped cache entries.
-	// Strict turn-taking (initiator writes first) keeps the protocol
-	// deadlock-free even over unbuffered transports.
-	var md wire.Metadata
-	if initiator {
-		if err := wire.Write(conn, p.metadataLocked(session)); err != nil {
-			return err
-		}
-		m, err := readAs[wire.Metadata](conn)
-		if err != nil {
-			return err
-		}
-		md = m
-	} else {
-		m, err := readAs[wire.Metadata](conn)
-		if err != nil {
-			return err
-		}
-		if err := wire.Write(conn, p.metadataLocked(session)); err != nil {
-			return err
-		}
-		md = m
-	}
-	peerPhotos := p.absorbMetadata(theirs, md, session)
-
-	switch {
-	case theirs.Node.IsCommandCenter():
-		return p.uploadLocked(conn, session)
-	case p.id.IsCommandCenter():
-		return p.receiveUploadLocked(conn)
-	default:
-		return p.reallocateLocked(conn, initiator, mine, theirs, peerPhotos, session)
-	}
-}
-
-func (p *Peer) deliveryProbLocked(now float64) float64 {
-	if p.id.IsCommandCenter() {
-		return 1
-	}
-	return p.table.DeliveryProb(now)
-}
-
-// metadataLocked builds the metadata message: self entry first, then the
-// valid cache entries.
-func (p *Peer) metadataLocked(session float64) wire.Metadata {
-	md := wire.Metadata{Entries: []wire.MetaEntry{{
-		Node:      p.id,
-		Lambda:    p.rate.Rate(session),
-		P:         p.deliveryProbLocked(session),
-		Timestamp: session,
-		Photos:    p.store.List(),
-	}}}
-	for _, e := range p.cache.ValidEntries(session) {
-		md.Entries = append(md.Entries, wire.MetaEntry{
-			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
-		})
-	}
-	return md
-}
-
-// absorbMetadata stores the peer's snapshot and gossip, returning the
-// peer's own collection.
-func (p *Peer) absorbMetadata(h wire.Hello, md wire.Metadata, session float64) model.PhotoList {
-	var peerPhotos model.PhotoList
-	for i, e := range md.Entries {
-		entry := metadata.Entry{
-			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
-		}
-		if i == 0 && e.Node == h.Node {
-			peerPhotos = e.Photos
-			entry.Timestamp = session
-		}
-		p.cache.Put(entry)
-		p.logMetaPut(entry)
-	}
-	p.cache.DropInvalid(session)
-	p.logMetaDrop(session)
-	return peerPhotos
-}
-
-// reallocateLocked runs the §III-D exchange with a fellow participant.
-func (p *Peer) reallocateLocked(conn io.ReadWriter, initiator bool, mine, theirs wire.Hello, peerPhotos model.PhotoList, session float64) error {
-	selCfg := p.selCfg
-	selCfg.Seed = int64(mine.Nonce ^ theirs.Nonce)
-
-	var ccPhotos model.PhotoList
-	var background []selection.Participant
-	for _, e := range p.cache.ValidEntries(session) {
-		switch {
-		case e.Node.IsCommandCenter():
-			ccPhotos = e.Photos
-		case e.Node == p.id || e.Node == theirs.Node:
-			// The live collections are already in the allocs.
-		default:
-			background = append(background, selection.Participant{Node: e.Node, Photos: e.Photos, P: e.P})
-		}
-	}
-
-	// Both sides order the allocs identically (initiator first) so the
-	// jointly-seeded greedy is bit-for-bit reproducible.
-	myAlloc := selection.Alloc{Node: p.id, P: mine.DeliveryProb, Capacity: p.store.Capacity(), Photos: p.store.List()}
-	peerAlloc := selection.Alloc{Node: theirs.Node, P: theirs.DeliveryProb, Capacity: theirs.Capacity, Photos: peerPhotos}
-	var res selection.Result
-	var mySel model.PhotoList
-	if initiator {
-		res = selection.Reallocate(p.fpc, selCfg, ccPhotos, background, myAlloc, peerAlloc)
-		mySel = res.ASel
-	} else {
-		res = selection.Reallocate(p.fpc, selCfg, ccPhotos, background, peerAlloc, myAlloc)
-		mySel = res.BSel
-	}
-
-	// Request the selected photos this node lacks.
-	var want []model.PhotoID
-	for _, photo := range mySel {
-		if !p.store.Has(photo.ID) {
-			want = append(want, photo.ID)
-		}
-	}
-	if initiator {
-		if err := wire.Write(conn, wire.PhotoRequest{IDs: want}); err != nil {
-			return err
-		}
-		theirReq, err := readAs[wire.PhotoRequest](conn)
-		if err != nil {
-			return err
-		}
-		if err := p.sendPhotos(conn, theirReq.IDs); err != nil {
-			return err
-		}
-		received, err := p.receivePhotos(conn)
-		if err != nil {
-			return err
-		}
-		return p.applyPlan(conn, mySel, received, true)
-	}
-	theirReq, err := readAs[wire.PhotoRequest](conn)
+// runContact brackets one contact with the session protocol: snapshot the
+// peer state, run the wire exchange against the snapshot, and commit the
+// session's op log in one short critical section (session.go). The journal
+// sees exactly one record per committed contact, appended under the peer
+// lock — the single-writer WAL discipline of durable.go is unchanged.
+func (p *Peer) runContact(conn io.ReadWriter, initiator bool) error {
+	s, err := p.beginSession()
 	if err != nil {
 		return err
 	}
-	if err := wire.Write(conn, wire.PhotoRequest{IDs: want}); err != nil {
+	p.inflight.Add(1)
+	p.gInflight.Add(1)
+	defer func() {
+		p.inflight.Add(-1)
+		p.gInflight.Add(-1)
+	}()
+	if err := s.run(conn, initiator); err != nil {
 		return err
 	}
-	received, err := p.receivePhotos(conn)
-	if err != nil {
-		return err
+	if s.committed {
+		return nil
 	}
-	if err := p.sendPhotos(conn, theirReq.IDs); err != nil {
-		return err
-	}
-	return p.applyPlan(conn, mySel, received, false)
-}
-
-// applyPlan replaces the collection with the selection (kept ∪ received)
-// and closes the contact.
-func (p *Peer) applyPlan(conn io.ReadWriter, sel model.PhotoList, received map[model.PhotoID]model.Photo, initiator bool) error {
-	final := make(model.PhotoList, 0, len(sel))
-	for _, photo := range sel {
-		if p.store.Has(photo.ID) {
-			final = append(final, photo)
-		} else if got, ok := received[photo.ID]; ok {
-			final = append(final, got)
-		}
-	}
-	if err := p.store.ReplaceAll(final); err != nil {
-		return fmt.Errorf("peer %v: apply plan: %w", p.id, err)
-	}
-	p.logStoreReplace(final)
-	if initiator {
-		if err := wire.Write(conn, wire.Bye{}); err != nil {
-			return err
-		}
-		_, err := readAs[wire.Bye](conn)
-		return err
-	}
-	if _, err := readAs[wire.Bye](conn); err != nil {
-		return err
-	}
-	return wire.Write(conn, wire.Bye{})
-}
-
-// sendPhotos streams the requested photos this node holds, terminated by an
-// Ack listing what was actually sent.
-func (p *Peer) sendPhotos(conn io.ReadWriter, ids []model.PhotoID) error {
-	var sent []model.PhotoID
-	for _, id := range ids {
-		photo, ok := p.store.Get(id)
-		if !ok {
-			continue
-		}
-		data := wire.PhotoData{Photo: photo}
-		if p.payload > 0 {
-			data.Payload = make([]byte, p.payload)
-		}
-		if err := wire.Write(conn, data); err != nil {
-			return err
-		}
-		sent = append(sent, id)
-	}
-	return wire.Write(conn, wire.Ack{IDs: sent})
-}
-
-// receivePhotos reads PhotoData frames until the terminating Ack.
-func (p *Peer) receivePhotos(conn io.ReadWriter) (map[model.PhotoID]model.Photo, error) {
-	out := make(map[model.PhotoID]model.Photo)
-	for {
-		msg, err := wire.Read(conn)
-		if err != nil {
-			return nil, err
-		}
-		switch m := msg.(type) {
-		case wire.PhotoData:
-			out[m.Photo.ID] = m.Photo
-		case wire.Ack:
-			return out, nil
-		default:
-			return nil, fmt.Errorf("%w: %v during photo transfer", ErrProtocol, msg.Type())
-		}
-	}
-}
-
-// uploadLocked sends the command center the photos that improve its
-// coverage, in marginal-gain order, then frees the delivered copies.
-func (p *Peer) uploadLocked(conn io.ReadWriter, session float64) error {
-	ccEntry, _ := p.cache.Get(model.CommandCenter)
-	// The command center's own snapshot (just absorbed, authoritative) is a
-	// delivery acknowledgement (§III-B): any held photo it lists already
-	// arrived — through another relay, or in a contact whose ack this node
-	// lost to a crash — so purge it instead of re-reporting it.
-	if purged := p.purgeDelivered(ccEntry.Photos); len(purged) > 0 {
-		p.logAckDelivered(session, purged)
-	}
-	plan := selection.SelectForUpload(p.fpc, p.selCfg, ccEntry.Photos, p.store.List())
-	var ids []model.PhotoID
-	for _, photo := range plan {
-		ids = append(ids, photo.ID)
-	}
-	if err := p.sendPhotos(conn, ids); err != nil {
-		return err
-	}
-	ack, err := readAs[wire.Ack](conn)
-	if err != nil {
-		return err
-	}
-	acked := model.PhotoList{}
-	for _, id := range ack.IDs {
-		if photo, ok := p.store.Get(id); ok {
-			acked = append(acked, photo)
-			p.store.Remove(id)
-		}
-	}
-	// Fold the acknowledgement into the command-center cache entry.
-	entry, _ := p.cache.Get(model.CommandCenter)
-	p.cache.Put(metadata.Entry{
-		Node:      model.CommandCenter,
-		Photos:    append(entry.Photos.Clone(), acked...),
-		Timestamp: session,
-	})
-	p.logAckDelivered(session, acked)
-	_, err = readAs[wire.Bye](conn)
-	if err != nil {
-		return err
-	}
-	return wire.Write(conn, wire.Bye{})
-}
-
-// purgeDelivered removes held photos that appear in the delivered list,
-// returning what was dropped.
-func (p *Peer) purgeDelivered(delivered model.PhotoList) model.PhotoList {
-	var purged model.PhotoList
-	for _, photo := range p.store.List() {
-		if delivered.Contains(photo.ID) {
-			p.store.Remove(photo.ID)
-			purged = append(purged, photo)
-		}
-	}
-	return purged
-}
-
-// receiveUploadLocked is the command-center side of an upload.
-func (p *Peer) receiveUploadLocked(conn io.ReadWriter) error {
-	received, err := p.receivePhotos(conn)
-	if err != nil {
-		return err
-	}
-	var ids []model.PhotoID
-	for id, photo := range received {
-		if !p.store.Has(id) {
-			if err := p.store.Add(photo); err != nil {
-				return fmt.Errorf("peer %v: store upload: %w", p.id, err)
-			}
-			p.logStoreAdd(photo)
-		}
-		ids = append(ids, id)
-	}
-	if err := wire.Write(conn, wire.Ack{IDs: ids}); err != nil {
-		return err
-	}
-	if err := wire.Write(conn, wire.Bye{}); err != nil {
-		return err
-	}
-	_, err = readAs[wire.Bye](conn)
-	return err
+	return s.commit()
 }
 
 // readAs reads one message and asserts its concrete type.

@@ -1,0 +1,587 @@
+package peer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"photodtn/internal/model"
+	"photodtn/internal/selection"
+	"photodtn/internal/wire"
+)
+
+// ErrConflict reports that a session's commit lost a race with a concurrent
+// commit it could not be reconciled with (the re-planned collection no
+// longer fits). The contact aborts gracefully per §III-D — no partial state
+// — and the next contact re-plans against the fresh state.
+var ErrConflict = errors.New("peer: concurrent commit conflict")
+
+// session is one contact's private state. It is created under the peer
+// lock (beginSession) with a deep clone of the protocol state and a few
+// scalars, then runs the whole wire exchange without any peer lock: every
+// protocol decision — metadata validity, the joint selection, transfer
+// want-lists — reads and writes the clone. Mutations are double-entry: each
+// one is applied to the clone AND recorded as a framed op (the same framing
+// the journal replays), so that commit can re-apply the identical ops to
+// the shared state under the lock. Live commit and crash recovery are the
+// same code path by construction, which is what keeps StateDigest
+// convergent under concurrency.
+type session struct {
+	p  *Peer
+	st peerState // private clones; all protocol reads/writes go here
+
+	now     float64 // peer clock at snapshot time
+	nonce   uint64  // hello nonce, drawn under the peer lock
+	baseGen uint64  // p.storeGen at snapshot time
+	baseIDs map[model.PhotoID]bool
+
+	ops       []byte // framed sub-records, applied locally as recorded
+	storeOps  bool   // ops touch the photo store (commit bumps storeGen)
+	committed bool   // commit already ran (mid-protocol commit points)
+}
+
+// beginSession snapshots the peer under the lock: state clones, the clock,
+// the nonce, and the store generation the conflict check validates against.
+func (p *Peer) beginSession() (*session, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.journalErr != nil {
+		return nil, p.journalErr
+	}
+	p.cContacts.Inc()
+	s := &session{
+		p:       p,
+		st:      p.peerState.clone(),
+		now:     p.clock(),
+		nonce:   p.rng.Uint64(),
+		baseGen: p.storeGen,
+		baseIDs: make(map[model.PhotoID]bool, p.store.Len()),
+	}
+	for _, photo := range p.store.Photos() {
+		s.baseIDs[photo.ID] = true
+	}
+	return s, nil
+}
+
+// record applies one op to the session's private state and appends it to
+// the op log the commit will replay against the shared state. The apply
+// happens now — later protocol steps must see earlier mutations exactly as
+// the serialised protocol did.
+func (s *session) record(kind byte, payload []byte) error {
+	if err := s.st.apply(kind, payload); err != nil {
+		return err
+	}
+	s.ops = append(s.ops, kind)
+	s.ops = binary.LittleEndian.AppendUint32(s.ops, uint32(len(payload)))
+	s.ops = append(s.ops, payload...)
+	if kind == subStoreReplace || kind == subStoreAdd {
+		s.storeOps = true
+	}
+	return nil
+}
+
+// commit validates the session against the live state and applies its op
+// log in one short critical section: conflict reconciliation, the single
+// journal append (the WAL stays single-writer — every Append happens here,
+// under the peer lock), then the in-memory apply of the exact bytes that
+// were journaled. Memory never leads disk.
+func (s *session) commit() error {
+	p := s.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s.committed {
+		return nil
+	}
+	if p.journalErr != nil {
+		return p.journalErr
+	}
+	ops, err := s.reconcileLocked()
+	if err != nil {
+		return err
+	}
+	if p.jnl != nil {
+		if err := p.jnl.Append(recContactCommit, ops); err != nil {
+			p.journalErr = fmt.Errorf("%w: commit contact: %w", ErrJournal, err)
+			return p.journalErr
+		}
+	}
+	if err := p.peerState.applyOps(ops); err != nil {
+		// Reconciliation validated every op against the live state, so this
+		// is unreachable short of a bug. For a durable peer the record is
+		// already on disk — poison so memory never silently lags it.
+		err = fmt.Errorf("apply commit: %w", err)
+		if p.jnl != nil {
+			p.journalErr = fmt.Errorf("%w: %w", ErrJournal, err)
+			err = p.journalErr
+		}
+		return err
+	}
+	if s.storeOps {
+		p.storeGen++
+	}
+	s.committed = true
+	return p.noteCommitLocked()
+}
+
+// reconcileLocked returns the op batch to commit. The fast path — no
+// concurrent commit touched the store since the snapshot — passes the log
+// through untouched. Otherwise each store op is validated against the live
+// state: duplicate adds are dropped (a racing relay delivered the photo
+// first), adds that no longer fit abort, and a reallocation's ReplaceAll is
+// re-planned (see replanReplace) or aborted.
+func (s *session) reconcileLocked() ([]byte, error) {
+	p := s.p
+	if !s.storeOps || p.storeGen == s.baseGen {
+		return s.ops, nil
+	}
+	p.cConflicts.Inc()
+	out := make([]byte, 0, len(s.ops))
+	addFree := p.store.Free()
+	buf := s.ops
+	for len(buf) > 0 {
+		if len(buf) < 5 {
+			return nil, fmt.Errorf("malformed session op log: %d trailing bytes", len(buf))
+		}
+		n := binary.LittleEndian.Uint32(buf[1:])
+		if uint64(len(buf)) < 5+uint64(n) {
+			return nil, fmt.Errorf("malformed session op %d: claims %d bytes, has %d", buf[0], n, len(buf)-5)
+		}
+		frame := buf[:5+n]
+		kind, payload := frame[0], frame[5:]
+		buf = buf[5+n:]
+		switch kind {
+		case subStoreAdd:
+			photo, _, err := model.DecodePhoto(payload)
+			if err != nil {
+				return nil, err
+			}
+			if p.store.Has(photo.ID) {
+				continue // already here via a concurrent commit: drop the duplicate
+			}
+			if photo.Size > addFree {
+				return nil, fmt.Errorf("%w: concurrent commits left no room for photo %v", ErrConflict, photo.ID)
+			}
+			addFree -= photo.Size
+			out = append(out, frame...)
+		case subStoreReplace:
+			final, _, err := model.DecodePhotoList(payload)
+			if err != nil {
+				return nil, err
+			}
+			merged, err := s.replanReplace(final)
+			if err != nil {
+				return nil, err
+			}
+			pl := merged.AppendBinary(nil)
+			out = append(out, subStoreReplace)
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(pl)))
+			out = append(out, pl...)
+		default:
+			out = append(out, frame...)
+		}
+	}
+	return out, nil
+}
+
+// replanReplace merges a §III-D reallocation computed against a stale
+// snapshot with what concurrent commits did meanwhile: photos that arrived
+// since the snapshot are kept (the plan never judged them), photos the plan
+// kept but a concurrent commit removed stay gone (they were delivered or
+// moved), and the merge aborts with ErrConflict when it no longer fits the
+// capacity.
+func (s *session) replanReplace(final model.PhotoList) (model.PhotoList, error) {
+	p := s.p
+	merged := make(model.PhotoList, 0, len(final))
+	var total int64
+	inFinal := make(map[model.PhotoID]bool, len(final))
+	for _, photo := range final {
+		inFinal[photo.ID] = true
+		if s.baseIDs[photo.ID] && !p.store.Has(photo.ID) {
+			continue // concurrently removed: it was delivered or moved on
+		}
+		merged = append(merged, photo)
+		total += photo.Size
+	}
+	for _, photo := range p.store.Photos() {
+		if s.baseIDs[photo.ID] || inFinal[photo.ID] {
+			continue
+		}
+		merged = append(merged, photo) // arrived mid-session: keep it
+		total += photo.Size
+	}
+	if total > p.store.Capacity() {
+		return nil, fmt.Errorf("%w: re-planned collection needs %d bytes, capacity %d",
+			ErrConflict, total, p.store.Capacity())
+	}
+	return merged, nil
+}
+
+// run executes the wire protocol of one contact against the session's
+// snapshot. It is the serialised contactSession of earlier revisions with
+// every peer-state access redirected to the clone.
+func (s *session) run(conn io.ReadWriter, initiator bool) error {
+	p := s.p
+	now := s.now
+
+	mine := wire.Hello{
+		Node:         p.id,
+		Lambda:       s.st.rate.Rate(now),
+		DeliveryProb: s.deliveryProb(now),
+		Time:         now,
+		Nonce:        s.nonce,
+		Capacity:     s.st.store.Capacity(),
+	}
+	var theirs wire.Hello
+	if initiator {
+		if err := wire.Write(conn, mine); err != nil {
+			return err
+		}
+		h, err := readAs[wire.Hello](conn)
+		if err != nil {
+			return err
+		}
+		theirs = h
+	} else {
+		h, err := readAs[wire.Hello](conn)
+		if err != nil {
+			return err
+		}
+		theirs = h
+		if err := wire.Write(conn, mine); err != nil {
+			return err
+		}
+	}
+	// Use a shared session clock so both sides make identical validity and
+	// selection decisions.
+	session := math.Max(mine.Time, theirs.Time)
+
+	// Rate observation + PROPHET encounter + transitivity toward the
+	// command center with the advertised predictability.
+	if err := s.record(subEncounter, encodeEncounter(theirs.Node, now, theirs.DeliveryProb)); err != nil {
+		return err
+	}
+
+	// Metadata exchange: own collection first, then gossiped cache entries.
+	// Strict turn-taking (initiator writes first) keeps the protocol
+	// deadlock-free even over unbuffered transports.
+	var md wire.Metadata
+	if initiator {
+		if err := wire.Write(conn, s.metadataMsg(session)); err != nil {
+			return err
+		}
+		m, err := readAs[wire.Metadata](conn)
+		if err != nil {
+			return err
+		}
+		md = m
+	} else {
+		m, err := readAs[wire.Metadata](conn)
+		if err != nil {
+			return err
+		}
+		if err := wire.Write(conn, s.metadataMsg(session)); err != nil {
+			return err
+		}
+		md = m
+	}
+	peerPhotos, err := s.absorbMetadata(theirs, md, session)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case theirs.Node.IsCommandCenter():
+		return s.upload(conn, session)
+	case p.id.IsCommandCenter():
+		return s.receiveUpload(conn)
+	default:
+		return s.reallocate(conn, initiator, mine, theirs, peerPhotos, session)
+	}
+}
+
+func (s *session) deliveryProb(now float64) float64 {
+	if s.p.id.IsCommandCenter() {
+		return 1
+	}
+	return s.st.table.DeliveryProb(now)
+}
+
+// metadataMsg builds the metadata message: self entry first, then the
+// valid cache entries.
+func (s *session) metadataMsg(session float64) wire.Metadata {
+	md := wire.Metadata{Entries: []wire.MetaEntry{{
+		Node:      s.p.id,
+		Lambda:    s.st.rate.Rate(session),
+		P:         s.deliveryProb(session),
+		Timestamp: session,
+		Photos:    s.st.store.List(),
+	}}}
+	for _, e := range s.st.cache.ValidEntries(session) {
+		md.Entries = append(md.Entries, wire.MetaEntry{
+			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
+		})
+	}
+	return md
+}
+
+// absorbMetadata stores the peer's snapshot and gossip, returning the
+// peer's own collection.
+func (s *session) absorbMetadata(h wire.Hello, md wire.Metadata, session float64) (model.PhotoList, error) {
+	var peerPhotos model.PhotoList
+	for i, e := range md.Entries {
+		entry := wire.MetaEntry{
+			Node: e.Node, Lambda: e.Lambda, P: e.P, Timestamp: e.Timestamp, Photos: e.Photos,
+		}
+		if i == 0 && e.Node == h.Node {
+			peerPhotos = e.Photos
+			entry.Timestamp = session
+		}
+		if err := s.record(subMetaPut, wire.AppendMetaEntry(nil, entry)); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.record(subMetaDrop, encodeMetaDrop(session)); err != nil {
+		return nil, err
+	}
+	return peerPhotos, nil
+}
+
+// reallocate runs the §III-D exchange with a fellow participant.
+func (s *session) reallocate(conn io.ReadWriter, initiator bool, mine, theirs wire.Hello, peerPhotos model.PhotoList, session float64) error {
+	p := s.p
+	selCfg := p.selCfg
+	selCfg.Seed = int64(mine.Nonce ^ theirs.Nonce)
+
+	var ccPhotos model.PhotoList
+	var background []selection.Participant
+	for _, e := range s.st.cache.ValidEntries(session) {
+		switch {
+		case e.Node.IsCommandCenter():
+			ccPhotos = e.Photos
+		case e.Node == p.id || e.Node == theirs.Node:
+			// The live collections are already in the allocs.
+		default:
+			background = append(background, selection.Participant{Node: e.Node, Photos: e.Photos, P: e.P})
+		}
+	}
+
+	// Both sides order the allocs identically (initiator first) so the
+	// jointly-seeded greedy is bit-for-bit reproducible.
+	myAlloc := selection.Alloc{Node: p.id, P: mine.DeliveryProb, Capacity: s.st.store.Capacity(), Photos: s.st.store.List()}
+	peerAlloc := selection.Alloc{Node: theirs.Node, P: theirs.DeliveryProb, Capacity: theirs.Capacity, Photos: peerPhotos}
+	var res selection.Result
+	var mySel model.PhotoList
+	if initiator {
+		res = selection.Reallocate(p.fpc, selCfg, ccPhotos, background, myAlloc, peerAlloc)
+		mySel = res.ASel
+	} else {
+		res = selection.Reallocate(p.fpc, selCfg, ccPhotos, background, peerAlloc, myAlloc)
+		mySel = res.BSel
+	}
+
+	// Request the selected photos this node lacks.
+	var want []model.PhotoID
+	for _, photo := range mySel {
+		if !s.st.store.Has(photo.ID) {
+			want = append(want, photo.ID)
+		}
+	}
+	if initiator {
+		if err := wire.Write(conn, wire.PhotoRequest{IDs: want}); err != nil {
+			return err
+		}
+		theirReq, err := readAs[wire.PhotoRequest](conn)
+		if err != nil {
+			return err
+		}
+		if err := s.sendPhotos(conn, theirReq.IDs); err != nil {
+			return err
+		}
+		received, err := s.receivePhotos(conn)
+		if err != nil {
+			return err
+		}
+		return s.applyPlan(conn, mySel, received, true)
+	}
+	theirReq, err := readAs[wire.PhotoRequest](conn)
+	if err != nil {
+		return err
+	}
+	if err := wire.Write(conn, wire.PhotoRequest{IDs: want}); err != nil {
+		return err
+	}
+	received, err := s.receivePhotos(conn)
+	if err != nil {
+		return err
+	}
+	if err := s.sendPhotos(conn, theirReq.IDs); err != nil {
+		return err
+	}
+	return s.applyPlan(conn, mySel, received, false)
+}
+
+// applyPlan replaces the collection with the selection (kept ∪ received)
+// and closes the contact. The responder commits before sending its final
+// Bye: the initiator then only commits after seeing proof the responder's
+// half of the reallocation is durable, which keeps a commit conflict on
+// either side from splitting the exchange (the side that aborts does so
+// before the other applies anything).
+func (s *session) applyPlan(conn io.ReadWriter, sel model.PhotoList, received map[model.PhotoID]model.Photo, initiator bool) error {
+	final := make(model.PhotoList, 0, len(sel))
+	for _, photo := range sel {
+		if s.st.store.Has(photo.ID) {
+			final = append(final, photo)
+		} else if got, ok := received[photo.ID]; ok {
+			final = append(final, got)
+		}
+	}
+	if err := s.record(subStoreReplace, final.AppendBinary(nil)); err != nil {
+		return fmt.Errorf("peer %v: apply plan: %w", s.p.id, err)
+	}
+	if initiator {
+		if err := wire.Write(conn, wire.Bye{}); err != nil {
+			return err
+		}
+		_, err := readAs[wire.Bye](conn)
+		return err
+	}
+	if _, err := readAs[wire.Bye](conn); err != nil {
+		return err
+	}
+	if err := s.commit(); err != nil {
+		return err
+	}
+	return wire.Write(conn, wire.Bye{})
+}
+
+// sendPhotos streams the requested photos this node holds, terminated by an
+// Ack listing what was actually sent.
+func (s *session) sendPhotos(conn io.ReadWriter, ids []model.PhotoID) error {
+	var sent []model.PhotoID
+	for _, id := range ids {
+		photo, ok := s.st.store.Get(id)
+		if !ok {
+			continue
+		}
+		data := wire.PhotoData{Photo: photo}
+		if s.p.payload > 0 {
+			data.Payload = make([]byte, s.p.payload)
+		}
+		if err := wire.Write(conn, data); err != nil {
+			return err
+		}
+		sent = append(sent, id)
+	}
+	return wire.Write(conn, wire.Ack{IDs: sent})
+}
+
+// receivePhotos reads PhotoData frames until the terminating Ack.
+func (s *session) receivePhotos(conn io.ReadWriter) (map[model.PhotoID]model.Photo, error) {
+	out := make(map[model.PhotoID]model.Photo)
+	for {
+		msg, err := wire.Read(conn)
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case wire.PhotoData:
+			out[m.Photo.ID] = m.Photo
+		case wire.Ack:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("%w: %v during photo transfer", ErrProtocol, msg.Type())
+		}
+	}
+}
+
+// upload sends the command center the photos that improve its coverage, in
+// marginal-gain order, then frees the delivered copies.
+func (s *session) upload(conn io.ReadWriter, session float64) error {
+	ccEntry, _ := s.st.cache.Get(model.CommandCenter)
+	// The command center's own snapshot (just absorbed, authoritative) is a
+	// delivery acknowledgement (§III-B): any held photo it lists already
+	// arrived — through another relay, or in a contact whose ack this node
+	// lost to a crash — so purge it instead of re-reporting it.
+	if purged := s.deliveredHeld(ccEntry.Photos); len(purged) > 0 {
+		if err := s.record(subAckDelivered, encodeAckDelivered(session, purged)); err != nil {
+			return err
+		}
+		s.storeOps = true
+	}
+	plan := selection.SelectForUpload(s.p.fpc, s.p.selCfg, ccEntry.Photos, s.st.store.List())
+	var ids []model.PhotoID
+	for _, photo := range plan {
+		ids = append(ids, photo.ID)
+	}
+	if err := s.sendPhotos(conn, ids); err != nil {
+		return err
+	}
+	ack, err := readAs[wire.Ack](conn)
+	if err != nil {
+		return err
+	}
+	// Fold the acknowledgement in: acked photos leave the store and join
+	// the command-center cache entry.
+	acked := model.PhotoList{}
+	for _, id := range ack.IDs {
+		if photo, ok := s.st.store.Get(id); ok {
+			acked = append(acked, photo)
+		}
+	}
+	if err := s.record(subAckDelivered, encodeAckDelivered(session, acked)); err != nil {
+		return err
+	}
+	s.storeOps = s.storeOps || len(acked) > 0
+	_, err = readAs[wire.Bye](conn)
+	if err != nil {
+		return err
+	}
+	return wire.Write(conn, wire.Bye{})
+}
+
+// deliveredHeld returns the held photos that appear in the delivered list.
+func (s *session) deliveredHeld(delivered model.PhotoList) model.PhotoList {
+	var purged model.PhotoList
+	for _, photo := range s.st.store.Photos() {
+		if delivered.Contains(photo.ID) {
+			purged = append(purged, photo)
+		}
+	}
+	return purged
+}
+
+// receiveUpload is the command-center side of an upload. The commit happens
+// before the Ack goes out: an acknowledgement the uploader will act on
+// (freeing its copies) must refer to photos this node can no longer forget.
+func (s *session) receiveUpload(conn io.ReadWriter) error {
+	received, err := s.receivePhotos(conn)
+	if err != nil {
+		return err
+	}
+	ids := make([]model.PhotoID, 0, len(received))
+	for id := range received {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !s.st.store.Has(id) {
+			if err := s.record(subStoreAdd, received[id].AppendBinary(nil)); err != nil {
+				return fmt.Errorf("peer %v: store upload: %w", s.p.id, err)
+			}
+		}
+	}
+	if err := s.commit(); err != nil {
+		return err
+	}
+	if err := wire.Write(conn, wire.Ack{IDs: ids}); err != nil {
+		return err
+	}
+	if err := wire.Write(conn, wire.Bye{}); err != nil {
+		return err
+	}
+	_, err = readAs[wire.Bye](conn)
+	return err
+}

@@ -173,6 +173,16 @@ func (t *Table) Restore(entries map[model.NodeID]float64, lastAged float64) {
 	t.lastAged = lastAged
 }
 
+// Clone returns an independent copy of the table, including its aging
+// timestamp (which Restore-from-Snapshot alone would not carry).
+func (t *Table) Clone() *Table {
+	c := &Table{cfg: t.cfg, owner: t.owner, p: make(map[model.NodeID]float64, len(t.p)), lastAged: t.lastAged}
+	for dst, v := range t.p {
+		c.p[dst] = v
+	}
+	return c
+}
+
 // Snapshot returns a copy of the table's entries, suitable for sending to a
 // peer during a contact.
 func (t *Table) Snapshot() map[model.NodeID]float64 {

@@ -129,7 +129,10 @@ func (s *Storage) Photos() model.PhotoList { return s.list }
 
 // ReplaceAll atomically replaces the whole collection (the reallocation
 // semantics of §III-D). It fails with ErrNoSpace if the new collection does
-// not fit; the storage is unchanged on error.
+// not fit; the storage is unchanged on error. Spray copy counters are
+// preserved for photos retained across the replacement — a reallocation
+// must not reset a copy budget ModifiedSpray is still spending — and
+// dropped for everything else.
 func (s *Storage) ReplaceAll(photos model.PhotoList) error {
 	var total int64
 	seen := make(map[model.PhotoID]bool, len(photos))
@@ -143,6 +146,7 @@ func (s *Storage) ReplaceAll(photos model.PhotoList) error {
 	if total > s.capacity {
 		return fmt.Errorf("%w: collection needs %d bytes, capacity %d", ErrNoSpace, total, s.capacity)
 	}
+	kept := s.copies
 	s.list = s.list[:0]
 	s.index = make(map[model.PhotoID]int, len(photos))
 	s.copies = make(map[model.PhotoID]int)
@@ -154,6 +158,29 @@ func (s *Storage) ReplaceAll(photos model.PhotoList) error {
 		s.index[p.ID] = len(s.list)
 		s.list = append(s.list, p)
 		s.used += p.Size
+		if n, ok := kept[p.ID]; ok {
+			s.copies[p.ID] = n
+		}
 	}
 	return nil
+}
+
+// Clone returns a deep copy of the storage: same capacity, photos, order,
+// and copy counters, sharing no mutable state with the original. Contact
+// sessions plan against a clone and commit the result back (internal/peer).
+func (s *Storage) Clone() *Storage {
+	c := &Storage{
+		capacity: s.capacity,
+		used:     s.used,
+		list:     append(model.PhotoList(nil), s.list...),
+		index:    make(map[model.PhotoID]int, len(s.index)),
+		copies:   make(map[model.PhotoID]int, len(s.copies)),
+	}
+	for id, i := range s.index {
+		c.index[id] = i
+	}
+	for id, n := range s.copies {
+		c.copies[id] = n
+	}
+	return c
 }

@@ -134,3 +134,58 @@ func TestStorageReplaceAllDedupes(t *testing.T) {
 		t.Fatalf("dedup failed: len=%d used=%d", st.Len(), st.Used())
 	}
 }
+
+// Regression: ReplaceAll rebuilt the copies map from scratch, silently
+// resetting spray copy counters to zero for every photo the reallocation
+// kept. Under a spray-and-wait scheme that made a relay believe it held the
+// last copy of a photo it had just split copies for, inflating replication.
+func TestStorageReplaceAllPreservesCopies(t *testing.T) {
+	st := NewStorage(100)
+	a, b, c, d := photoN(1, 0, 4), photoN(1, 1, 4), photoN(1, 2, 4), photoN(2, 0, 4)
+	for _, p := range []model.Photo{a, b, c} {
+		if err := st.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.SetCopies(a.ID, 4)
+	st.SetCopies(b.ID, 2)
+	st.SetCopies(c.ID, 1)
+
+	// A reallocation keeps b and c, drops a, and brings in d.
+	if err := st.ReplaceAll(model.PhotoList{b, c, d}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Copies(b.ID); got != 2 {
+		t.Fatalf("kept photo b: copies = %d, want 2", got)
+	}
+	if got := st.Copies(c.ID); got != 1 {
+		t.Fatalf("kept photo c: copies = %d, want 1", got)
+	}
+	if got := st.Copies(d.ID); got != 0 {
+		t.Fatalf("new photo d: copies = %d, want 0", got)
+	}
+	if got := st.Copies(a.ID); got != 0 {
+		t.Fatalf("dropped photo a: copies = %d, want 0", got)
+	}
+}
+
+func TestStorageCloneIndependent(t *testing.T) {
+	st := NewStorage(100)
+	p := photoN(1, 0, 4)
+	if err := st.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	st.SetCopies(p.ID, 3)
+
+	c := st.Clone()
+	if !c.Has(p.ID) || c.Used() != st.Used() || c.Copies(p.ID) != 3 {
+		t.Fatalf("clone state differs: used=%d copies=%d", c.Used(), c.Copies(p.ID))
+	}
+	if err := c.Add(photoN(1, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetCopies(p.ID, 1)
+	if st.Len() != 1 || st.Copies(p.ID) != 3 {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+}

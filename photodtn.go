@@ -348,6 +348,9 @@ var (
 	// WithSnapshotEvery sets how many committed contacts trigger a
 	// snapshot + journal compaction.
 	WithSnapshotEvery = peer.WithSnapshotEvery
+	// WithMaxContacts bounds how many contacts a serving peer handles
+	// concurrently (excess accepts are rejected with a clean abort).
+	WithMaxContacts = peer.WithMaxContacts
 )
 
 // Unified observability (see DESIGN.md).
