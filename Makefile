@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race soak-short chaos bench bench-runner bench-short bench-all bench-diff fuzz fuzz-short trace-demo
+.PHONY: tier1 build vet test race race-wire soak-short chaos bench bench-runner bench-short bench-all bench-diff fuzz fuzz-short trace-demo
 
 # tier1 is the merge gate: everything must pass before a change lands.
-tier1: build vet test race soak-short bench-short fuzz-short
+tier1: build vet test race soak-short bench-short fuzz-short bench-diff
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ test:
 # race-runner focused targets.
 race:
 	$(GO) test -race ./...
+
+# race-wire is the focused repeat over the chunked-transfer stack: the wire
+# codec/handshake and the reassembly store, plus the peer transfer suites
+# (pipelined sender, mid-chunk kill sweeps). -count=2 gives the pipelined
+# ack-reader and the cross-contact fragment store a second chance to trip
+# the detector under different schedules.
+race-wire:
+	$(GO) test -race -count=2 ./internal/wire/ ./internal/transfer/
+	$(GO) test -race -count=1 -run 'Transfer|Chunk|Resume' ./internal/peer/
 
 # soak-short is the concurrent-serving soak: one serving peer versus N
 # simultaneous dialers under the race detector — admission limiting, no
@@ -51,7 +60,7 @@ bench:
 	$(GO) test -run='^$$' -bench=BenchmarkEvaluator -benchmem -benchtime=500ms ./internal/selection/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_selection.json
 	@echo "wrote BENCH_selection.json"
-	$(GO) test -run='^$$' -bench=BenchmarkEngineTable1 -benchmem -benchtime=5x . \
+	$(GO) test -run='^$$' -bench='BenchmarkEngineTable1|BenchmarkTransferSlowLink' -benchmem -benchtime=5x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_engine.json
 	@echo "wrote BENCH_engine.json"
 
@@ -63,7 +72,7 @@ bench-diff:
 	$(GO) test -run='^$$' -bench=BenchmarkEvaluator -benchmem -benchtime=300ms ./internal/selection/ \
 		| $(GO) run ./cmd/benchjson -o .bench_selection_new.json
 	$(GO) run ./cmd/benchjson -diff -threshold 1.6 BENCH_selection.json .bench_selection_new.json
-	$(GO) test -run='^$$' -bench=BenchmarkEngineTable1 -benchmem -benchtime=3x . \
+	$(GO) test -run='^$$' -bench='BenchmarkEngineTable1|BenchmarkTransferSlowLink' -benchmem -benchtime=3x . \
 		| $(GO) run ./cmd/benchjson -o .bench_engine_new.json
 	$(GO) run ./cmd/benchjson -diff -threshold 1.6 BENCH_engine.json .bench_engine_new.json
 	@rm -f .bench_selection_new.json .bench_engine_new.json
@@ -78,11 +87,16 @@ bench-short:
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-# Fuzz pass over the wire decoders (corruption hardening) and the arc-set
-# geometry kernel every coverage computation bottoms out in.
+# Fuzz pass over the wire decoders (corruption hardening), the chunk
+# reassembly store (bitmap/eviction/checksum invariants against a model
+# oracle), and the arc-set geometry kernel every coverage computation
+# bottoms out in. The Reassembly patterns are anchored: two targets share
+# the prefix.
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=30s ./internal/wire/
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeMessage -fuzztime=30s ./internal/wire/
+	$(GO) test -run=Fuzz -fuzz='FuzzReassembly$$' -fuzztime=30s ./internal/transfer/
+	$(GO) test -run=Fuzz -fuzz='FuzzReassemblyImport$$' -fuzztime=30s ./internal/transfer/
 	$(GO) test -run=Fuzz -fuzz=FuzzArcSet -fuzztime=30s ./internal/geo/
 
 # fuzz-short is the tier-1 smoke pass over all fuzz targets: a few seconds
@@ -90,6 +104,8 @@ fuzz:
 fuzz-short:
 	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=5s ./internal/wire/
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeMessage -fuzztime=5s ./internal/wire/
+	$(GO) test -run=Fuzz -fuzz='FuzzReassembly$$' -fuzztime=5s ./internal/transfer/
+	$(GO) test -run=Fuzz -fuzz='FuzzReassemblyImport$$' -fuzztime=5s ./internal/transfer/
 	$(GO) test -run=Fuzz -fuzz=FuzzArcSet -fuzztime=5s ./internal/geo/
 
 # trace-demo produces a sample observability bundle under trace-demo/: a

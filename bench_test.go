@@ -4,8 +4,12 @@
 package photodtn_test
 
 import (
+	"io"
 	"math/rand"
+	"net"
+	"sync"
 	"testing"
+	"time"
 
 	"photodtn/internal/core"
 	"photodtn/internal/coverage"
@@ -14,6 +18,7 @@ import (
 	"photodtn/internal/geo"
 	"photodtn/internal/model"
 	"photodtn/internal/obs"
+	"photodtn/internal/peer"
 	"photodtn/internal/prophet"
 	"photodtn/internal/routing"
 	"photodtn/internal/selection"
@@ -385,4 +390,84 @@ func BenchmarkComputeBestPossibleFullTrace(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// slowConn adds a fixed per-write delay (the frame latency of a slow radio
+// link) over a fault-injecting wrapper, passing deadlines through to the
+// real pipe end so frame timeouts still work.
+type slowConn struct {
+	rw    io.ReadWriter
+	conn  net.Conn
+	delay time.Duration
+}
+
+func (c *slowConn) Read(p []byte) (int, error) { return c.rw.Read(p) }
+func (c *slowConn) Write(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	return c.rw.Write(p)
+}
+func (c *slowConn) SetReadDeadline(t time.Time) error  { return c.conn.SetReadDeadline(t) }
+func (c *slowConn) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }
+
+// BenchmarkTransferSlowLink measures recovery after a mid-chunk link death
+// on a 1 ms/frame slow link: an 8-chunk (256 KiB) photo upload is killed at
+// 150 KiB, then a second, clean-but-slow contact completes it. "resume" is
+// the wire-v2 cross-contact path — only the missing chunks are re-sent;
+// "discard" pins the v1-style baseline that re-sends everything. The
+// wasted-B/op metric is receiver bytes that never contributed to a
+// delivered photo (the README quotes these numbers).
+func BenchmarkTransferSlowLink(b *testing.B) {
+	const frameDelay = time.Millisecond
+	m := coverage.NewMap([]model.PoI{model.NewPoI(0, geo.Vec{})}, geo.Radians(30))
+	photo := model.Photo{
+		ID: model.MakePhotoID(3, 0), Owner: 3, Location: geo.FromAngle(0).Scale(60),
+		Range: 120, FOV: geo.Radians(60), Orientation: geo.Radians(180), Size: 4 << 20,
+	}
+	contact := func(h, cc *peer.Peer, cut int64) {
+		ca, cb := net.Pipe()
+		var rw io.ReadWriter = ca
+		if cut > 0 {
+			rw = faults.NewByteKillTransport(ca, cut)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_ = h.ContactConn(&slowConn{rw: rw, conn: ca, delay: frameDelay}, true)
+			_ = ca.Close()
+		}()
+		go func() {
+			defer wg.Done()
+			_ = cc.ContactConn(cb, false)
+			_ = cb.Close()
+		}()
+		wg.Wait()
+	}
+	run := func(b *testing.B, resume bool) {
+		b.ReportAllocs()
+		var wasted, sent int64
+		for i := 0; i < b.N; i++ {
+			cfg := peer.TransferConfig{ChunkSize: 32 << 10, Resume: resume}
+			clock := func() float64 { return 1000 }
+			cc := peer.New(model.CommandCenter, m, 0,
+				peer.WithSeed(1), peer.WithClock(clock), peer.WithTransfer(cfg))
+			h := peer.New(3, m, 64<<20,
+				peer.WithSeed(2), peer.WithClock(clock), peer.WithTransfer(cfg),
+				peer.WithPayloadBytes(256<<10))
+			if err := h.AddPhoto(photo); err != nil {
+				b.Fatal(err)
+			}
+			contact(h, cc, 150<<10) // dies mid-chunk
+			contact(h, cc, 0)       // clean recovery contact
+			if !cc.Photos().Contains(photo.ID) {
+				b.Fatal("photo not delivered")
+			}
+			wasted += cc.TransferStats().WastedBytes
+			sent += h.TransferStats().ChunksSent
+		}
+		b.ReportMetric(float64(wasted)/float64(b.N), "wasted-B/op")
+		b.ReportMetric(float64(sent)/float64(b.N), "chunks/op")
+	}
+	b.Run("resume", func(b *testing.B) { run(b, true) })
+	b.Run("discard", func(b *testing.B) { run(b, false) })
 }

@@ -6,7 +6,7 @@
 //
 //	photodtn-peer -id N [-state-dir DIR] [-listen ADDR] [-dial ADDR]
 //	              [-photos N] [-storage-mb MB] [-snapshot-every N] [-seed S]
-//	              [-max-contacts N]
+//	              [-max-contacts N] [-chunk-size BYTES] [-no-resume]
 //
 // With -listen the peer serves contacts until interrupted, handling up to
 // -max-contacts connections concurrently (excess accepts are rejected with
@@ -57,6 +57,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		snapEvery   = fs.Int("snapshot-every", 0, "checkpoint the journal every N contacts (0 = default)")
 		seed        = fs.Int64("seed", 1, "seed for the nonce stream and the synthetic camera")
 		maxContacts = fs.Int("max-contacts", 0, "serve at most N contacts concurrently (0 = 4×GOMAXPROCS)")
+		chunkSize   = fs.Int("chunk-size", 0, "wire v2 chunk size in bytes (0 = default 256 KiB)")
+		noResume    = fs.Bool("no-resume", false, "discard partial transfers at contact end instead of resuming later")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +73,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	m := photodtn.NewMap([]photodtn.PoI{hall}, photodtn.Radians(30))
 	nodeID := photodtn.NodeID(*id)
 
-	opts := []photodtn.PeerOption{photodtn.WithSeed(*seed)}
+	opts := []photodtn.PeerOption{
+		photodtn.WithSeed(*seed),
+		photodtn.WithTransfer(photodtn.TransferConfig{
+			ChunkSize: *chunkSize,
+			Resume:    !*noResume,
+		}),
+	}
 	if *snapEvery > 0 {
 		opts = append(opts, photodtn.WithSnapshotEvery(*snapEvery))
 	}
@@ -128,6 +136,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *stateDir != "" {
 		st := p.JournalStats()
 		fmt.Fprintf(stdout, "journal: %d contacts durable in %s\n", st.Commits, *stateDir)
+	}
+	if ts := p.TransferStats(); ts.ChunksSent > 0 || ts.ChunksReceived > 0 || ts.Partials > 0 {
+		fmt.Fprintf(stdout,
+			"transfer: %d chunks sent, %d received, %d resumed (%d bytes saved), %d photos finished across contacts, %d partials held (%d bytes), %d bytes wasted\n",
+			ts.ChunksSent, ts.ChunksReceived, ts.ChunksResumed, ts.ResumedBytes,
+			ts.PhotosResumed, ts.Partials, ts.FragmentBytes, ts.WastedBytes)
 	}
 	return nil
 }

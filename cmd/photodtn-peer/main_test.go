@@ -67,6 +67,21 @@ func TestRunDurableUploadAndRestart(t *testing.T) {
 	}
 }
 
+func TestRunTransferFlags(t *testing.T) {
+	cc, addr := startCommandCenter(t)
+	var out bytes.Buffer
+	args := []string{"-id", "9", "-photos", "2", "-chunk-size", "4096", "-no-resume", "-dial", addr}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if got := len(cc.Photos()); got != 2 {
+		t.Fatalf("command center holds %d photos, want 2", got)
+	}
+	if !strings.Contains(out.String(), "transfer:") {
+		t.Fatalf("no transfer stats in output: %s", out.String())
+	}
+}
+
 func TestRunMemoryOnlyPeer(t *testing.T) {
 	_, addr := startCommandCenter(t)
 	var out bytes.Buffer

@@ -69,3 +69,43 @@ func TestKillTransportFloorsSchedule(t *testing.T) {
 		t.Fatalf("first write with schedule 0: %v, want ErrKilled", err)
 	}
 }
+
+func TestByteKillTransportTearsMidWrite(t *testing.T) {
+	buf := &closableBuf{}
+	kt := NewByteKillTransport(buf, 10)
+
+	if n, err := kt.Write(make([]byte, 6)); n != 6 || err != nil {
+		t.Fatalf("write before the threshold: n=%d err=%v", n, err)
+	}
+	if kt.Killed() {
+		t.Fatal("killed before the byte threshold")
+	}
+	// The crossing write sends only its 4 allowed bytes — a torn frame.
+	if n, err := kt.Write(make([]byte, 6)); n != 4 || !errors.Is(err, ErrKilled) {
+		t.Fatalf("crossing write: n=%d err=%v, want n=4 ErrKilled", n, err)
+	}
+	if !kt.Killed() {
+		t.Fatal("Killed() false after the threshold")
+	}
+	if !buf.closed {
+		t.Fatal("underlying closer not closed on kill")
+	}
+	if len(buf.data) != 10 {
+		t.Fatalf("transport saw %d bytes, want exactly 10", len(buf.data))
+	}
+	// Reads pass through — the remote's view of the death is the underlying
+	// Close, so in-flight bytes stay drainable.
+	if n, err := kt.Read(make([]byte, 16)); n != 10 || err != nil {
+		t.Fatalf("read after kill: n=%d err=%v, want the 10 drained bytes", n, err)
+	}
+	if _, err := kt.Write([]byte{9}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("write after kill: %v, want ErrKilled", err)
+	}
+}
+
+func TestByteKillTransportFloorsSchedule(t *testing.T) {
+	kt := NewByteKillTransport(&closableBuf{}, 0)
+	if n, err := kt.Write([]byte{1, 2}); n != 0 || !errors.Is(err, ErrKilled) {
+		t.Fatalf("first write with schedule 0: n=%d err=%v, want 0, ErrKilled", n, err)
+	}
+}

@@ -133,6 +133,78 @@ func (t *KillTransport) Write(p []byte) (int, error) {
 	return t.rw.Write(p)
 }
 
+// ByteKillTransport wraps an io.ReadWriter and kills the connection after a
+// fixed number of bytes have been written. Unlike KillTransport, the cut can
+// land in the middle of a wire frame: the write that crosses the threshold
+// sends only the prefix before the connection closes, so the remote reads a
+// torn frame. This is the mid-chunk death the resumable-transfer suites
+// need — a chunk stream interrupted partway through a frame, not neatly
+// between frames.
+type ByteKillTransport struct {
+	rw io.ReadWriter
+
+	mu        sync.Mutex
+	remaining int64
+	killed    bool
+}
+
+// NewByteKillTransport wraps rw; the connection dies once bytes bytes have
+// gone out (bytes < 1 kills on the first write). The crossing write sends
+// its allowed prefix, then fails with ErrKilled.
+func NewByteKillTransport(rw io.ReadWriter, bytes int64) *ByteKillTransport {
+	if bytes < 1 {
+		bytes = 0
+	}
+	return &ByteKillTransport{rw: rw, remaining: bytes}
+}
+
+// Killed reports whether the schedule has fired.
+func (t *ByteKillTransport) Killed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.killed
+}
+
+// Read passes through: the kill surfaces to readers via the underlying
+// Close, not a synthetic error — on a synchronous transport the torn
+// prefix only drains if both directions keep flowing until the close.
+func (t *ByteKillTransport) Read(p []byte) (int, error) {
+	return t.rw.Read(p)
+}
+
+// Write implements io.Writer with the byte schedule.
+func (t *ByteKillTransport) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	if t.killed {
+		t.mu.Unlock()
+		return 0, ErrKilled
+	}
+	allowed := int64(len(p))
+	torn := allowed >= t.remaining
+	if torn {
+		allowed = t.remaining
+		t.killed = true
+	}
+	t.remaining -= allowed
+	t.mu.Unlock()
+
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = t.rw.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+	}
+	if torn {
+		if c, ok := t.rw.(io.Closer); ok {
+			_ = c.Close()
+		}
+		return n, ErrKilled
+	}
+	return n, nil
+}
+
 // Dropped returns the number of writes silently discarded so far.
 func (t *Transport) Dropped() int {
 	t.mu.Lock()

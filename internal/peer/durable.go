@@ -13,6 +13,7 @@ import (
 	"photodtn/internal/metadata"
 	"photodtn/internal/model"
 	"photodtn/internal/obs"
+	"photodtn/internal/transfer"
 	"photodtn/internal/wire"
 )
 
@@ -206,7 +207,35 @@ const (
 	// of sub-records — a contact that dies mid-protocol leaves no durable
 	// trace, matching the live protocol's discard-unfinished semantics.
 	recContactCommit byte = 2
+	// recFragment journals transfer-fragment events (wire v2 resume). They
+	// live deliberately OUTSIDE contact atomicity: a chunk that landed in a
+	// contact that later aborts is exactly the progress resume exists to
+	// save, so each fresh chunk is durable the moment it is accepted. The
+	// photo itself still only enters storage via a recContactCommit, which
+	// keeps §III-D's photo-level atomicity intact.
+	recFragment byte = 3
 )
+
+// Fragment sub-kinds inside a recFragment record.
+const (
+	// fragPut: one fresh chunk unioned into a partial (payload: the wire
+	// chunk body). Replay is idempotent; a replayed chunk whose assembly
+	// fails the whole-photo checksum converges to the same drop the live
+	// path took.
+	fragPut byte = 1
+	// fragDrop: a partial released at commit reconciliation (payload: the
+	// photo ID), so replay does not resurrect partials whose photo was
+	// admitted or delivered.
+	fragDrop byte = 2
+)
+
+func encodeFragPut(c wire.Chunk) []byte {
+	return wire.AppendChunk([]byte{fragPut}, c)
+}
+
+func encodeFragDrop(id model.PhotoID) []byte {
+	return binary.LittleEndian.AppendUint64([]byte{fragDrop}, uint64(id))
+}
 
 // Sub-record kinds inside a contact commit.
 const (
@@ -246,6 +275,13 @@ func (p *Peer) openJournal() error {
 		}
 	}
 	p.jnl = j
+	// Replayed fragments may belong to photos the replayed commits already
+	// admitted or delivered; settle them the same way a live commit would.
+	if err := p.reconcileFragsLocked(); err != nil {
+		_ = j.Close()
+		p.jnl = nil
+		return err
+	}
 	if st := j.Stats(); st.Recovered {
 		p.obsv.Counter("journal.recoveries").Inc()
 		p.obsv.Counter("journal.records_replayed").Add(int64(st.Records))
@@ -278,6 +314,44 @@ func encodeAckDelivered(session float64, acked model.PhotoList) []byte {
 	return acked.AppendBinary(buf)
 }
 
+// reconcileFragsLocked drops tracked partials whose photo no longer needs
+// reassembly: admitted to the photo store (the progress paid off) or
+// already delivered to the command center per its authoritative snapshot
+// (the progress is dead weight — wasted). It runs under the peer lock at
+// every contact commit and once after recovery; each drop is journaled so
+// a replay converges to the same store.
+func (p *Peer) reconcileFragsLocked() error {
+	ids := p.frags.IDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	var delivered model.PhotoList
+	if e, ok := p.cache.Get(model.CommandCenter); ok {
+		delivered = e.Photos
+	}
+	for _, id := range ids {
+		var wasted bool
+		switch {
+		case p.store.Has(id):
+			wasted = false
+		case delivered.Contains(id):
+			wasted = true
+		default:
+			continue
+		}
+		if p.jnl != nil {
+			if err := p.jnl.Append(recFragment, encodeFragDrop(id)); err != nil {
+				p.journalErr = fmt.Errorf("%w: journal fragment drop: %w", ErrJournal, err)
+				return p.journalErr
+			}
+		}
+		if n := p.frags.Drop(id, wasted); wasted && n > 0 {
+			p.cWastedBytes.Add(n)
+		}
+	}
+	return nil
+}
+
 // noteCommitLocked does the bookkeeping after a contact commit's journal
 // append succeeded (or for a memory-only peer, after its in-memory apply):
 // commit counters and the periodic snapshot compaction.
@@ -307,7 +381,9 @@ func (p *Peer) checkpointLocked() error {
 
 // --- snapshot encoding ---
 
-const peerSnapVersion = 1
+// peerSnapVersion 2 added the transfer-fragment section (wire v2 resume);
+// restore still accepts version-1 images, which simply have no fragments.
+const peerSnapVersion = 2
 
 // encodeSnapshot serialises the peer's full protocol state, reusing the
 // wire/model append codecs.
@@ -354,6 +430,20 @@ func (p *Peer) encodeSnapshot() []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(rs.PerPeer[peer]))
 	}
 
+	// v2: the reassembly store's partials (bitmap length and data length
+	// are derived from the geometry, so neither is encoded).
+	frags := p.frags.Export()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(frags)))
+	for _, f := range frags {
+		buf = f.Photo.AppendBinary(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, f.ChunkSize)
+		buf = binary.LittleEndian.AppendUint32(buf, f.Count)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Total)
+		buf = binary.LittleEndian.AppendUint32(buf, f.PayloadCRC)
+		buf = append(buf, f.Bitmap...)
+		buf = append(buf, f.Data...)
+	}
+
 	return binary.LittleEndian.AppendUint64(buf, p.commits)
 }
 
@@ -362,8 +452,9 @@ func (p *Peer) restoreSnapshot(buf []byte) error {
 	if len(buf) < 1 {
 		return errors.New("empty snapshot")
 	}
-	if buf[0] != peerSnapVersion {
-		return fmt.Errorf("snapshot version %d, want %d", buf[0], peerSnapVersion)
+	ver := buf[0]
+	if ver != 1 && ver != peerSnapVersion {
+		return fmt.Errorf("snapshot version %d, want 1..%d", ver, peerSnapVersion)
 	}
 	buf = buf[1:]
 
@@ -430,6 +521,39 @@ func (p *Peer) restoreSnapshot(buf []byte) error {
 	}
 	p.rate.Restore(rs)
 
+	if ver >= 2 {
+		if len(buf) < 4 {
+			return errors.New("snapshot fragment header")
+		}
+		n = binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		for i := uint32(0); i < n; i++ {
+			var f transfer.Fragment
+			var err error
+			f.Photo, buf, err = model.DecodePhoto(buf)
+			if err != nil {
+				return fmt.Errorf("snapshot fragment %d: %w", i, err)
+			}
+			if len(buf) < 4+4+8+4 {
+				return fmt.Errorf("snapshot fragment %d: geometry header", i)
+			}
+			f.ChunkSize = binary.LittleEndian.Uint32(buf)
+			f.Count = binary.LittleEndian.Uint32(buf[4:])
+			f.Total = binary.LittleEndian.Uint64(buf[8:])
+			f.PayloadCRC = binary.LittleEndian.Uint32(buf[16:])
+			buf = buf[20:]
+			bm := (int(f.Count) + 7) / 8
+			if f.Count > uint32(wire.MaxChunks) || uint64(len(buf)) < uint64(bm)+f.Total {
+				return fmt.Errorf("snapshot fragment %d: truncated", i)
+			}
+			f.Bitmap, buf = buf[:bm:bm], buf[bm:]
+			f.Data, buf = buf[:f.Total:f.Total], buf[f.Total:]
+			if err := p.frags.Import(f); err != nil {
+				return fmt.Errorf("snapshot fragment %d: %w", i, err)
+			}
+		}
+	}
+
 	if len(buf) != 8 {
 		return fmt.Errorf("snapshot trailer: %d bytes", len(buf))
 	}
@@ -460,6 +584,30 @@ func (p *Peer) replayRecord(rec journal.Record) error {
 		}
 		p.commits++
 		return nil
+	case recFragment:
+		if len(rec.Payload) < 1 {
+			return errors.New("fragment record: empty")
+		}
+		sub, body := rec.Payload[0], rec.Payload[1:]
+		switch sub {
+		case fragPut:
+			c, err := wire.DecodeChunk(body)
+			if err != nil {
+				return fmt.Errorf("fragment put: %w", err)
+			}
+			if _, err := p.frags.Add(c); err != nil && !errors.Is(err, transfer.ErrChecksum) {
+				return fmt.Errorf("fragment put: %w", err)
+			}
+			return nil
+		case fragDrop:
+			if len(body) != 8 {
+				return fmt.Errorf("fragment drop: %d bytes", len(body))
+			}
+			p.frags.Drop(model.PhotoID(binary.LittleEndian.Uint64(body)), false)
+			return nil
+		default:
+			return fmt.Errorf("unknown fragment sub-kind %d", sub)
+		}
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}

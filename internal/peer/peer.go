@@ -37,6 +37,7 @@ import (
 	"photodtn/internal/prophet"
 	"photodtn/internal/selection"
 	"photodtn/internal/sim"
+	"photodtn/internal/transfer"
 	"photodtn/internal/wire"
 )
 
@@ -112,6 +113,97 @@ func WithObserver(o *obs.Observer) Option {
 	return optionFunc(func(p *Peer) { p.obsv = o })
 }
 
+// DefaultMaxFragmentBytes caps the cross-contact reassembly store: 256 MiB
+// of tracked partial payloads, after which the least-recently-touched
+// partial is evicted.
+const DefaultMaxFragmentBytes = 256 << 20
+
+// TransferConfig tunes wire-v2 chunked transfer. The zero value of any
+// field means its default; construct via struct literal and set only what
+// matters.
+type TransferConfig struct {
+	// ChunkSize is the preferred transfer chunk size in bytes (default
+	// wire.DefaultChunkSize, 256 KiB). The contact uses the smaller of the
+	// two peers' preferences.
+	ChunkSize int
+	// Window is the preferred number of unacknowledged chunks in flight
+	// (default wire.DefaultWindow). Negotiated to the pairwise minimum.
+	Window int
+	// Resume persists partial transfers across contacts and offers them
+	// back to senders. Effective only when both peers enable it; a v1
+	// session silently disables it.
+	Resume bool
+	// Version pins the highest protocol version spoken (default: the
+	// current wire.ProtocolVersion). Set 1 to force the whole-photo v1
+	// framing — the cross-version tests pin one side this way.
+	Version int
+	// BudgetBytes caps the payload bytes sent per contact (the live
+	// counterpart of the simulator's bandwidth×duration budget); 0 is
+	// unlimited. A send list truncated by the budget simply stops — with
+	// resume on, the receiver keeps the prefix and a later contact sends
+	// the rest.
+	BudgetBytes int64
+	// MaxFragmentBytes caps the reassembly store's tracked payload bytes
+	// (default DefaultMaxFragmentBytes; negative = unlimited).
+	MaxFragmentBytes int64
+}
+
+// DefaultTransferConfig is the configuration a peer gets without
+// WithTransfer: v2 chunked transfer with resume enabled.
+func DefaultTransferConfig() TransferConfig {
+	return TransferConfig{
+		ChunkSize:        wire.DefaultChunkSize,
+		Window:           wire.DefaultWindow,
+		Resume:           true,
+		Version:          int(wire.ProtocolVersion),
+		MaxFragmentBytes: DefaultMaxFragmentBytes,
+	}
+}
+
+// normalize resolves zero fields to their defaults and clamps the rest.
+func (tc TransferConfig) normalize() TransferConfig {
+	def := DefaultTransferConfig()
+	if tc.ChunkSize <= 0 {
+		tc.ChunkSize = def.ChunkSize
+	}
+	if tc.ChunkSize > wire.MaxFrame/2 {
+		tc.ChunkSize = wire.MaxFrame / 2 // headroom for metadata in the frame
+	}
+	if tc.Window <= 0 {
+		tc.Window = def.Window
+	}
+	if tc.Version <= 0 || tc.Version > int(wire.ProtocolVersion) {
+		tc.Version = def.Version
+	}
+	if tc.BudgetBytes < 0 {
+		tc.BudgetBytes = 0
+	}
+	switch {
+	case tc.MaxFragmentBytes == 0:
+		tc.MaxFragmentBytes = def.MaxFragmentBytes
+	case tc.MaxFragmentBytes < 0:
+		tc.MaxFragmentBytes = 0 // store treats 0 as unlimited
+	}
+	return tc
+}
+
+// wireParams translates the config into handshake parameters.
+func (tc TransferConfig) wireParams() wire.Params {
+	return wire.Params{
+		Version:   uint16(tc.Version),
+		ChunkSize: uint32(tc.ChunkSize),
+		Window:    uint16(tc.Window),
+		Resume:    tc.Resume,
+	}
+}
+
+// WithTransfer configures chunked, resumable photo transfer (wire protocol
+// v2). Without it the peer uses DefaultTransferConfig. Zero-valued fields
+// keep their defaults — except Resume, which the config states explicitly.
+func WithTransfer(cfg TransferConfig) Option {
+	return optionFunc(func(p *Peer) { p.transfer = cfg.normalize() })
+}
+
 // peerState bundles the mutable protocol state a contact reads and writes:
 // the photo store, the metadata cache, the learned contact rate, and the
 // PROPHET table. Sessions clone it at snapshot time and the commit path
@@ -178,6 +270,17 @@ type Peer struct {
 	active      atomic.Int64
 	inflight    atomic.Int64
 
+	// Transfer (wire v2): configuration, the cross-contact reassembly
+	// store, and node-local stat counters that work without an observer.
+	transfer       TransferConfig
+	frags          *transfer.Store
+	tChunksSent    atomic.Int64
+	tChunksRecv    atomic.Int64
+	tChunksResumed atomic.Int64
+	tPhotosRes     atomic.Int64
+	tResumedBytes  atomic.Int64
+	tWastedLocal   atomic.Int64 // wasted bytes outside the shared store
+
 	// Observability (nil — no-op — unless WithObserver is given).
 	obsv           *obs.Observer
 	cContacts      *obs.Counter
@@ -186,6 +289,11 @@ type Peer struct {
 	cConflicts     *obs.Counter
 	cRejects       *obs.Counter
 	cAcceptRetries *obs.Counter
+	cChunksSent    *obs.Counter
+	cChunksRecv    *obs.Counter
+	cChunksResumed *obs.Counter
+	cWastedBytes   *obs.Counter
+	hResumeRate    *obs.Histogram
 	gInflight      *obs.Gauge
 
 	// Durability (zero — memory-only — unless WithJournal is given; see
@@ -217,6 +325,7 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 		sleep:         time.Sleep,
 
 		snapEvery: DefaultSnapshotEvery,
+		transfer:  DefaultTransferConfig(),
 	}
 	p.rate = metadata.NewRateEstimator()
 	p.table = prophet.NewTable(id, prophet.DefaultConfig())
@@ -246,7 +355,13 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 	p.cConflicts = p.obsv.Counter("peer.commit_conflicts")
 	p.cRejects = p.obsv.Counter("peer.admission_rejected")
 	p.cAcceptRetries = p.obsv.Counter("peer.accept_retries")
+	p.cChunksSent = p.obsv.Counter("transfer.chunks_sent")
+	p.cChunksRecv = p.obsv.Counter("transfer.chunks_received")
+	p.cChunksResumed = p.obsv.Counter("transfer.chunks_resumed")
+	p.cWastedBytes = p.obsv.Counter("transfer.wasted_bytes")
+	p.hResumeRate = p.obsv.Histogram("transfer.resume_rate")
 	p.gInflight = p.obsv.Gauge("peer.contacts_inflight")
+	p.frags = transfer.NewStore(p.transfer.MaxFragmentBytes)
 	p.selCfg.Metrics = selection.ObserverMetrics(p.obsv)
 	p.fpc.SetMetrics(p.obsv.Counter("coverage.fp_cache_hits"), p.obsv.Counter("coverage.fp_cache_misses"))
 	if p.stateDir != "" {
@@ -535,6 +650,7 @@ func (p *Peer) runContact(conn io.ReadWriter, initiator bool) error {
 		p.inflight.Add(-1)
 		p.gInflight.Add(-1)
 	}()
+	defer s.finishTransfer()
 	if err := s.run(conn, initiator); err != nil {
 		return err
 	}
@@ -544,10 +660,61 @@ func (p *Peer) runContact(conn io.ReadWriter, initiator bool) error {
 	return s.commit()
 }
 
+// TransferStats aggregates the peer's chunked-transfer activity: the wire
+// counters (maintained whether or not an observer is attached) merged with
+// the reassembly store's footprint.
+type TransferStats struct {
+	// ChunksSent and ChunksReceived count chunk frames on the wire.
+	ChunksSent     int64
+	ChunksReceived int64
+	// ChunksResumed counts chunks a resume offer let the sender skip;
+	// ResumedBytes are their payload bytes — traffic saved by persistence.
+	ChunksResumed int64
+	ResumedBytes  int64
+	// PhotosResumed counts photos completed across more than one contact.
+	PhotosResumed int64
+	// Partials and FragmentBytes are the reassembly store's current
+	// footprint; WastedBytes counts received bytes that never contributed
+	// to an admitted photo (discards, mismatches, evictions), across both
+	// the shared store and contact-local scratch stores.
+	Partials      int
+	FragmentBytes int64
+	WastedBytes   int64
+}
+
+// TransferStats returns a snapshot of the peer's transfer counters.
+func (p *Peer) TransferStats() TransferStats {
+	st := p.frags.Stats()
+	return TransferStats{
+		ChunksSent:     p.tChunksSent.Load(),
+		ChunksReceived: p.tChunksRecv.Load(),
+		ChunksResumed:  p.tChunksResumed.Load(),
+		ResumedBytes:   p.tResumedBytes.Load(),
+		PhotosResumed:  p.tPhotosRes.Load(),
+		Partials:       st.Partials,
+		FragmentBytes:  st.FragmentBytes,
+		WastedBytes:    st.WastedBytes + p.tWastedLocal.Load(),
+	}
+}
+
 // readAs reads one message and asserts its concrete type.
 func readAs[M wire.Message](r io.Reader) (M, error) {
 	var zero M
 	msg, err := wire.Read(r)
+	if err != nil {
+		return zero, err
+	}
+	m, ok := msg.(M)
+	if !ok {
+		return zero, fmt.Errorf("%w: got %v, want %v", ErrProtocol, msg.Type(), zero.Type())
+	}
+	return m, nil
+}
+
+// readFrom is readAs over a negotiated connection (version-gated reads).
+func readFrom[M wire.Message](c *wire.Conn) (M, error) {
+	var zero M
+	msg, err := c.Read()
 	if err != nil {
 		return zero, err
 	}

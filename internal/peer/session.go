@@ -10,6 +10,7 @@ import (
 
 	"photodtn/internal/model"
 	"photodtn/internal/selection"
+	"photodtn/internal/transfer"
 	"photodtn/internal/wire"
 )
 
@@ -41,6 +42,13 @@ type session struct {
 	ops       []byte // framed sub-records, applied locally as recorded
 	storeOps  bool   // ops touch the photo store (commit bumps storeGen)
 	committed bool   // commit already ran (mid-protocol commit points)
+
+	// Transfer state (wire v2): the negotiated connection and, when resume
+	// is off (or a photo fits one chunk), a contact-local scratch
+	// reassembly store whose leftovers are wasted at teardown — the v1
+	// discard semantics, but measured.
+	wc         *wire.Conn
+	localFrags *transfer.Store
 }
 
 // beginSession snapshots the peer under the lock: state clones, the clock,
@@ -123,6 +131,12 @@ func (s *session) commit() error {
 		p.storeGen++
 	}
 	s.committed = true
+	// Settle the reassembly store before any checkpoint: partials whose
+	// photo this commit admitted or learned was delivered are dropped (and
+	// the drops journaled) so neither the log nor a snapshot carries them.
+	if err := p.reconcileFragsLocked(); err != nil {
+		return err
+	}
 	return p.noteCommitLocked()
 }
 
@@ -234,26 +248,14 @@ func (s *session) run(conn io.ReadWriter, initiator bool) error {
 		Nonce:        s.nonce,
 		Capacity:     s.st.store.Capacity(),
 	}
-	var theirs wire.Hello
-	if initiator {
-		if err := wire.Write(conn, mine); err != nil {
-			return err
+	wc, theirs, err := wire.Negotiate(conn, mine, p.transfer.wireParams(), initiator)
+	if err != nil {
+		if errors.Is(err, wire.ErrHandshake) {
+			return fmt.Errorf("%w: %w", ErrProtocol, err)
 		}
-		h, err := readAs[wire.Hello](conn)
-		if err != nil {
-			return err
-		}
-		theirs = h
-	} else {
-		h, err := readAs[wire.Hello](conn)
-		if err != nil {
-			return err
-		}
-		theirs = h
-		if err := wire.Write(conn, mine); err != nil {
-			return err
-		}
+		return err
 	}
+	s.wc = wc
 	// Use a shared session clock so both sides make identical validity and
 	// selection decisions.
 	session := math.Max(mine.Time, theirs.Time)
@@ -269,20 +271,20 @@ func (s *session) run(conn io.ReadWriter, initiator bool) error {
 	// deadlock-free even over unbuffered transports.
 	var md wire.Metadata
 	if initiator {
-		if err := wire.Write(conn, s.metadataMsg(session)); err != nil {
+		if err := s.wc.Write(s.metadataMsg(session)); err != nil {
 			return err
 		}
-		m, err := readAs[wire.Metadata](conn)
+		m, err := readFrom[wire.Metadata](s.wc)
 		if err != nil {
 			return err
 		}
 		md = m
 	} else {
-		m, err := readAs[wire.Metadata](conn)
+		m, err := readFrom[wire.Metadata](s.wc)
 		if err != nil {
 			return err
 		}
-		if err := wire.Write(conn, s.metadataMsg(session)); err != nil {
+		if err := s.wc.Write(s.metadataMsg(session)); err != nil {
 			return err
 		}
 		md = m
@@ -294,11 +296,11 @@ func (s *session) run(conn io.ReadWriter, initiator bool) error {
 
 	switch {
 	case theirs.Node.IsCommandCenter():
-		return s.upload(conn, session)
+		return s.upload(session)
 	case p.id.IsCommandCenter():
-		return s.receiveUpload(conn)
+		return s.receiveUpload()
 	default:
-		return s.reallocate(conn, initiator, mine, theirs, peerPhotos, session)
+		return s.reallocate(initiator, mine, theirs, peerPhotos, session)
 	}
 }
 
@@ -350,7 +352,7 @@ func (s *session) absorbMetadata(h wire.Hello, md wire.Metadata, session float64
 }
 
 // reallocate runs the §III-D exchange with a fellow participant.
-func (s *session) reallocate(conn io.ReadWriter, initiator bool, mine, theirs wire.Hello, peerPhotos model.PhotoList, session float64) error {
+func (s *session) reallocate(initiator bool, mine, theirs wire.Hello, peerPhotos model.PhotoList, session float64) error {
 	p := s.p
 	selCfg := p.selCfg
 	selCfg.Seed = int64(mine.Nonce ^ theirs.Nonce)
@@ -382,7 +384,10 @@ func (s *session) reallocate(conn io.ReadWriter, initiator bool, mine, theirs wi
 		mySel = res.BSel
 	}
 
-	// Request the selected photos this node lacks.
+	// Request the selected photos this node lacks. On a v2 session the
+	// request is followed by a resume offer: the partial progress this node
+	// already holds for the photos it wants, so the sender skips chunks
+	// that landed in an earlier contact.
 	var want []model.PhotoID
 	for _, photo := range mySel {
 		if !s.st.store.Has(photo.ID) {
@@ -390,37 +395,51 @@ func (s *session) reallocate(conn io.ReadWriter, initiator bool, mine, theirs wi
 		}
 	}
 	if initiator {
-		if err := wire.Write(conn, wire.PhotoRequest{IDs: want}); err != nil {
+		if err := s.wc.Write(wire.PhotoRequest{IDs: want}); err != nil {
 			return err
 		}
-		theirReq, err := readAs[wire.PhotoRequest](conn)
+		if err := s.sendOffer(want); err != nil {
+			return err
+		}
+		theirReq, err := readFrom[wire.PhotoRequest](s.wc)
 		if err != nil {
 			return err
 		}
-		if err := s.sendPhotos(conn, theirReq.IDs); err != nil {
-			return err
-		}
-		received, err := s.receivePhotos(conn)
+		theirOffer, err := s.readOffer()
 		if err != nil {
 			return err
 		}
-		return s.applyPlan(conn, mySel, received, true)
+		if err := s.sendPhotos(theirReq.IDs, theirOffer); err != nil {
+			return err
+		}
+		received, err := s.receivePhotos(want)
+		if err != nil {
+			return err
+		}
+		return s.applyPlan(mySel, received, true)
 	}
-	theirReq, err := readAs[wire.PhotoRequest](conn)
+	theirReq, err := readFrom[wire.PhotoRequest](s.wc)
 	if err != nil {
 		return err
 	}
-	if err := wire.Write(conn, wire.PhotoRequest{IDs: want}); err != nil {
-		return err
-	}
-	received, err := s.receivePhotos(conn)
+	theirOffer, err := s.readOffer()
 	if err != nil {
 		return err
 	}
-	if err := s.sendPhotos(conn, theirReq.IDs); err != nil {
+	if err := s.wc.Write(wire.PhotoRequest{IDs: want}); err != nil {
 		return err
 	}
-	return s.applyPlan(conn, mySel, received, false)
+	if err := s.sendOffer(want); err != nil {
+		return err
+	}
+	received, err := s.receivePhotos(want)
+	if err != nil {
+		return err
+	}
+	if err := s.sendPhotos(theirReq.IDs, theirOffer); err != nil {
+		return err
+	}
+	return s.applyPlan(mySel, received, false)
 }
 
 // applyPlan replaces the collection with the selection (kept ∪ received)
@@ -429,7 +448,7 @@ func (s *session) reallocate(conn io.ReadWriter, initiator bool, mine, theirs wi
 // half of the reallocation is durable, which keeps a commit conflict on
 // either side from splitting the exchange (the side that aborts does so
 // before the other applies anything).
-func (s *session) applyPlan(conn io.ReadWriter, sel model.PhotoList, received map[model.PhotoID]model.Photo, initiator bool) error {
+func (s *session) applyPlan(sel model.PhotoList, received map[model.PhotoID]model.Photo, initiator bool) error {
 	final := make(model.PhotoList, 0, len(sel))
 	for _, photo := range sel {
 		if s.st.store.Has(photo.ID) {
@@ -442,24 +461,29 @@ func (s *session) applyPlan(conn io.ReadWriter, sel model.PhotoList, received ma
 		return fmt.Errorf("peer %v: apply plan: %w", s.p.id, err)
 	}
 	if initiator {
-		if err := wire.Write(conn, wire.Bye{}); err != nil {
+		if err := s.wc.Write(wire.Bye{}); err != nil {
 			return err
 		}
-		_, err := readAs[wire.Bye](conn)
+		_, err := readFrom[wire.Bye](s.wc)
 		return err
 	}
-	if _, err := readAs[wire.Bye](conn); err != nil {
+	if _, err := readFrom[wire.Bye](s.wc); err != nil {
 		return err
 	}
 	if err := s.commit(); err != nil {
 		return err
 	}
-	return wire.Write(conn, wire.Bye{})
+	return s.wc.Write(wire.Bye{})
 }
 
 // sendPhotos streams the requested photos this node holds, terminated by an
-// Ack listing what was actually sent.
-func (s *session) sendPhotos(conn io.ReadWriter, ids []model.PhotoID) error {
+// Ack listing what the receiver can now assemble. A v2 session moves the
+// payloads as CRC-framed chunks behind the negotiated window (transfer.go);
+// a v1 session sends whole PhotoData frames.
+func (s *session) sendPhotos(ids []model.PhotoID, offers map[model.PhotoID]wire.ResumeEntry) error {
+	if s.wc.Version() >= wire.ProtocolV2 {
+		return s.sendChunks(ids, offers)
+	}
 	var sent []model.PhotoID
 	for _, id := range ids {
 		photo, ok := s.st.store.Get(id)
@@ -468,21 +492,27 @@ func (s *session) sendPhotos(conn io.ReadWriter, ids []model.PhotoID) error {
 		}
 		data := wire.PhotoData{Photo: photo}
 		if s.p.payload > 0 {
-			data.Payload = make([]byte, s.p.payload)
+			data.Payload = payloadFor(id, s.p.payload)
 		}
-		if err := wire.Write(conn, data); err != nil {
+		if err := s.wc.Write(data); err != nil {
 			return err
 		}
 		sent = append(sent, id)
 	}
-	return wire.Write(conn, wire.Ack{IDs: sent})
+	return s.wc.Write(wire.Ack{IDs: sent})
 }
 
-// receivePhotos reads PhotoData frames until the terminating Ack.
-func (s *session) receivePhotos(conn io.ReadWriter) (map[model.PhotoID]model.Photo, error) {
+// receivePhotos reads the peer's transfer until the terminating Ack — chunk
+// streams on a v2 session (transfer.go), whole PhotoData frames on v1. want
+// lists the photos this node asked for (the resume bookkeeping needs it;
+// v1 ignores it).
+func (s *session) receivePhotos(want []model.PhotoID) (map[model.PhotoID]model.Photo, error) {
+	if s.wc.Version() >= wire.ProtocolV2 {
+		return s.receiveChunks(want)
+	}
 	out := make(map[model.PhotoID]model.Photo)
 	for {
-		msg, err := wire.Read(conn)
+		msg, err := s.wc.Read()
 		if err != nil {
 			return nil, err
 		}
@@ -498,8 +528,11 @@ func (s *session) receivePhotos(conn io.ReadWriter) (map[model.PhotoID]model.Pho
 }
 
 // upload sends the command center the photos that improve its coverage, in
-// marginal-gain order, then frees the delivered copies.
-func (s *session) upload(conn io.ReadWriter, session float64) error {
+// marginal-gain order, then frees the delivered copies. On a v2 session the
+// send is preceded by an announce/offer exchange: the uploader lists what it
+// will send and the command center answers with the chunk progress it
+// already holds from earlier contacts.
+func (s *session) upload(session float64) error {
 	ccEntry, _ := s.st.cache.Get(model.CommandCenter)
 	// The command center's own snapshot (just absorbed, authoritative) is a
 	// delivery acknowledgement (§III-B): any held photo it lists already
@@ -516,10 +549,20 @@ func (s *session) upload(conn io.ReadWriter, session float64) error {
 	for _, photo := range plan {
 		ids = append(ids, photo.ID)
 	}
-	if err := s.sendPhotos(conn, ids); err != nil {
+	var offers map[model.PhotoID]wire.ResumeEntry
+	if s.wc.Version() >= wire.ProtocolV2 {
+		if err := s.wc.Write(wire.PhotoRequest{IDs: ids}); err != nil {
+			return err
+		}
+		var err error
+		if offers, err = s.readOffer(); err != nil {
+			return err
+		}
+	}
+	if err := s.sendPhotos(ids, offers); err != nil {
 		return err
 	}
-	ack, err := readAs[wire.Ack](conn)
+	ack, err := readFrom[wire.Ack](s.wc)
 	if err != nil {
 		return err
 	}
@@ -535,11 +578,11 @@ func (s *session) upload(conn io.ReadWriter, session float64) error {
 		return err
 	}
 	s.storeOps = s.storeOps || len(acked) > 0
-	_, err = readAs[wire.Bye](conn)
+	_, err = readFrom[wire.Bye](s.wc)
 	if err != nil {
 		return err
 	}
-	return wire.Write(conn, wire.Bye{})
+	return s.wc.Write(wire.Bye{})
 }
 
 // deliveredHeld returns the held photos that appear in the delivered list.
@@ -556,8 +599,19 @@ func (s *session) deliveredHeld(delivered model.PhotoList) model.PhotoList {
 // receiveUpload is the command-center side of an upload. The commit happens
 // before the Ack goes out: an acknowledgement the uploader will act on
 // (freeing its copies) must refer to photos this node can no longer forget.
-func (s *session) receiveUpload(conn io.ReadWriter) error {
-	received, err := s.receivePhotos(conn)
+func (s *session) receiveUpload() error {
+	var announced []model.PhotoID
+	if s.wc.Version() >= wire.ProtocolV2 {
+		ann, err := readFrom[wire.PhotoRequest](s.wc)
+		if err != nil {
+			return err
+		}
+		announced = ann.IDs
+		if err := s.sendOffer(announced); err != nil {
+			return err
+		}
+	}
+	received, err := s.receivePhotos(announced)
 	if err != nil {
 		return err
 	}
@@ -576,12 +630,12 @@ func (s *session) receiveUpload(conn io.ReadWriter) error {
 	if err := s.commit(); err != nil {
 		return err
 	}
-	if err := wire.Write(conn, wire.Ack{IDs: ids}); err != nil {
+	if err := s.wc.Write(wire.Ack{IDs: ids}); err != nil {
 		return err
 	}
-	if err := wire.Write(conn, wire.Bye{}); err != nil {
+	if err := s.wc.Write(wire.Bye{}); err != nil {
 		return err
 	}
-	_, err = readAs[wire.Bye](conn)
+	_, err = readFrom[wire.Bye](s.wc)
 	return err
 }

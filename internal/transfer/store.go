@@ -1,0 +1,438 @@
+// Package transfer is the chunk reassembly store behind wire protocol v2:
+// it tracks, per photo, which CRC-framed chunks have landed, unions
+// duplicates idempotently, and releases the assembled payload only when
+// every chunk is present and the whole-photo checksum verifies.
+//
+// The store deliberately knows nothing about contacts, sessions, or
+// journals. The peer layer decides which store an incoming chunk goes to
+// (the shared cross-contact store when resume is negotiated, a
+// contact-local scratch store otherwise), persists fresh chunks through
+// its write-ahead journal before handing them here, and drops a photo's
+// partial once the photo is durably admitted. That split preserves the
+// paper's §III-D atomicity argument at the photo level — a photo either
+// appears whole in storage or not at all — while salvaging chunk progress
+// across contact disruptions.
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"photodtn/internal/model"
+	"photodtn/internal/wire"
+)
+
+// ErrChecksum reports a fully assembled payload whose whole-photo CRC did
+// not match the geometry every chunk declared. The partial is dropped (and
+// its bytes counted wasted) before the error returns, so the next contact
+// restarts the photo from chunk zero instead of re-verifying poison.
+var ErrChecksum = errors.New("transfer: assembled payload checksum mismatch")
+
+// Store tracks partial photo reassemblies. Safe for concurrent use by
+// multiple contact sessions.
+type Store struct {
+	mu sync.Mutex
+	// maxBytes caps the summed Total of tracked partials; 0 is unlimited.
+	// When a new photo would exceed the cap, least-recently-touched
+	// partials are evicted (their bytes counted wasted) to make room.
+	maxBytes int64
+	bytes    int64 // sum of tracked partials' received bytes
+	alloc    int64 // sum of tracked partials' Total (buffer footprint)
+	seq      int64 // touch clock for LRU eviction
+	parts    map[model.PhotoID]*partial
+
+	// counters (monotonic; survive partial turnover)
+	chunksAdded int64
+	completed   int64
+	restarts    int64
+	evictions   int64
+	wasted      int64
+}
+
+type partial struct {
+	photo     model.Photo
+	chunkSize uint32
+	count     uint32
+	total     uint64
+	crc       uint32
+	have      []uint64 // chunk bitmap, LSB-first words
+	haveCount uint32
+	received  int64 // bytes landed so far
+	data      []byte
+	touched   int64
+	complete  bool
+}
+
+// NewStore returns a store capping tracked partials at maxBytes of
+// allocated payload (0 = unlimited).
+func NewStore(maxBytes int64) *Store {
+	return &Store{maxBytes: maxBytes, parts: make(map[model.PhotoID]*partial)}
+}
+
+// AddResult reports what one chunk did to the store.
+type AddResult struct {
+	// Fresh is true when the chunk was new — not a duplicate of one
+	// already held. Only fresh chunks are worth journaling.
+	Fresh bool
+	// Restarted is true when the chunk's geometry contradicted an existing
+	// partial (different chunk size, total, or payload CRC), which was
+	// dropped — its bytes wasted — before this chunk started a new one.
+	Restarted bool
+	// Complete is true when every chunk is present and the whole-photo
+	// checksum verified. Photo and Payload are set.
+	Complete bool
+	Photo    model.Photo
+	// Payload is the fully assembled payload (only on Complete). The
+	// caller owns the read; the buffer is shared with the store until the
+	// photo is dropped.
+	Payload []byte
+}
+
+// Add unions one chunk into the photo's partial, creating it on first
+// contact with the photo. Duplicate chunks are ignored (Fresh=false);
+// conflicting geometry restarts the partial. When the final missing chunk
+// lands, the assembled payload is verified against the declared CRC:
+// success returns Complete, failure drops the partial and returns
+// ErrChecksum.
+func (s *Store) Add(c wire.Chunk) (AddResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res AddResult
+	p := s.parts[c.Photo.ID]
+	if p != nil && (p.chunkSize != c.ChunkSize || p.count != c.Count || p.total != c.Total || p.crc != c.PayloadCRC) {
+		s.dropLocked(c.Photo.ID, true)
+		s.restarts++
+		res.Restarted = true
+		p = nil
+	}
+	if p == nil {
+		s.admitLocked(c.Photo.ID, int64(c.Total))
+		p = &partial{
+			photo:     c.Photo,
+			chunkSize: c.ChunkSize,
+			count:     c.Count,
+			total:     c.Total,
+			crc:       c.PayloadCRC,
+			have:      make([]uint64, (int(c.Count)+63)/64),
+			data:      make([]byte, c.Total),
+		}
+		s.parts[c.Photo.ID] = p
+		s.alloc += int64(c.Total)
+	}
+	s.seq++
+	p.touched = s.seq
+	word, bit := c.Index/64, c.Index%64
+	if p.have[word]&(1<<bit) != 0 {
+		return res, nil // duplicate
+	}
+	p.have[word] |= 1 << bit
+	p.haveCount++
+	off := uint64(c.Index) * uint64(c.ChunkSize)
+	copy(p.data[off:], c.Data)
+	p.received += int64(len(c.Data))
+	s.bytes += int64(len(c.Data))
+	s.chunksAdded++
+	res.Fresh = true
+	if p.haveCount == p.count {
+		if wire.PayloadCRC(p.data) != p.crc {
+			s.dropLocked(c.Photo.ID, true)
+			return res, fmt.Errorf("%w: photo %v", ErrChecksum, c.Photo.ID)
+		}
+		p.complete = true
+		s.completed++
+		res.Complete = true
+		res.Photo = p.photo
+		res.Payload = p.data
+	}
+	return res, nil
+}
+
+// admitLocked makes room for a new partial of the given footprint,
+// evicting least-recently-touched partials when a cap is set. A single
+// partial larger than the cap is still admitted — the cap bounds hoarding,
+// not the protocol.
+func (s *Store) admitLocked(id model.PhotoID, total int64) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.alloc+total > s.maxBytes && len(s.parts) > 0 {
+		victim := model.PhotoID(0)
+		var oldest int64
+		for vid, vp := range s.parts {
+			if vid == id {
+				continue
+			}
+			if victim == 0 || vp.touched < oldest {
+				victim, oldest = vid, vp.touched
+			}
+		}
+		if victim == 0 {
+			break
+		}
+		s.dropLocked(victim, true)
+		s.evictions++
+	}
+}
+
+// Has reports whether the photo's partial already holds the chunk.
+func (s *Store) Has(id model.PhotoID, index uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.parts[id]
+	if p == nil || index >= p.count {
+		return false
+	}
+	return p.have[index/64]&(1<<(index%64)) != 0
+}
+
+// Assemble returns the verified payload of a photo whose partial is
+// already complete — the zero-traffic path when a resume offer advertised
+// a full bitmap. A complete partial that fails verification (cannot happen
+// unless the store was restored from corrupt state) is dropped.
+func (s *Store) Assemble(id model.PhotoID) (AddResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.parts[id]
+	if p == nil || p.haveCount != p.count {
+		return AddResult{}, false
+	}
+	if !p.complete {
+		if wire.PayloadCRC(p.data) != p.crc {
+			s.dropLocked(id, true)
+			return AddResult{}, false
+		}
+		p.complete = true
+		s.completed++
+	}
+	return AddResult{Complete: true, Photo: p.photo, Payload: p.data}, true
+}
+
+// Drop removes a photo's partial. Wasted marks bytes that were received
+// but will never contribute to a delivery (discard, mismatch, eviction);
+// a drop after successful admission passes wasted=false. Returns the
+// number of fragment bytes released.
+func (s *Store) Drop(id model.PhotoID, wasted bool) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropLocked(id, wasted)
+}
+
+func (s *Store) dropLocked(id model.PhotoID, wasted bool) int64 {
+	p := s.parts[id]
+	if p == nil {
+		return 0
+	}
+	delete(s.parts, id)
+	s.bytes -= p.received
+	s.alloc -= int64(p.total)
+	if wasted {
+		s.wasted += p.received
+	}
+	return p.received
+}
+
+// Offer returns the photo's partial state as a wire resume entry.
+func (s *Store) Offer(id model.PhotoID) (wire.ResumeEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.parts[id]
+	if p == nil {
+		return wire.ResumeEntry{}, false
+	}
+	s.seq++
+	p.touched = s.seq
+	return wire.ResumeEntry{
+		ID:         id,
+		ChunkSize:  p.chunkSize,
+		Count:      p.count,
+		Total:      p.total,
+		PayloadCRC: p.crc,
+		Bitmap:     bitmapBytes(p.have, p.count),
+	}, true
+}
+
+// Chunks returns how many chunks of the photo's partial have landed
+// (0 when the photo is untracked) and the partial's chunk count.
+func (s *Store) Chunks(id model.PhotoID) (have, count uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.parts[id]; p != nil {
+		return p.haveCount, p.count
+	}
+	return 0, 0
+}
+
+// IDs returns the tracked photo IDs in unspecified order.
+func (s *Store) IDs() []model.PhotoID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]model.PhotoID, 0, len(s.parts))
+	for id := range s.parts {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Fragment is one partial's full exportable state, used by the peer's
+// snapshot encoder. Data holds the received chunks' bytes at their payload
+// offsets (missing regions zero); Bitmap says which regions are real.
+type Fragment struct {
+	Photo      model.Photo
+	ChunkSize  uint32
+	Count      uint32
+	Total      uint64
+	PayloadCRC uint32
+	Bitmap     []byte
+	Data       []byte
+}
+
+// Export snapshots every tracked partial, ordered by photo ID.
+func (s *Store) Export() []Fragment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Fragment, 0, len(s.parts))
+	for _, p := range s.parts {
+		out = append(out, Fragment{
+			Photo:      p.photo,
+			ChunkSize:  p.chunkSize,
+			Count:      p.count,
+			Total:      p.total,
+			PayloadCRC: p.crc,
+			Bitmap:     bitmapBytes(p.have, p.count),
+			Data:       append([]byte(nil), p.data...),
+		})
+	}
+	sortFragments(out)
+	return out
+}
+
+// Import restores one exported partial, replacing any tracked state for
+// the photo. Geometry is validated like a wire decode.
+func (s *Store) Import(f Fragment) error {
+	if f.ChunkSize == 0 || f.Count == 0 || uint64(f.Count) > wire.MaxChunks {
+		return fmt.Errorf("transfer: import photo %v: bad geometry", f.Photo.ID)
+	}
+	if want := wire.ChunkCount(int64(f.Total), int(f.ChunkSize)); int(f.Count) != want {
+		return fmt.Errorf("transfer: import photo %v: %d chunks, want %d", f.Photo.ID, f.Count, want)
+	}
+	if len(f.Bitmap) != (int(f.Count)+7)/8 || uint64(len(f.Data)) != f.Total {
+		return fmt.Errorf("transfer: import photo %v: bitmap/data length", f.Photo.ID)
+	}
+	have := bitmapWords(f.Bitmap, f.Count)
+	var haveCount uint32
+	var received int64
+	for i := uint32(0); i < f.Count; i++ {
+		if have[i/64]&(1<<(i%64)) != 0 {
+			haveCount++
+			received += chunkLen(i, f.Count, f.ChunkSize, f.Total)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropLocked(f.Photo.ID, false)
+	s.seq++
+	s.parts[f.Photo.ID] = &partial{
+		photo:     f.Photo,
+		chunkSize: f.ChunkSize,
+		count:     f.Count,
+		total:     f.Total,
+		crc:       f.PayloadCRC,
+		have:      have,
+		haveCount: haveCount,
+		received:  received,
+		data:      append([]byte(nil), f.Data...),
+		touched:   s.seq,
+	}
+	s.bytes += received
+	s.alloc += int64(f.Total)
+	return nil
+}
+
+// Stats are the store's lifetime counters plus its current footprint.
+type Stats struct {
+	// Partials and FragmentBytes are the current footprint: tracked
+	// photos and their received bytes.
+	Partials      int
+	FragmentBytes int64
+	// ChunksAdded counts fresh chunks ever unioned in.
+	ChunksAdded int64
+	// Completed counts photos fully assembled and verified.
+	Completed int64
+	// Restarts counts partials dropped for conflicting geometry.
+	Restarts int64
+	// Evictions counts partials dropped to respect the byte cap.
+	Evictions int64
+	// WastedBytes counts received bytes that never contributed to a
+	// delivery: mismatch restarts, evictions, and explicit wasted drops.
+	WastedBytes int64
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Partials:      len(s.parts),
+		FragmentBytes: s.bytes,
+		ChunksAdded:   s.chunksAdded,
+		Completed:     s.completed,
+		Restarts:      s.restarts,
+		Evictions:     s.evictions,
+		WastedBytes:   s.wasted,
+	}
+}
+
+// chunkLen is the payload length of chunk index in the given geometry.
+func chunkLen(index, count, size uint32, total uint64) int64 {
+	if index < count-1 {
+		return int64(size)
+	}
+	return int64(total - uint64(count-1)*uint64(size))
+}
+
+// bitmapBytes converts LSB-first bitmap words to the wire's byte layout.
+func bitmapBytes(words []uint64, count uint32) []byte {
+	out := make([]byte, (int(count)+7)/8)
+	for i := range out {
+		word, shift := i/8, (i%8)*8
+		out[i] = byte(words[word] >> shift)
+	}
+	return out
+}
+
+// bitmapWords converts the wire's bitmap bytes to LSB-first words.
+func bitmapWords(b []byte, count uint32) []uint64 {
+	out := make([]uint64, (int(count)+63)/64)
+	for i, v := range b {
+		out[i/8] |= uint64(v) << ((i % 8) * 8)
+	}
+	return out
+}
+
+// MissingChunks lists the chunk indices absent from a wire resume entry's
+// bitmap, in ascending order — the sender's work list when resuming.
+func MissingChunks(e wire.ResumeEntry) []uint32 {
+	words := bitmapWords(e.Bitmap, e.Count)
+	out := make([]uint32, 0, int(e.Count)-popcount(words))
+	for i := uint32(0); i < e.Count; i++ {
+		if words[i/64]&(1<<(i%64)) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func popcount(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func sortFragments(fs []Fragment) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Photo.ID < fs[j].Photo.ID })
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"testing"
+)
+
+// handshake runs Negotiate on both ends of a pipe and returns both conns.
+func handshake(t *testing.T, pi, pr Params) (*Conn, *Conn) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	t.Cleanup(func() { _ = ca.Close(); _ = cb.Close() })
+	type res struct {
+		c   *Conn
+		h   Hello
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, h, err := Negotiate(cb, Hello{Node: 2, Nonce: 22}, pr, false)
+		ch <- res{c, h, err}
+	}()
+	ci, hr, err := Negotiate(ca, Hello{Node: 1, Nonce: 11}, pi, true)
+	if err != nil {
+		t.Fatalf("initiator: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("responder: %v", r.err)
+	}
+	if hr.Node != 2 || r.h.Node != 1 {
+		t.Fatalf("identities: initiator saw %v, responder saw %v", hr.Node, r.h.Node)
+	}
+	return ci, r.c
+}
+
+func TestNegotiateBothV2(t *testing.T) {
+	ci, cr := handshake(t,
+		Params{ChunkSize: 128 << 10, Window: 16, Resume: true},
+		Params{ChunkSize: 64 << 10, Window: 4, Resume: true})
+	for _, c := range []*Conn{ci, cr} {
+		if c.Version() != ProtocolV2 {
+			t.Fatalf("version = %d", c.Version())
+		}
+		if c.ChunkSize() != 64<<10 {
+			t.Fatalf("chunk size = %d, want min", c.ChunkSize())
+		}
+		if c.Window() != 4 {
+			t.Fatalf("window = %d, want min", c.Window())
+		}
+		if !c.Resume() {
+			t.Fatal("resume lost")
+		}
+	}
+}
+
+func TestNegotiateMixedVersions(t *testing.T) {
+	cases := []struct {
+		name   string
+		pi, pr Params
+	}{
+		{"v1 initiator", Params{Version: ProtocolV1}, Params{Resume: true}},
+		{"v1 responder", Params{Resume: true}, Params{Version: ProtocolV1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ci, cr := handshake(t, tc.pi, tc.pr)
+			for _, c := range []*Conn{ci, cr} {
+				if c.Version() != ProtocolV1 {
+					t.Fatalf("version = %d, want 1", c.Version())
+				}
+				if c.Resume() {
+					t.Fatal("resume negotiated on a v1 session")
+				}
+			}
+		})
+	}
+}
+
+func TestNegotiateResumeRequiresBoth(t *testing.T) {
+	ci, cr := handshake(t, Params{Resume: true}, Params{})
+	if ci.Resume() || cr.Resume() {
+		t.Fatal("resume needs both sides")
+	}
+}
+
+func TestConnVersionGate(t *testing.T) {
+	ci, cr := handshake(t, Params{Version: ProtocolV1}, Params{})
+	if err := ci.Write(ChunkAck{ID: 1}); !errors.Is(err, ErrVersion) {
+		t.Fatalf("write err = %v, want ErrVersion", err)
+	}
+	// A v2 frame arriving on a v1 session is rejected on read, too.
+	done := make(chan error, 1)
+	go func() { done <- Write(cr.rw, ChunkAck{ID: 1, Index: 0}) }()
+	if _, err := ci.Read(); !errors.Is(err, ErrVersion) {
+		t.Fatalf("read err = %v, want ErrVersion", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegotiateRejectsNonHello(t *testing.T) {
+	ca, cb := net.Pipe()
+	defer func() { _ = ca.Close(); _ = cb.Close() }()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Negotiate(ca, Hello{Node: 1}, Params{}, true)
+		done <- err
+	}()
+	if _, err := Read(cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(cb, Bye{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrHandshake) {
+		t.Fatalf("err = %v, want ErrHandshake", err)
+	}
+}

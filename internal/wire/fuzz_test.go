@@ -19,6 +19,11 @@ func FuzzRead(f *testing.F) {
 		PhotoData{Photo: samplePhoto(1, 1), Payload: []byte{9, 9}},
 		Ack{IDs: []model.PhotoID{4}},
 		Bye{},
+		Hello{Node: 3, Nonce: 8, Version: ProtocolV2, ChunkSize: 64 << 10, Window: 8, Flags: FlagResume},
+		HelloAck{Hello: Hello{Node: 4, Version: ProtocolV2, ChunkSize: 32 << 10, Window: 2}},
+		Chunk{Photo: samplePhoto(5, 0), Index: 1, Count: 3, ChunkSize: 4, Total: 11, PayloadCRC: 3, Data: []byte{1, 2, 3, 4}},
+		ChunkAck{ID: model.MakePhotoID(5, 0), Index: 1},
+		ResumeOffer{Entries: []ResumeEntry{{ID: 9, ChunkSize: 4, Count: 3, Total: 11, Bitmap: []byte{0b101}}}},
 	}
 	for _, msg := range seed {
 		var buf bytes.Buffer
@@ -87,6 +92,11 @@ func FuzzDecodeMessage(f *testing.F) {
 		PhotoData{Photo: samplePhoto(1, 1), Payload: []byte{9, 9}},
 		Ack{IDs: []model.PhotoID{4}},
 		Bye{},
+		Hello{Node: 3, Nonce: 8, Version: ProtocolV2, ChunkSize: 64 << 10, Window: 8, Flags: FlagResume},
+		HelloAck{Hello: Hello{Node: 4, Version: ProtocolV2, ChunkSize: 32 << 10, Window: 2}},
+		Chunk{Photo: samplePhoto(5, 0), Index: 2, Count: 3, ChunkSize: 4, Total: 11, PayloadCRC: 3, Data: []byte{1, 2, 3}},
+		ChunkAck{ID: model.MakePhotoID(5, 0), Index: 1},
+		ResumeOffer{Entries: []ResumeEntry{{ID: 9, ChunkSize: 4, Count: 3, Total: 11, Bitmap: []byte{0b101}}}},
 	}
 	for _, msg := range seed {
 		var buf bytes.Buffer

@@ -52,6 +52,21 @@ const (
 	MsgAck
 	// MsgBye closes the contact.
 	MsgBye
+	// MsgHelloAck answers an extended Hello when both sides speak v2: it
+	// carries the responder's identity fields plus the negotiated transfer
+	// parameters (protocol v2+ only).
+	MsgHelloAck
+	// MsgChunk delivers one slice of a photo's payload together with the
+	// full photo metadata, so any holder can resume a partial transfer
+	// started by another (protocol v2+ only).
+	MsgChunk
+	// MsgChunkAck acknowledges one chunk; the sender uses it to clock its
+	// transmission window (protocol v2+ only).
+	MsgChunkAck
+	// MsgResumeOffer lists the receiver's partial reassembly state for the
+	// photos it is about to request, so the sender skips chunks that
+	// already landed in an earlier contact (protocol v2+ only).
+	MsgResumeOffer
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +84,14 @@ func (t MsgType) String() string {
 		return "Ack"
 	case MsgBye:
 		return "Bye"
+	case MsgHelloAck:
+		return "HelloAck"
+	case MsgChunk:
+		return "Chunk"
+	case MsgChunkAck:
+		return "ChunkAck"
+	case MsgResumeOffer:
+		return "ResumeOffer"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -88,6 +111,14 @@ var (
 // platforms) used for the per-frame checksum.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// PayloadCRC is the whole-payload checksum carried by every Chunk: the
+// same CRC-32C the frame trailer uses, over the fully assembled payload.
+// Exported so the transfer store and the peer's send path share one
+// definition.
+func PayloadCRC(b []byte) uint32 {
+	return crc32.Checksum(b, crcTable)
+}
+
 // Message is any protocol message.
 type Message interface {
 	// Type returns the message type tag.
@@ -96,7 +127,11 @@ type Message interface {
 	appendBody(dst []byte) []byte
 }
 
-// Hello opens a contact.
+// Hello opens a contact. A v1 hello is exactly the 44-byte base layout; a
+// v2+ hello appends a 9-byte transfer extension ([version u16][chunk u32]
+// [window u16][flags u8]) that v1 decoders never see — the version
+// handshake (Negotiate) guarantees the base body is all a v1 peer ever
+// receives back.
 type Hello struct {
 	Node model.NodeID
 	// Lambda is the sender's learned aggregate contact rate λ (per second).
@@ -110,10 +145,26 @@ type Hello struct {
 	Nonce uint64
 	// Capacity is the sender's storage capacity in bytes.
 	Capacity int64
+
+	// Version is the highest protocol version the sender speaks. Zero
+	// means the extension was absent: a v1 hello.
+	Version uint16
+	// ChunkSize is the sender's preferred chunk size in bytes (v2+).
+	ChunkSize uint32
+	// Window is the sender's preferred number of unacknowledged chunks in
+	// flight (v2+).
+	Window uint16
+	// Flags carries transfer capability bits (FlagResume).
+	Flags uint8
 }
 
 // Type implements Message.
 func (Hello) Type() MsgType { return MsgHello }
+
+const (
+	helloBaseLen = 4 + 8*5
+	helloExtLen  = helloBaseLen + 2 + 4 + 2 + 1
+)
 
 func (h Hello) appendBody(dst []byte) []byte {
 	dst = appendU32(dst, uint32(h.Node))
@@ -121,21 +172,60 @@ func (h Hello) appendBody(dst []byte) []byte {
 	dst = appendF64(dst, h.DeliveryProb)
 	dst = appendF64(dst, h.Time)
 	dst = appendU64(dst, h.Nonce)
-	return appendU64(dst, uint64(h.Capacity))
+	dst = appendU64(dst, uint64(h.Capacity))
+	if h.Version >= ProtocolV2 {
+		dst = append(dst, byte(h.Version), byte(h.Version>>8))
+		dst = appendU32(dst, h.ChunkSize)
+		dst = append(dst, byte(h.Window), byte(h.Window>>8))
+		dst = append(dst, h.Flags)
+	}
+	return dst
 }
 
 func decodeHello(b []byte) (Hello, error) {
-	if len(b) != 4+8*5 {
+	if len(b) != helloBaseLen && len(b) != helloExtLen {
 		return Hello{}, fmt.Errorf("%w: hello body %d bytes", ErrBadMessage, len(b))
 	}
-	return Hello{
+	h := Hello{
 		Node:         model.NodeID(binary.LittleEndian.Uint32(b)),
 		Lambda:       f64(b[4:]),
 		DeliveryProb: f64(b[12:]),
 		Time:         f64(b[20:]),
 		Nonce:        binary.LittleEndian.Uint64(b[28:]),
 		Capacity:     int64(binary.LittleEndian.Uint64(b[36:])),
-	}, nil
+		Version:      ProtocolV1,
+	}
+	if len(b) == helloExtLen {
+		h.Version = binary.LittleEndian.Uint16(b[44:])
+		h.ChunkSize = binary.LittleEndian.Uint32(b[46:])
+		h.Window = binary.LittleEndian.Uint16(b[50:])
+		h.Flags = b[52]
+		if h.Version < ProtocolV2 {
+			return Hello{}, fmt.Errorf("%w: hello extension with version %d", ErrBadMessage, h.Version)
+		}
+	}
+	return h, nil
+}
+
+// HelloAck is the responder's half of the v2 handshake: its own identity
+// fields plus the negotiated (element-wise minimum) transfer parameters.
+// It is only ever sent when both peers advertised v2 or later.
+type HelloAck struct {
+	Hello
+}
+
+// Type implements Message.
+func (HelloAck) Type() MsgType { return MsgHelloAck }
+
+func decodeHelloAck(b []byte) (HelloAck, error) {
+	h, err := decodeHello(b)
+	if err != nil {
+		return HelloAck{}, err
+	}
+	if h.Version < ProtocolV2 {
+		return HelloAck{}, fmt.Errorf("%w: hello ack without v2 extension", ErrBadMessage)
+	}
+	return HelloAck{Hello: h}, nil
 }
 
 // MetaEntry is one metadata snapshot on the wire.
@@ -335,6 +425,267 @@ func (Bye) Type() MsgType { return MsgBye }
 
 func (Bye) appendBody(dst []byte) []byte { return dst }
 
+// MaxChunks bounds the chunk count a single photo may be split into; a
+// hostile geometry claiming more is rejected before any bitmap allocation.
+const MaxChunks = 1 << 24
+
+// chunkCount returns the canonical number of chunks for a payload of total
+// bytes at the given chunk size: ceil(total/size), but at least one (an
+// empty payload still travels as a single empty chunk carrying the
+// metadata).
+func chunkCount(total uint64, size uint32) uint64 {
+	if total == 0 || size == 0 {
+		return 1
+	}
+	n := total / uint64(size)
+	if total%uint64(size) != 0 {
+		n++
+	}
+	return n
+}
+
+// ChunkCount is chunkCount for callers outside the package (the transfer
+// store and the peer's send planner share the wire's geometry).
+func ChunkCount(total int64, size int) int {
+	if total < 0 {
+		return 1
+	}
+	return int(chunkCount(uint64(total), uint32(size)))
+}
+
+// chunkGeometry validates the shared (index, count, size, total) header of
+// chunks and resume entries: the count must be the canonical chunk count
+// for the claimed total, and bounded by MaxChunks.
+func chunkGeometry(count, size uint32, total uint64) error {
+	if size == 0 {
+		return fmt.Errorf("%w: zero chunk size", ErrBadMessage)
+	}
+	if count == 0 || uint64(count) > MaxChunks {
+		return fmt.Errorf("%w: chunk count %d", ErrBadMessage, count)
+	}
+	if want := chunkCount(total, size); uint64(count) != want {
+		return fmt.Errorf("%w: %d chunks for %d bytes at size %d (want %d)",
+			ErrBadMessage, count, total, size, want)
+	}
+	return nil
+}
+
+// chunkDataLen returns the exact payload length of chunk index within the
+// given geometry: full chunks except for the (possibly short) final one.
+func chunkDataLen(index, count, size uint32, total uint64) uint64 {
+	if index < count-1 {
+		return uint64(size)
+	}
+	return total - uint64(count-1)*uint64(size)
+}
+
+// Chunk delivers one slice of a photo's payload. Every chunk carries the
+// full photo metadata and transfer geometry, so a receiver can start — or
+// resume — reassembly from any chunk arriving from any holder, across
+// contacts. PayloadCRC is the CRC-32C of the *whole* assembled payload;
+// the receiver admits the photo only after the final chunk lands and the
+// checksum verifies.
+type Chunk struct {
+	Photo model.Photo
+	// Index is this chunk's position, 0-based.
+	Index uint32
+	// Count is the total number of chunks (canonical for Total/ChunkSize).
+	Count uint32
+	// ChunkSize is the transfer's chunk size in bytes.
+	ChunkSize uint32
+	// Total is the whole payload length in bytes.
+	Total uint64
+	// PayloadCRC is the CRC-32C (Castagnoli) of the whole payload.
+	PayloadCRC uint32
+	// Data is this chunk's slice of the payload.
+	Data []byte
+}
+
+// Type implements Message.
+func (Chunk) Type() MsgType { return MsgChunk }
+
+func (c Chunk) appendBody(dst []byte) []byte { return AppendChunk(dst, c) }
+
+// AppendChunk appends the binary encoding of one chunk (the MsgChunk body)
+// to dst. Exported so the peer's fragment journal records reuse the wire
+// layout, exactly as AppendMetaEntry does for metadata.
+func AppendChunk(dst []byte, c Chunk) []byte {
+	dst = c.Photo.AppendBinary(dst)
+	dst = appendU32(dst, c.Index)
+	dst = appendU32(dst, c.Count)
+	dst = appendU32(dst, c.ChunkSize)
+	dst = appendU64(dst, c.Total)
+	dst = appendU32(dst, c.PayloadCRC)
+	return append(dst, c.Data...)
+}
+
+// DecodeChunk decodes one chunk from b, validating the transfer geometry:
+// the count must be canonical for (Total, ChunkSize), the index in range,
+// and the data length exactly the slice the geometry dictates.
+func DecodeChunk(b []byte) (Chunk, error) {
+	photo, rest, err := model.DecodePhoto(b)
+	if err != nil {
+		return Chunk{}, fmt.Errorf("%w: chunk photo: %v", ErrBadMessage, err)
+	}
+	if len(rest) < 4+4+4+8+4 {
+		return Chunk{}, fmt.Errorf("%w: chunk header", ErrBadMessage)
+	}
+	c := Chunk{
+		Photo:      photo,
+		Index:      binary.LittleEndian.Uint32(rest),
+		Count:      binary.LittleEndian.Uint32(rest[4:]),
+		ChunkSize:  binary.LittleEndian.Uint32(rest[8:]),
+		Total:      binary.LittleEndian.Uint64(rest[12:]),
+		PayloadCRC: binary.LittleEndian.Uint32(rest[20:]),
+	}
+	rest = rest[24:]
+	if err := chunkGeometry(c.Count, c.ChunkSize, c.Total); err != nil {
+		return Chunk{}, err
+	}
+	if c.Index >= c.Count {
+		return Chunk{}, fmt.Errorf("%w: chunk index %d of %d", ErrBadMessage, c.Index, c.Count)
+	}
+	if want := chunkDataLen(c.Index, c.Count, c.ChunkSize, c.Total); uint64(len(rest)) != want {
+		return Chunk{}, fmt.Errorf("%w: chunk %d carries %d bytes, want %d",
+			ErrBadMessage, c.Index, len(rest), want)
+	}
+	if len(rest) > 0 {
+		c.Data = append([]byte(nil), rest...)
+	}
+	return c, nil
+}
+
+// ChunkAck acknowledges one received (and durably recorded) chunk; the
+// sender clocks its window off these.
+type ChunkAck struct {
+	ID    model.PhotoID
+	Index uint32
+}
+
+// Type implements Message.
+func (ChunkAck) Type() MsgType { return MsgChunkAck }
+
+func (a ChunkAck) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, uint64(a.ID))
+	return appendU32(dst, a.Index)
+}
+
+func decodeChunkAck(b []byte) (ChunkAck, error) {
+	if len(b) != 12 {
+		return ChunkAck{}, fmt.Errorf("%w: chunk ack body %d bytes", ErrBadMessage, len(b))
+	}
+	return ChunkAck{
+		ID:    model.PhotoID(binary.LittleEndian.Uint64(b)),
+		Index: binary.LittleEndian.Uint32(b[8:]),
+	}, nil
+}
+
+// ResumeEntry is one photo's partial reassembly state: which chunks of
+// which geometry the receiver already holds. The sender resumes from the
+// complement iff its own payload matches the recorded (Total, PayloadCRC);
+// otherwise it restarts from chunk zero with fresh geometry.
+type ResumeEntry struct {
+	ID         model.PhotoID
+	ChunkSize  uint32
+	Count      uint32
+	Total      uint64
+	PayloadCRC uint32
+	// Bitmap has bit i (LSB-first within each byte) set iff chunk i is
+	// already held; its length is exactly ceil(Count/8) with the trailing
+	// slack bits zero.
+	Bitmap []byte
+}
+
+// AppendResumeEntry appends the binary encoding of one resume entry (the
+// element encoding of a ResumeOffer body) to dst.
+func AppendResumeEntry(dst []byte, e ResumeEntry) []byte {
+	dst = appendU64(dst, uint64(e.ID))
+	dst = appendU32(dst, e.ChunkSize)
+	dst = appendU32(dst, e.Count)
+	dst = appendU64(dst, e.Total)
+	dst = appendU32(dst, e.PayloadCRC)
+	return append(dst, e.Bitmap...)
+}
+
+// DecodeResumeEntry decodes one resume entry from the front of b,
+// returning the entry and the remaining bytes.
+func DecodeResumeEntry(b []byte) (ResumeEntry, []byte, error) {
+	if len(b) < 8+4+4+8+4 {
+		return ResumeEntry{}, b, fmt.Errorf("%w: resume entry header", ErrBadMessage)
+	}
+	e := ResumeEntry{
+		ID:         model.PhotoID(binary.LittleEndian.Uint64(b)),
+		ChunkSize:  binary.LittleEndian.Uint32(b[8:]),
+		Count:      binary.LittleEndian.Uint32(b[12:]),
+		Total:      binary.LittleEndian.Uint64(b[16:]),
+		PayloadCRC: binary.LittleEndian.Uint32(b[24:]),
+	}
+	b = b[28:]
+	if err := chunkGeometry(e.Count, e.ChunkSize, e.Total); err != nil {
+		return ResumeEntry{}, b, err
+	}
+	n := (int(e.Count) + 7) / 8
+	if len(b) < n {
+		return ResumeEntry{}, b, fmt.Errorf("%w: resume bitmap %d bytes, want %d", ErrBadMessage, len(b), n)
+	}
+	e.Bitmap = append([]byte(nil), b[:n]...)
+	if slack := uint(n*8) - uint(e.Count); slack > 0 {
+		if e.Bitmap[n-1]>>(8-slack) != 0 {
+			return ResumeEntry{}, b, fmt.Errorf("%w: resume bitmap slack bits set", ErrBadMessage)
+		}
+	}
+	return e, b[n:], nil
+}
+
+// ResumeOffer lists the receiver's partial state for photos it is about to
+// receive. Sent by the requester immediately after its PhotoRequest (and
+// by the command center in reply to an upload announcement).
+type ResumeOffer struct {
+	Entries []ResumeEntry
+}
+
+// Type implements Message.
+func (ResumeOffer) Type() MsgType { return MsgResumeOffer }
+
+func (o ResumeOffer) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, uint32(len(o.Entries)))
+	for _, e := range o.Entries {
+		dst = AppendResumeEntry(dst, e)
+	}
+	return dst
+}
+
+func decodeResumeOffer(b []byte) (ResumeOffer, error) {
+	if len(b) < 4 {
+		return ResumeOffer{}, fmt.Errorf("%w: resume offer header", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	// As with metadata, the claimed count never drives allocation: each
+	// entry needs at least its fixed header plus one bitmap byte.
+	const minEntry = 28 + 1
+	capHint := uint32(len(b) / minEntry)
+	if n < capHint {
+		capHint = n
+	}
+	out := ResumeOffer{Entries: make([]ResumeEntry, 0, capHint)}
+	for i := uint32(0); i < n; i++ {
+		var (
+			e   ResumeEntry
+			err error
+		)
+		e, b, err = DecodeResumeEntry(b)
+		if err != nil {
+			return ResumeOffer{}, fmt.Errorf("resume entry %d: %w", i, err)
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	if len(b) != 0 {
+		return ResumeOffer{}, fmt.Errorf("%w: %d trailing offer bytes", ErrBadMessage, len(b))
+	}
+	return out, nil
+}
+
 // Write serialises one message as a frame (with its checksum trailer).
 // Header, body, and trailer go out in a single Write call: one syscall per
 // frame, and no zero-length body writes (which block forever on fully
@@ -402,6 +753,14 @@ func DecodeBody(t MsgType, body []byte) (Message, error) {
 			return nil, fmt.Errorf("%w: bye with body", ErrBadMessage)
 		}
 		return Bye{}, nil
+	case MsgHelloAck:
+		return retErr(decodeHelloAck(body))
+	case MsgChunk:
+		return retErr(DecodeChunk(body))
+	case MsgChunkAck:
+		return retErr(decodeChunkAck(body))
+	case MsgResumeOffer:
+		return retErr(decodeResumeOffer(body))
 	default:
 		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, t)
 	}

@@ -40,8 +40,97 @@ func roundTrip(t *testing.T, msg Message) Message {
 func TestHelloRoundTrip(t *testing.T) {
 	msg := Hello{Node: 7, Lambda: 0.001, DeliveryProb: 0.4, Time: 1234.5, Nonce: 0xDEADBEEF, Capacity: 5 << 30}
 	got := roundTrip(t, msg)
-	if got != msg {
+	want := msg
+	want.Version = ProtocolV1 // a base hello decodes as explicit v1
+	if got != want {
 		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestHelloExtendedRoundTrip(t *testing.T) {
+	msg := Hello{
+		Node: 7, Lambda: 0.001, DeliveryProb: 0.4, Time: 1234.5, Nonce: 0xDEADBEEF, Capacity: 5 << 30,
+		Version: ProtocolV2, ChunkSize: 128 << 10, Window: 4, Flags: FlagResume,
+	}
+	if got := roundTrip(t, msg); got != msg {
+		t.Fatalf("got %+v", got)
+	}
+	ack := HelloAck{Hello: msg}
+	if got := roundTrip(t, ack); got != ack {
+		t.Fatalf("ack: got %+v", got)
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	msg := Chunk{
+		Photo: samplePhoto(3, 9), Index: 1, Count: 3, ChunkSize: 4,
+		Total: 11, PayloadCRC: 0xCAFE, Data: []byte{4, 5, 6, 7},
+	}
+	got := roundTrip(t, msg).(Chunk)
+	if got.Photo != msg.Photo || got.Index != 1 || got.Count != 3 ||
+		got.ChunkSize != 4 || got.Total != 11 || got.PayloadCRC != 0xCAFE ||
+		!bytes.Equal(got.Data, msg.Data) {
+		t.Fatalf("got %+v", got)
+	}
+	// Final (short) chunk and an empty single-chunk payload.
+	last := Chunk{Photo: samplePhoto(3, 9), Index: 2, Count: 3, ChunkSize: 4, Total: 11, Data: []byte{8, 9, 10}}
+	if got := roundTrip(t, last).(Chunk); !bytes.Equal(got.Data, last.Data) {
+		t.Fatalf("final chunk: got %+v", got)
+	}
+	empty := Chunk{Photo: samplePhoto(3, 9), Index: 0, Count: 1, ChunkSize: 4, Total: 0}
+	if got := roundTrip(t, empty).(Chunk); len(got.Data) != 0 {
+		t.Fatalf("empty chunk: got %+v", got)
+	}
+}
+
+func TestDecodeChunkRejectsBadGeometry(t *testing.T) {
+	bad := []Chunk{
+		{Photo: samplePhoto(1, 0), Index: 0, Count: 2, ChunkSize: 4, Total: 11, Data: []byte{1, 2, 3, 4}},  // count not canonical
+		{Photo: samplePhoto(1, 0), Index: 3, Count: 3, ChunkSize: 4, Total: 11, Data: []byte{1, 2, 3}},     // index out of range
+		{Photo: samplePhoto(1, 0), Index: 0, Count: 3, ChunkSize: 4, Total: 11, Data: []byte{1, 2}},        // short non-final chunk
+		{Photo: samplePhoto(1, 0), Index: 0, Count: 1, ChunkSize: 0, Total: 0, Data: nil},                  // zero chunk size
+	}
+	for i, c := range bad {
+		body := AppendChunk(nil, c)
+		if _, err := DecodeChunk(body); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("case %d: err = %v, want ErrBadMessage", i, err)
+		}
+	}
+}
+
+func TestChunkAckRoundTrip(t *testing.T) {
+	msg := ChunkAck{ID: model.MakePhotoID(4, 2), Index: 17}
+	if got := roundTrip(t, msg); got != msg {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestResumeOfferRoundTrip(t *testing.T) {
+	msg := ResumeOffer{Entries: []ResumeEntry{
+		{ID: model.MakePhotoID(1, 0), ChunkSize: 4, Count: 3, Total: 11, PayloadCRC: 7, Bitmap: []byte{0b101}},
+		{ID: model.MakePhotoID(2, 5), ChunkSize: 8, Count: 9, Total: 65, PayloadCRC: 9, Bitmap: []byte{0xFF, 0b1}},
+	}}
+	got := roundTrip(t, msg).(ResumeOffer)
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	for i := range msg.Entries {
+		w, g := msg.Entries[i], got.Entries[i]
+		if g.ID != w.ID || g.ChunkSize != w.ChunkSize || g.Count != w.Count ||
+			g.Total != w.Total || g.PayloadCRC != w.PayloadCRC || !bytes.Equal(g.Bitmap, w.Bitmap) {
+			t.Fatalf("entry %d: got %+v want %+v", i, g, w)
+		}
+	}
+	// Slack bits beyond Count must be zero.
+	bad := AppendResumeEntry(nil, ResumeEntry{
+		ID: 1, ChunkSize: 4, Count: 3, Total: 11, PayloadCRC: 0, Bitmap: []byte{0b1000},
+	})
+	bad = append([]byte{1, 0, 0, 0}, bad...)
+	if _, err := DecodeBody(MsgResumeOffer, bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("slack bits: err = %v, want ErrBadMessage", err)
+	}
+	if len(roundTrip(t, ResumeOffer{}).(ResumeOffer).Entries) != 0 {
+		t.Fatal("empty offer grew entries")
 	}
 }
 

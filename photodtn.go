@@ -59,6 +59,7 @@ import (
 	"photodtn/internal/sensor"
 	"photodtn/internal/sim"
 	"photodtn/internal/trace"
+	"photodtn/internal/wire"
 	"photodtn/internal/workload"
 )
 
@@ -330,6 +331,20 @@ func OpenPeer(dir string, id NodeID, m *Map, capacity int64, opts ...PeerOption)
 // PeerJournalStats describes a durable peer's recovery and commit history.
 type PeerJournalStats = peer.JournalStats
 
+// TransferConfig tunes chunked, resumable photo transfer (wire protocol
+// v2): chunk size, pipeline window, per-contact byte budget, and whether
+// partial transfers persist across contacts. Pass it through WithTransfer.
+type TransferConfig = peer.TransferConfig
+
+// PeerTransferStats aggregates a live peer's chunked-transfer activity
+// (see Peer.TransferStats).
+type PeerTransferStats = peer.TransferStats
+
+// ProtocolVersion is the highest wire protocol version this build speaks.
+// Version 2 added chunked, resumable transfer; v2 peers interoperate with
+// v1 peers through the hello handshake (resume silently disabled).
+const ProtocolVersion = wire.ProtocolVersion
+
 // Peer options re-exported for facade users.
 var (
 	// WithClock injects a logical clock into a peer.
@@ -394,6 +409,24 @@ func (w observerOption) applySim(cfg *sim.Config) { cfg.Obs = w.o }
 func (w observerOption) applySelection(cfg *selection.Config) {
 	cfg.Metrics = selection.ObserverMetrics(w.o)
 }
+
+// WithTransfer configures resumable chunked transfer in whichever layer the
+// option is given to: a live peer (NewPeer) negotiates the chunk size,
+// window, and resume flag into its contacts, and a simulation
+// (RunSimulation) maps Resume onto the engine's fragment-carryover
+// accounting (SimConfig.FragmentCarryover). The default — no option — keeps
+// resume on for peers and carryover off for simulations, so published
+// figures stay byte-identical.
+func WithTransfer(cfg TransferConfig) Option { return transferOption{cfg: cfg} }
+
+type transferOption struct{ cfg TransferConfig }
+
+// Apply implements PeerOption.
+func (t transferOption) Apply(p *Peer) { peer.WithTransfer(t.cfg).Apply(p) }
+
+func (t transferOption) applySim(cfg *sim.Config) { cfg.FragmentCarryover = t.cfg.Resume }
+
+func (t transferOption) applySelection(*selection.Config) {}
 
 // RunCheckpoint is a durable record of completed experiment cells; pass one
 // through ExperimentOptions.Checkpoint to make interrupted sweeps resumable.

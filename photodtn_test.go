@@ -229,6 +229,76 @@ func TestFacadeUnifiedObserver(t *testing.T) {
 	}
 }
 
+func TestFacadeUnifiedTransfer(t *testing.T) {
+	// One WithTransfer value, two layers: as a PeerOption it configures the
+	// wire-v2 chunked transfer of live peers; as a simulation Option it maps
+	// Resume onto the engine's fragment-carryover model.
+	if photodtn.ProtocolVersion != 2 {
+		t.Fatalf("ProtocolVersion = %d, want 2", photodtn.ProtocolVersion)
+	}
+	opt := photodtn.WithTransfer(photodtn.TransferConfig{ChunkSize: 32 << 10, Resume: true})
+	m := facadeMap()
+
+	// Peer layer: a 96 KiB payload over 32 KiB chunks is exactly 3 frames.
+	var ticks atomic.Int64
+	tick := func() float64 { return float64(ticks.Add(10)) }
+	cc := photodtn.NewPeer(photodtn.CommandCenter, m, 0, opt,
+		photodtn.WithClock(tick), photodtn.WithSeed(1), photodtn.WithPayloadBytes(96<<10))
+	node := photodtn.NewPeer(1, m, 40<<20, opt,
+		photodtn.WithClock(tick), photodtn.WithSeed(2), photodtn.WithPayloadBytes(96<<10))
+	if err := node.AddPhoto(facadePhoto(1, 0, photodtn.Vec{X: 80, Y: 0}, 180)); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cc.Serve(l) }()
+	if err := node.Contact(l.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Photos()) != 1 {
+		t.Fatalf("CC photos = %d", len(cc.Photos()))
+	}
+	if ts := cc.TransferStats(); ts.ChunksReceived != 3 {
+		t.Fatalf("CC chunks received = %d, want 3", ts.ChunksReceived)
+	}
+	if ts := node.TransferStats(); ts.ChunksSent != 3 {
+		t.Fatalf("node chunks sent = %d, want 3", ts.ChunksSent)
+	}
+
+	// Simulation layer: the same value is a sim Option. Resume off must
+	// leave the engine's figures byte-identical to a run with no option at
+	// all; Resume on switches fragment carryover in and still runs clean.
+	base, err := photodtn.RunSimulation(facadeSimConfig(t), photodtn.NewSprayAndWait())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := photodtn.RunSimulation(facadeSimConfig(t), photodtn.NewSprayAndWait(),
+		photodtn.WithTransfer(photodtn.TransferConfig{Resume: false}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Final != base.Final || off.TransferredBytes != base.TransferredBytes ||
+		off.SalvagedBytes != 0 || off.ResumedTransfers != 0 {
+		t.Fatalf("Resume:false diverged from the default run:\n got %+v\nwant %+v", off.Final, base.Final)
+	}
+	on, err := photodtn.RunSimulation(facadeSimConfig(t), photodtn.NewSprayAndWait(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Final.Delivered < base.Final.Delivered {
+		t.Fatalf("carryover delivered %d < default %d", on.Final.Delivered, base.Final.Delivered)
+	}
+}
+
 func TestFacadeRunSimulationContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
