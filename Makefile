@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race race-wire soak-short chaos bench bench-runner bench-short bench-all bench-diff fuzz fuzz-short trace-demo
+.PHONY: tier1 build vet test race race-wire race-guard soak-short chaos byzantine bench bench-runner bench-short bench-all bench-diff fuzz fuzz-short trace-demo
 
 # tier1 is the merge gate: everything must pass before a change lands.
-tier1: build vet test race soak-short bench-short fuzz-short bench-diff
+tier1: build vet test race byzantine soak-short bench-short fuzz-short bench-diff
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,24 @@ race:
 race-wire:
 	$(GO) test -race -count=2 ./internal/wire/ ./internal/transfer/
 	$(GO) test -race -count=1 -run 'Transfer|Chunk|Resume' ./internal/peer/
+
+# byzantine is the adversarial-peer property harness: every ByzantinePeer
+# strategy (replay, flood, absurd claims, phase desync, poisoned metadata,
+# oversized claims), clean and under 30% frame loss, against a guarded
+# honest node — whose durable state must come out identical to an
+# adversary-free run, with quarantines surviving restart via the journal.
+byzantine:
+	$(GO) test -race -count=1 -run 'Byzantine|Guard|Quarantine' ./internal/peer/
+	$(GO) test -race -count=1 ./internal/guard/ ./internal/peer/session/
+
+# race-guard is the focused repeat over the guard and adversarial suites:
+# the guard's per-peer accounting is its own lock domain crossed by every
+# concurrent contact, so -count=2 gives scheduling-dependent interleavings
+# (admission vs. report vs. quarantine restore) a second chance to trip the
+# detector.
+race-guard:
+	$(GO) test -race -count=2 ./internal/guard/ ./internal/peer/session/
+	$(GO) test -race -count=2 -run 'Byzantine|Guard|Quarantine' ./internal/peer/
 
 # soak-short is the concurrent-serving soak: one serving peer versus N
 # simultaneous dialers under the race detector — admission limiting, no

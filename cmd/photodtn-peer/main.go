@@ -7,6 +7,7 @@
 //	photodtn-peer -id N [-state-dir DIR] [-listen ADDR] [-dial ADDR]
 //	              [-photos N] [-storage-mb MB] [-snapshot-every N] [-seed S]
 //	              [-max-contacts N] [-chunk-size BYTES] [-no-resume]
+//	              [-max-peer-rate R] [-quarantine-ttl D]
 //
 // With -listen the peer serves contacts until interrupted, handling up to
 // -max-contacts connections concurrently (excess accepts are rejected with
@@ -19,6 +20,12 @@
 // exactly the state it crashed with — it re-requests nothing it already
 // holds and re-reports no delivery it already acknowledged (DESIGN.md §7).
 // On shutdown the journal is compacted into a snapshot.
+//
+// Passing -max-peer-rate and/or -quarantine-ttl arms the guard (DESIGN.md
+// §12): inbound messages are semantically validated against the protocol
+// state machine, each remote gets a contact-rate budget, and repeat
+// offenders are quarantined for the TTL (journaled with -state-dir, so a
+// restart keeps refusing them).
 package main
 
 import (
@@ -59,6 +66,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		maxContacts = fs.Int("max-contacts", 0, "serve at most N contacts concurrently (0 = 4×GOMAXPROCS)")
 		chunkSize   = fs.Int("chunk-size", 0, "wire v2 chunk size in bytes (0 = default 256 KiB)")
 		noResume    = fs.Bool("no-resume", false, "discard partial transfers at contact end instead of resuming later")
+		maxPeerRate = fs.Float64("max-peer-rate", 0, "arm the guard: per-peer contact budget in contacts/sec (0 = guard off unless -quarantine-ttl is set)")
+		quarTTL     = fs.Duration("quarantine-ttl", 0, "arm the guard: quarantine repeat offenders for this long (0 = guard off unless -max-peer-rate is set)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +94,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *maxContacts > 0 {
 		opts = append(opts, photodtn.WithMaxContacts(*maxContacts))
+	}
+	if *maxPeerRate > 0 || *quarTTL > 0 {
+		opts = append(opts, photodtn.WithGuard(photodtn.GuardConfig{
+			MaxContactRate: *maxPeerRate,
+			QuarantineTTL:  quarTTL.Seconds(),
+		}))
 	}
 	var p *photodtn.Peer
 	if *stateDir != "" {
@@ -142,6 +157,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			"transfer: %d chunks sent, %d received, %d resumed (%d bytes saved), %d photos finished across contacts, %d partials held (%d bytes), %d bytes wasted\n",
 			ts.ChunksSent, ts.ChunksReceived, ts.ChunksResumed, ts.ResumedBytes,
 			ts.PhotosResumed, ts.Partials, ts.FragmentBytes, ts.WastedBytes)
+	}
+	if p.GuardEnabled() {
+		gs := p.GuardStats()
+		fmt.Fprintf(stdout,
+			"guard: %d violations, %d contacts shed, %d quarantines imposed, %d active\n",
+			gs.Violations, gs.ShedContacts, gs.QuarantineEvents, gs.Quarantined)
 	}
 	return nil
 }

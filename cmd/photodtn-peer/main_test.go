@@ -93,3 +93,33 @@ func TestRunMemoryOnlyPeer(t *testing.T) {
 		t.Fatalf("memory-only run mentions the journal: %s", out.String())
 	}
 }
+
+func TestRunGuardFlags(t *testing.T) {
+	cc, addr := startCommandCenter(t)
+	var out bytes.Buffer
+	args := []string{"-id", "11", "-photos", "1", "-max-peer-rate", "5",
+		"-quarantine-ttl", "1h", "-dial", addr}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if got := len(cc.Photos()); got != 1 {
+		t.Fatalf("command center holds %d photos, want 1", got)
+	}
+	// The shutdown summary reports the guard's activity (all quiet on an
+	// honest exchange).
+	if !strings.Contains(out.String(), "guard: 0 violations, 0 contacts shed, 0 quarantines imposed, 0 active") {
+		t.Fatalf("no guard stats in output: %s", out.String())
+	}
+}
+
+func TestRunWithoutGuardFlagsStaysQuiet(t *testing.T) {
+	_, addr := startCommandCenter(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-id", "13", "-photos", "1", "-dial", addr}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if strings.Contains(out.String(), "guard:") {
+		t.Fatalf("guardless run printed guard stats: %s", out.String())
+	}
+}

@@ -1,0 +1,188 @@
+// Byzantine adversary driver: a fake peer that speaks just enough of the
+// wire protocol to reach its attack point, then misbehaves in one of a
+// fixed set of seeded, reproducible ways. The honest node under test runs
+// its real contact path against the adversary's connection; the property
+// harness asserts that no strategy perturbs the honest node's durable
+// state — every attack ends in a clean §III-D abort (or a shed contact)
+// with nothing journaled and nothing applied.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+	"photodtn/internal/wire"
+)
+
+// ByzStrategy selects one adversarial behaviour.
+type ByzStrategy int
+
+const (
+	// ByzAbsurdClaim advertises impossible PROPHET values in the hello:
+	// a delivery predictability far above 1 and a negative contact rate.
+	ByzAbsurdClaim ByzStrategy = iota
+	// ByzPoisonedMetadata sends a metadata snapshot stamped far in the
+	// future and carrying non-finite photo coordinates.
+	ByzPoisonedMetadata
+	// ByzReplay lists the same origin twice in one metadata message — a
+	// replayed snapshot smuggled alongside the live one.
+	ByzReplay
+	// ByzOversizedClaim declares a photo of 2^60 bytes, baiting the
+	// receiver into planning storage it could never hold.
+	ByzOversizedClaim
+	// ByzPhaseDesync skips the metadata round entirely and opens with a
+	// plan-phase message, violating the protocol's round order.
+	ByzPhaseDesync
+	// ByzFlood speaks a well-formed handshake and metadata round, then
+	// abandons the contact; the harness dials it in rapid succession so
+	// the per-peer contact bucket runs dry.
+	ByzFlood
+
+	numByzStrategies
+)
+
+// ByzStrategies returns every strategy, for sweep-style tests.
+func ByzStrategies() []ByzStrategy {
+	out := make([]ByzStrategy, 0, numByzStrategies)
+	for s := ByzStrategy(0); s < numByzStrategies; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s ByzStrategy) String() string {
+	switch s {
+	case ByzAbsurdClaim:
+		return "absurd-claim"
+	case ByzPoisonedMetadata:
+		return "poisoned-metadata"
+	case ByzReplay:
+		return "replay"
+	case ByzOversizedClaim:
+		return "oversized-claim"
+	case ByzPhaseDesync:
+		return "phase-desync"
+	case ByzFlood:
+		return "flood"
+	default:
+		return fmt.Sprintf("ByzStrategy(%d)", int(s))
+	}
+}
+
+// ByzantinePeer is one adversarial remote. It always dials as the contact
+// initiator (the initiator writes first at every round, so the adversary
+// controls exactly which hostile bytes the honest responder reads).
+type ByzantinePeer struct {
+	// Node is the identity the adversary claims.
+	Node model.NodeID
+	// Strategy picks the misbehaviour.
+	Strategy ByzStrategy
+	// Time is the clock the adversary advertises. Post-hello strategies
+	// must pass the honest node's skew gate to reach their attack point,
+	// so set this near the honest node's clock (ByzPoisonedMetadata lies
+	// in the metadata timestamps instead, where the gate it is testing
+	// lives).
+	Time float64
+	// Seed makes the adversary's nonces reproducible.
+	Seed int64
+
+	rng *rand.Rand
+}
+
+// Contact runs one adversarial contact over conn and closes it on the way
+// out (the adversary walks out of radio range; the honest side sees EOF
+// rather than a hung frame deadline). The returned error is the
+// adversary's own view of the exchange — usually the honest node hanging
+// up mid-attack — and is informational only: the property the harness
+// checks lives on the honest side.
+func (b *ByzantinePeer) Contact(conn io.ReadWriter) error {
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(b.Seed))
+	}
+	defer func() {
+		if c, ok := conn.(io.Closer); ok {
+			_ = c.Close()
+		}
+	}()
+
+	hello := wire.Hello{
+		Node:         b.Node,
+		Lambda:       0.01,
+		DeliveryProb: 0.5,
+		Time:         b.Time,
+		Nonce:        b.rng.Uint64(),
+		Capacity:     64 << 20,
+	}
+	if b.Strategy == ByzAbsurdClaim {
+		hello.DeliveryProb = 42
+		hello.Lambda = -3
+	}
+	wc, _, err := wire.Negotiate(conn, hello, wire.Params{}, true)
+	if err != nil {
+		return err
+	}
+
+	switch b.Strategy {
+	case ByzAbsurdClaim:
+		// The hello already carried the attack; the honest node aborts
+		// without writing, so just leave.
+		return nil
+	case ByzPhaseDesync:
+		// A plan-phase message where the metadata round is due.
+		return wc.Write(wire.PhotoRequest{IDs: []model.PhotoID{1}})
+	case ByzPoisonedMetadata:
+		return wc.Write(wire.Metadata{Entries: []wire.MetaEntry{
+			b.entry(0),
+			{Node: b.Node + 1, Lambda: 0.1, P: 0.5, Timestamp: b.Time + 1e9,
+				Photos: model.PhotoList{b.photo(1, 4<<20, math.NaN())}},
+		}})
+	case ByzReplay:
+		e := b.entry(0)
+		return wc.Write(wire.Metadata{Entries: []wire.MetaEntry{e, e}})
+	case ByzOversizedClaim:
+		e := b.entry(0)
+		e.Photos = model.PhotoList{b.photo(0, 1<<60, 0)}
+		return wc.Write(wire.Metadata{Entries: []wire.MetaEntry{e}})
+	case ByzFlood:
+		// Well-formed up to the metadata exchange, then walk away; the
+		// damage is in how often the harness redials.
+		if err := wc.Write(wire.Metadata{Entries: []wire.MetaEntry{b.entry(0)}}); err != nil {
+			return err
+		}
+		_, err := wc.Read()
+		return err
+	default:
+		return fmt.Errorf("unknown byzantine strategy %v", b.Strategy)
+	}
+}
+
+// entry builds a well-formed metadata entry for the adversary's claimed
+// identity, holding one plausible photo.
+func (b *ByzantinePeer) entry(seq uint32) wire.MetaEntry {
+	return wire.MetaEntry{
+		Node:      b.Node,
+		Lambda:    0.01,
+		P:         0.5,
+		Timestamp: b.Time,
+		Photos:    model.PhotoList{b.photo(seq, 4<<20, 0)},
+	}
+}
+
+// photo builds a photo owned by the adversary; size and x let strategies
+// poison single fields while the rest stays decodable.
+func (b *ByzantinePeer) photo(seq uint32, size int64, x float64) model.Photo {
+	return model.Photo{
+		ID:          model.MakePhotoID(b.Node, seq),
+		Owner:       b.Node,
+		Location:    geo.Vec{X: x, Y: 10},
+		Range:       120,
+		FOV:         geo.Radians(60),
+		Orientation: 0,
+		Size:        size,
+	}
+}

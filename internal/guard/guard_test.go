@@ -1,0 +1,422 @@
+package guard
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"photodtn/internal/geo"
+	"photodtn/internal/model"
+	"photodtn/internal/wire"
+)
+
+func goodPhoto(owner model.NodeID, seq uint32) model.Photo {
+	return model.Photo{
+		ID:       model.MakePhotoID(owner, seq),
+		Owner:    owner,
+		Location: geo.Vec{X: 10, Y: 20},
+		Range:    120,
+		FOV:      geo.Radians(60),
+		Size:     4 << 20,
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.MaxContactRate != DefaultMaxContactRate {
+		t.Fatalf("MaxContactRate = %v", c.MaxContactRate)
+	}
+	if c.ContactBurst != DefaultContactBurst {
+		t.Fatalf("ContactBurst = %v", c.ContactBurst)
+	}
+	if c.MaxByteRate != 0 {
+		t.Fatalf("MaxByteRate should default to off, got %v", c.MaxByteRate)
+	}
+	if c.QuarantineTTL != DefaultQuarantineTTL || c.QuarantineScore != DefaultQuarantineScore {
+		t.Fatalf("quarantine defaults = %v/%v", c.QuarantineTTL, c.QuarantineScore)
+	}
+	if c.MaxClockSkew != DefaultMaxClockSkew || c.MaxPhotoBytes != DefaultMaxPhotoBytes {
+		t.Fatalf("bounds defaults = %v/%v", c.MaxClockSkew, c.MaxPhotoBytes)
+	}
+	// Negatives normalise to "off" for the optional limiters.
+	c = Config{MaxContactRate: -1, MaxByteRate: -1, ScoreHalfLife: -1}.WithDefaults()
+	if c.MaxContactRate != 0 || c.MaxByteRate != 0 || c.ScoreHalfLife != 0 {
+		t.Fatalf("negatives not normalised: %+v", c)
+	}
+}
+
+func TestNilGuardIsNoOp(t *testing.T) {
+	var g *Guard
+	if err := g.AdmitContact(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AdmitBytes(1, 1<<30, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Report(1, ReasonPhase, 0) {
+		t.Fatal("nil guard quarantined")
+	}
+	if g.Quarantined(1, 0) {
+		t.Fatal("nil guard reports quarantine")
+	}
+	g.RestoreQuarantine(1, 100, 0)
+	g.OnQuarantine(func(model.NodeID, float64, Reason) {})
+	if q := g.ActiveQuarantines(0); q != nil {
+		t.Fatalf("nil guard active quarantines = %v", q)
+	}
+	if s := g.Stats(0); s.Violations != 0 {
+		t.Fatalf("nil guard stats = %+v", s)
+	}
+}
+
+func TestContactBucketRefills(t *testing.T) {
+	g := New(Config{MaxContactRate: 1, ContactBurst: 2}, nil)
+	// Burst admits two back-to-back contacts, then the bucket is dry.
+	for i := 0; i < 2; i++ {
+		if err := g.AdmitContact(5, 100); err != nil {
+			t.Fatalf("contact %d: %v", i, err)
+		}
+	}
+	err := g.AdmitContact(5, 100)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("dry bucket err = %v, want ErrRateLimited", err)
+	}
+	// One second refills one token.
+	if err := g.AdmitContact(5, 101); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	// Buckets are per-peer: node 6 is untouched by node 5's spending.
+	if err := g.AdmitContact(6, 100); err != nil {
+		t.Fatalf("other peer: %v", err)
+	}
+	st := g.Stats(101)
+	if st.ShedContacts != 1 || st.ByReason[ReasonFlood] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReportEscalatesToQuarantine(t *testing.T) {
+	var gotNode model.NodeID
+	var gotUntil float64
+	var gotReason Reason
+	calls := 0
+	g := New(Config{QuarantineScore: 3, QuarantineTTL: 50, ScoreHalfLife: -1}, nil)
+	g.OnQuarantine(func(n model.NodeID, until float64, r Reason) {
+		calls++
+		gotNode, gotUntil, gotReason = n, until, r
+	})
+
+	if g.Report(7, ReasonBadProphet, 10) || g.Report(7, ReasonReplay, 11) {
+		t.Fatal("quarantined below threshold")
+	}
+	if !g.Report(7, ReasonBadGeometry, 12) {
+		t.Fatal("third violation (score 3) should quarantine")
+	}
+	if calls != 1 || gotNode != 7 || gotUntil != 62 || gotReason != ReasonBadGeometry {
+		t.Fatalf("hook called %d times with (%v, %v, %v)", calls, gotNode, gotUntil, gotReason)
+	}
+	if !g.Quarantined(7, 12) || g.Quarantined(7, 62.5) {
+		t.Fatal("quarantine window wrong")
+	}
+	// Admission during the ban is shed with the typed sentinel.
+	if err := g.AdmitContact(7, 20); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("admit during ban = %v, want ErrQuarantined", err)
+	}
+	// After expiry the peer is admitted again (score was reset).
+	if err := g.AdmitContact(7, 63); err != nil {
+		t.Fatalf("admit after expiry: %v", err)
+	}
+	st := g.Stats(20)
+	if st.QuarantineEvents != 1 || st.Quarantined != 1 || st.Violations != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestScoreHalfLifeDecays(t *testing.T) {
+	g := New(Config{QuarantineScore: 3, ScoreHalfLife: 10}, nil)
+	// Two violations, then five half-lives of quiet: the residual score
+	// (2/32) plus two fresh violations stays below the threshold.
+	g.Report(3, ReasonPhase, 0)
+	g.Report(3, ReasonPhase, 0)
+	if g.Report(3, ReasonPhase, 50) {
+		t.Fatal("decayed score should not quarantine on the third violation")
+	}
+	// Without decay, the next two would have crossed long ago; with it, the
+	// score sits near 2 and the fifth violation tips it over.
+	if g.Report(3, ReasonPhase, 50) {
+		t.Fatal("fourth violation should still be below threshold")
+	}
+	if !g.Report(3, ReasonPhase, 50) {
+		t.Fatal("fifth violation within the window should quarantine")
+	}
+}
+
+func TestFloodEscalatesToQuarantine(t *testing.T) {
+	// Flood violations weigh 0.25: with threshold 1.0, the 4th shed contact
+	// (not the 1st) quarantines — honest burstiness is tolerated.
+	g := New(Config{MaxContactRate: 0.001, ContactBurst: 1, QuarantineScore: 1,
+		QuarantineTTL: 100, ScoreHalfLife: -1}, nil)
+	if err := g.AdmitContact(9, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := g.AdmitContact(9, 0); !errors.Is(err, ErrRateLimited) {
+			t.Fatalf("shed %d: %v", i, err)
+		}
+	}
+	if err := g.AdmitContact(9, 0); !errors.Is(err, ErrQuarantined) && !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("4th shed: %v", err)
+	}
+	if !g.Quarantined(9, 0) {
+		t.Fatal("sustained flooding did not quarantine")
+	}
+}
+
+func TestAdmitBytes(t *testing.T) {
+	// Off by default.
+	g := New(Config{}, nil)
+	if err := g.AdmitBytes(1, 1<<40, 0); err != nil {
+		t.Fatalf("byte limiting should default off: %v", err)
+	}
+	g = New(Config{MaxByteRate: 100, ByteBurst: 1000}, nil)
+	if err := g.AdmitBytes(1, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AdmitBytes(1, 1, 0); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over budget = %v, want ErrRateLimited", err)
+	}
+	// 10 seconds refill 1000 bytes.
+	if err := g.AdmitBytes(1, 1000, 10); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestRestoreQuarantine(t *testing.T) {
+	g := New(Config{}, nil)
+	fired := 0
+	g.OnQuarantine(func(model.NodeID, float64, Reason) { fired++ })
+
+	g.RestoreQuarantine(4, 50, 100) // already expired: dropped
+	if g.Quarantined(4, 100) {
+		t.Fatal("expired restore took effect")
+	}
+	g.RestoreQuarantine(4, 200, 100)
+	if !g.Quarantined(4, 150) || g.Quarantined(4, 250) {
+		t.Fatal("restored quarantine window wrong")
+	}
+	g.RestoreQuarantine(4, 150, 100) // shorter than current: keep the longer ban
+	if g.Quarantined(4, 250) || !g.Quarantined(4, 180) {
+		t.Fatal("restore shortened an existing ban")
+	}
+	if fired != 0 {
+		t.Fatalf("restore fired the hook %d times; the original imposition already journaled it", fired)
+	}
+	g.RestoreQuarantine(2, 300, 100)
+	q := g.ActiveQuarantines(100)
+	if len(q) != 2 || q[0].Node != 2 || q[0].Until != 300 || q[1].Node != 4 || q[1].Until != 200 {
+		t.Fatalf("active quarantines = %+v", q)
+	}
+	// Restores are not quarantine *events*.
+	if st := g.Stats(100); st.QuarantineEvents != 0 || st.Quarantined != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	want := map[Reason]string{
+		ReasonPhase: "phase", ReasonReplay: "replay", ReasonBadProphet: "bad-prophet",
+		ReasonBadTimestamp: "bad-timestamp", ReasonBadGeometry: "bad-geometry",
+		ReasonOversized: "oversized", ReasonBadTransfer: "bad-transfer", ReasonFlood: "flood",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+	if Reason(99).String() != "unknown" {
+		t.Fatalf("unknown reason = %q", Reason(99).String())
+	}
+	v := violationf(ReasonReplay, "dup %d", 5)
+	if v.Error() != "guard: replay violation: dup 5" {
+		t.Fatalf("violation error = %q", v.Error())
+	}
+}
+
+func TestCheckHello(t *testing.T) {
+	c := Config{}.WithDefaults()
+	ok := wire.Hello{Node: 3, Lambda: 0.01, DeliveryProb: 0.5, Time: 1000, Capacity: 64 << 20}
+	if v := c.CheckHello(ok, 1000); v != nil {
+		t.Fatalf("honest hello rejected: %v", v)
+	}
+	cases := []struct {
+		name   string
+		mut    func(*wire.Hello)
+		reason Reason
+	}{
+		{"prob above 1", func(h *wire.Hello) { h.DeliveryProb = 42 }, ReasonBadProphet},
+		{"prob negative", func(h *wire.Hello) { h.DeliveryProb = -0.1 }, ReasonBadProphet},
+		{"prob NaN", func(h *wire.Hello) { h.DeliveryProb = math.NaN() }, ReasonBadProphet},
+		{"lambda negative", func(h *wire.Hello) { h.Lambda = -3 }, ReasonBadProphet},
+		{"lambda inf", func(h *wire.Hello) { h.Lambda = math.Inf(1) }, ReasonBadProphet},
+		{"clock far future", func(h *wire.Hello) { h.Time = 1000 + c.MaxClockSkew + 1 }, ReasonBadTimestamp},
+		{"clock far past", func(h *wire.Hello) { h.Time = 1000 - c.MaxClockSkew - 1 }, ReasonBadTimestamp},
+		{"clock NaN", func(h *wire.Hello) { h.Time = math.NaN() }, ReasonBadTimestamp},
+		{"capacity negative", func(h *wire.Hello) { h.Capacity = -1 }, ReasonOversized},
+		{"capacity absurd", func(h *wire.Hello) { h.Capacity = c.MaxPeerCapacity + 1 }, ReasonOversized},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := ok
+			tc.mut(&h)
+			v := c.CheckHello(h, 1000)
+			if v == nil || v.Reason != tc.reason {
+				t.Fatalf("violation = %v, want reason %v", v, tc.reason)
+			}
+		})
+	}
+	// The command center is exempt from the capacity cap (it archives
+	// everything by design).
+	cc := ok
+	cc.Node = model.CommandCenter
+	cc.Capacity = c.MaxPeerCapacity + 1
+	if v := c.CheckHello(cc, 1000); v != nil {
+		t.Fatalf("command-center capacity rejected: %v", v)
+	}
+}
+
+func TestCheckMetadata(t *testing.T) {
+	c := Config{MaxMetaEntries: 2, MaxPhotosPerEntry: 2}.WithDefaults()
+	entry := func(n model.NodeID, ts float64) wire.MetaEntry {
+		return wire.MetaEntry{Node: n, Lambda: 0.01, P: 0.5, Timestamp: ts,
+			Photos: model.PhotoList{goodPhoto(n, 0)}}
+	}
+	if v := c.CheckMetadata(wire.Metadata{Entries: []wire.MetaEntry{entry(1, 900), entry(2, 950)}}, 1000); v != nil {
+		t.Fatalf("honest metadata rejected: %v", v)
+	}
+	// Far-past timestamps are fine — they merely decay to useless.
+	if v := c.CheckMetadata(wire.Metadata{Entries: []wire.MetaEntry{entry(1, -1e9)}}, 1000); v != nil {
+		t.Fatalf("ancient entry rejected: %v", v)
+	}
+
+	cases := []struct {
+		name   string
+		md     wire.Metadata
+		reason Reason
+	}{
+		{"too many entries",
+			wire.Metadata{Entries: []wire.MetaEntry{entry(1, 1), entry(2, 2), entry(3, 3)}},
+			ReasonOversized},
+		{"duplicate origin",
+			wire.Metadata{Entries: []wire.MetaEntry{entry(1, 1), entry(1, 2)}},
+			ReasonReplay},
+		{"bad predictability",
+			wire.Metadata{Entries: []wire.MetaEntry{{Node: 1, P: 1.5, Timestamp: 1}}},
+			ReasonBadProphet},
+		{"negative lambda",
+			wire.Metadata{Entries: []wire.MetaEntry{{Node: 1, Lambda: -1, P: 0.5, Timestamp: 1}}},
+			ReasonBadProphet},
+		{"far-future timestamp",
+			wire.Metadata{Entries: []wire.MetaEntry{entry(1, 1000 + c.MaxClockSkew + 1)}},
+			ReasonBadTimestamp},
+		{"NaN timestamp",
+			wire.Metadata{Entries: []wire.MetaEntry{entry(1, math.NaN())}},
+			ReasonBadTimestamp},
+		{"too many photos", func() wire.Metadata {
+			e := entry(1, 1)
+			e.Photos = model.PhotoList{goodPhoto(1, 0), goodPhoto(1, 1), goodPhoto(1, 2)}
+			return wire.Metadata{Entries: []wire.MetaEntry{e}}
+		}(), ReasonOversized},
+		{"non-finite photo location", func() wire.Metadata {
+			e := entry(1, 1)
+			p := goodPhoto(1, 0)
+			p.Location.X = math.NaN()
+			e.Photos = model.PhotoList{p}
+			return wire.Metadata{Entries: []wire.MetaEntry{e}}
+		}(), ReasonBadGeometry},
+		{"oversized photo", func() wire.Metadata {
+			e := entry(1, 1)
+			p := goodPhoto(1, 0)
+			p.Size = 1 << 60
+			e.Photos = model.PhotoList{p}
+			return wire.Metadata{Entries: []wire.MetaEntry{e}}
+		}(), ReasonOversized},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := c.CheckMetadata(tc.md, 1000)
+			if v == nil || v.Reason != tc.reason {
+				t.Fatalf("violation = %v, want reason %v", v, tc.reason)
+			}
+		})
+	}
+}
+
+func TestCheckChunkAndPhotoData(t *testing.T) {
+	c := Config{}.WithDefaults()
+	p := goodPhoto(2, 0)
+	want := map[model.PhotoID]bool{p.ID: true}
+	ch := wire.Chunk{Photo: p, Index: 0, Count: 1, ChunkSize: 1 << 16, Total: uint64(p.Size)}
+	if v := c.CheckChunk(ch, want, 1<<16); v != nil {
+		t.Fatalf("honest chunk rejected: %v", v)
+	}
+	if v := c.CheckChunk(ch, map[model.PhotoID]bool{999: true}, 1<<16); v == nil || v.Reason != ReasonBadTransfer {
+		t.Fatalf("unrequested chunk = %v", v)
+	}
+	if v := c.CheckChunk(ch, want, 1<<15); v == nil || v.Reason != ReasonBadTransfer {
+		t.Fatalf("wrong chunk size = %v", v)
+	}
+	big := ch
+	big.Total = uint64(c.MaxPhotoBytes) + 1
+	if v := c.CheckChunk(big, want, 1<<16); v == nil || v.Reason != ReasonOversized {
+		t.Fatalf("oversized total = %v", v)
+	}
+
+	if v := c.CheckPhotoData(wire.PhotoData{Photo: p}, want); v != nil {
+		t.Fatalf("honest photo data rejected: %v", v)
+	}
+	if v := c.CheckPhotoData(wire.PhotoData{Photo: p}, map[model.PhotoID]bool{999: true}); v == nil || v.Reason != ReasonBadTransfer {
+		t.Fatalf("unrequested photo data = %v", v)
+	}
+	// Empty want-set means unpinned (v1 uploads carry no announcement).
+	if v := c.CheckPhotoData(wire.PhotoData{Photo: p}, nil); v != nil {
+		t.Fatalf("unpinned photo data rejected: %v", v)
+	}
+}
+
+func TestCheckResumeOffer(t *testing.T) {
+	c := Config{}.WithDefaults()
+	req := map[model.PhotoID]bool{7: true, 8: true}
+	offer := wire.ResumeOffer{Entries: []wire.ResumeEntry{{ID: 7, Total: 100}, {ID: 8, Total: 200}}}
+	if v := c.CheckResumeOffer(offer, req); v != nil {
+		t.Fatalf("honest offer rejected: %v", v)
+	}
+	dup := wire.ResumeOffer{Entries: []wire.ResumeEntry{{ID: 7}, {ID: 7}}}
+	if v := c.CheckResumeOffer(dup, req); v == nil || v.Reason != ReasonBadTransfer {
+		t.Fatalf("duplicate entry = %v", v)
+	}
+	alien := wire.ResumeOffer{Entries: []wire.ResumeEntry{{ID: 99}}}
+	if v := c.CheckResumeOffer(alien, req); v == nil || v.Reason != ReasonBadTransfer {
+		t.Fatalf("unrequested entry = %v", v)
+	}
+	big := wire.ResumeOffer{Entries: []wire.ResumeEntry{{ID: 7, Total: uint64(c.MaxPhotoBytes) + 1}}}
+	if v := c.CheckResumeOffer(big, req); v == nil || v.Reason != ReasonOversized {
+		t.Fatalf("oversized entry = %v", v)
+	}
+}
+
+func TestCheckChunkAck(t *testing.T) {
+	c := Config{}.WithDefaults()
+	outstanding := map[ChunkKey]int{{ID: 5, Index: 2}: 1}
+	if v := c.CheckChunkAck(wire.ChunkAck{ID: 5, Index: 2}, outstanding); v != nil {
+		t.Fatalf("honest ack rejected: %v", v)
+	}
+	if v := c.CheckChunkAck(wire.ChunkAck{ID: 5, Index: 3}, outstanding); v == nil || v.Reason != ReasonBadTransfer {
+		t.Fatalf("ack for unsent chunk = %v", v)
+	}
+	// The caller decrements on acceptance; a second identical ack is then
+	// an over-ack.
+	outstanding[ChunkKey{ID: 5, Index: 2}] = 0
+	if v := c.CheckChunkAck(wire.ChunkAck{ID: 5, Index: 2}, outstanding); v == nil || v.Reason != ReasonBadTransfer {
+		t.Fatalf("over-ack = %v", v)
+	}
+}

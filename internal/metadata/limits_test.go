@@ -1,0 +1,194 @@
+package metadata
+
+import (
+	"testing"
+
+	"photodtn/internal/model"
+)
+
+func entryOf(n model.NodeID, ts float64, photos ...model.Photo) Entry {
+	return Entry{Node: n, Lambda: 0.01, P: 0.5, Timestamp: ts, Photos: photos}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	c := NewCache(1, 0)
+	if c.Bytes() != 0 {
+		t.Fatalf("empty cache accounts %d bytes", c.Bytes())
+	}
+	c.Put(entryOf(2, 10, photoOf(2, 0), photoOf(2, 1)))
+	want := int64(entryOverhead) + 2*model.PhotoWireSize
+	if c.Bytes() != want {
+		t.Fatalf("Bytes() = %d, want %d", c.Bytes(), want)
+	}
+	// A newer snapshot replaces, not adds.
+	c.Put(entryOf(2, 20, photoOf(2, 0)))
+	want = int64(entryOverhead) + model.PhotoWireSize
+	if c.Bytes() != want {
+		t.Fatalf("after replace Bytes() = %d, want %d", c.Bytes(), want)
+	}
+	c.Remove(2)
+	if c.Bytes() != 0 {
+		t.Fatalf("after remove Bytes() = %d, want 0", c.Bytes())
+	}
+}
+
+func TestEntryCapEvictsOldest(t *testing.T) {
+	c := NewCache(1, 0)
+	c.SetLimits(2, 0)
+	c.Put(entryOf(2, 30, photoOf(2, 0)))
+	c.Put(entryOf(3, 10, photoOf(3, 0))) // oldest snapshot
+	c.Put(entryOf(4, 20, photoOf(4, 0)))
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, cap 2", c.Len())
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for _, n := range []model.NodeID{2, 4} {
+		if _, ok := c.Get(n); !ok {
+			t.Fatalf("entry %v evicted, want oldest-first", n)
+		}
+	}
+}
+
+func TestEntryCapTieBreaksHigherNode(t *testing.T) {
+	c := NewCache(1, 0)
+	c.SetLimits(2, 0)
+	c.Put(entryOf(2, 10, photoOf(2, 0)))
+	c.Put(entryOf(5, 10, photoOf(5, 0)))
+	c.Put(entryOf(3, 10, photoOf(3, 0)))
+	// All stamped identically: the higher node ID goes first each round.
+	if _, ok := c.Get(5); ok {
+		t.Fatal("tie-break kept the higher node ID")
+	}
+	if _, ok := c.Get(2); !ok {
+		t.Fatal("tie-break evicted the lower node ID")
+	}
+}
+
+func TestByteCapEvicts(t *testing.T) {
+	c := NewCache(1, 0)
+	perEntry := int64(entryOverhead) + model.PhotoWireSize
+	c.SetLimits(0, 2*perEntry)
+	c.Put(entryOf(2, 10, photoOf(2, 0)))
+	c.Put(entryOf(3, 20, photoOf(3, 0)))
+	c.Put(entryOf(4, 30, photoOf(4, 0)))
+	if c.Len() != 2 || c.Bytes() > 2*perEntry {
+		t.Fatalf("cache holds %d entries / %d bytes, cap %d bytes", c.Len(), c.Bytes(), 2*perEntry)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("oldest entry survived the byte cap")
+	}
+}
+
+func TestSetLimitsEvictsRetroactively(t *testing.T) {
+	c := NewCache(1, 0)
+	for n := model.NodeID(2); n < 7; n++ {
+		c.Put(entryOf(n, float64(n), photoOf(n, 0)))
+	}
+	c.SetLimits(3, 0)
+	if c.Len() != 3 {
+		t.Fatalf("SetLimits left %d entries, cap 3", c.Len())
+	}
+}
+
+func TestCommandCenterNeverEvicted(t *testing.T) {
+	c := NewCache(1, 0)
+	c.SetLimits(2, 0)
+	// The CC entry is the oldest by far; eviction must pass it over.
+	c.Put(entryOf(model.CommandCenter, 1, photoOf(9, 0)))
+	c.Put(entryOf(2, 50, photoOf(2, 0)))
+	c.Put(entryOf(3, 60, photoOf(3, 0)))
+	c.Put(entryOf(4, 70, photoOf(4, 0)))
+	if _, ok := c.Get(model.CommandCenter); !ok {
+		t.Fatal("command-center entry evicted: the delivery ledger is gone")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, cap 2", c.Len())
+	}
+	// Degenerate cap: with only the CC left, eviction stops rather than
+	// loops.
+	c.SetLimits(1, 1)
+	if _, ok := c.Get(model.CommandCenter); !ok {
+		t.Fatal("command-center entry evicted under a degenerate cap")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries after degenerate cap", c.Len())
+	}
+}
+
+func TestClonePreservesLimits(t *testing.T) {
+	c := NewCache(1, 0)
+	c.SetLimits(2, 1<<20)
+	c.Put(entryOf(2, 10, photoOf(2, 0)))
+	cl := c.Clone()
+	if cl.Bytes() != c.Bytes() {
+		t.Fatalf("clone accounts %d bytes, original %d", cl.Bytes(), c.Bytes())
+	}
+	// The clone enforces the same caps independently.
+	cl.Put(entryOf(3, 20, photoOf(3, 0)))
+	cl.Put(entryOf(4, 30, photoOf(4, 0)))
+	if cl.Len() != 2 {
+		t.Fatalf("clone holds %d entries, cap 2", cl.Len())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("clone's puts leaked into the original (%d entries)", c.Len())
+	}
+}
+
+// TestPoisonedFarFutureEntryExpires pins the monotone-age behaviour the
+// guard's skew gate backs up: even if a far-future snapshot got in (e.g. a
+// pre-guard peer), |now − ts| staleness makes it invalid immediately rather
+// than permanently fresh.
+func TestPoisonedFarFutureEntryExpires(t *testing.T) {
+	c := NewCache(1, 0)
+	c.Put(entryOf(2, 1e9, photoOf(2, 0)))
+	if c.IsValid(mustGet(t, c, 2), 1000) {
+		t.Fatal("far-future snapshot considered valid")
+	}
+	if dropped := c.DropInvalid(1000); dropped != 1 {
+		t.Fatalf("DropInvalid dropped %d, want 1", dropped)
+	}
+	// Far-past entries behave symmetrically.
+	c.Put(entryOf(3, -1e9, photoOf(3, 0)))
+	if c.IsValid(mustGet(t, c, 3), 1000) {
+		t.Fatal("far-past snapshot considered valid")
+	}
+}
+
+// TestConflictingDuplicateSnapshots pins last-writer-wins on duplicate IDs
+// with conflicting footprints: the newer snapshot's view of a photo
+// replaces the older one's entirely — the cache never merges two
+// conflicting footprints for a non-command-center node.
+func TestConflictingDuplicateSnapshots(t *testing.T) {
+	c := NewCache(1, 0)
+	honest := photoOf(2, 0)
+	conflicting := honest
+	conflicting.Range = 999
+	conflicting.Size = 1 << 30
+
+	c.Put(entryOf(2, 20, honest))
+	c.Put(entryOf(2, 10, conflicting)) // older conflicting snapshot: ignored
+	e := mustGet(t, c, 2)
+	if len(e.Photos) != 1 || e.Photos[0].Range != honest.Range || e.Photos[0].Size != honest.Size {
+		t.Fatalf("older conflicting snapshot overwrote the newer one: %+v", e.Photos)
+	}
+
+	c.Put(entryOf(2, 30, conflicting)) // newer snapshot wins wholesale
+	e = mustGet(t, c, 2)
+	if len(e.Photos) != 1 || e.Photos[0].Range != 999 {
+		t.Fatalf("newer snapshot did not replace: %+v", e.Photos)
+	}
+	if c.Bytes() != int64(entryOverhead)+model.PhotoWireSize {
+		t.Fatalf("byte account drifted to %d across conflicting puts", c.Bytes())
+	}
+}
+
+func mustGet(t *testing.T, c *Cache, n model.NodeID) Entry {
+	t.Helper()
+	e, ok := c.Get(n)
+	if !ok {
+		t.Fatalf("entry %v missing", n)
+	}
+	return e
+}

@@ -86,6 +86,20 @@ type Cache struct {
 	owner   model.NodeID
 	pthld   float64
 	entries map[model.NodeID]Entry
+
+	// Optional caps (0 = unlimited), enforced by eviction at Put time.
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+}
+
+// entryOverhead approximates one entry's fixed cost next to its photo
+// list: node + λ + p + timestamp, as encoded on the wire.
+const entryOverhead = 4 + 8 + 8 + 8
+
+// entrySize is an entry's accounted cost in bytes.
+func entrySize(e Entry) int64 {
+	return entryOverhead + int64(len(e.Photos))*model.PhotoWireSize
 }
 
 // NewCache returns an empty cache with the given validity threshold; a
@@ -106,6 +120,65 @@ func (c *Cache) Pthld() float64 { return c.pthld }
 // Len returns the number of cached entries.
 func (c *Cache) Len() int { return len(c.entries) }
 
+// Bytes returns the accounted size of the cache: a fixed per-entry
+// overhead plus the encoded size of every listed photo.
+func (c *Cache) Bytes() int64 { return c.bytes }
+
+// SetLimits bounds the cache to at most maxEntries entries and maxBytes of
+// accounted entry size (zero or negative disables a bound). When a Put
+// pushes past a bound, the entries with the oldest snapshot timestamps are
+// evicted first (ties broken toward the higher node ID) — the entries
+// closest to going stale anyway. The command-center entry is never
+// evicted: it is the delivery-acknowledgement ledger, and losing it would
+// resurrect already-delivered photos.
+func (c *Cache) SetLimits(maxEntries int, maxBytes int64) {
+	c.maxEntries, c.maxBytes = maxEntries, maxBytes
+	c.evict()
+}
+
+// setEntry stores an entry and keeps the byte account in balance.
+func (c *Cache) setEntry(e Entry) {
+	if old, ok := c.entries[e.Node]; ok {
+		c.bytes -= entrySize(old)
+	}
+	c.bytes += entrySize(e)
+	c.entries[e.Node] = e
+}
+
+// delEntry removes an entry and keeps the byte account in balance.
+func (c *Cache) delEntry(node model.NodeID) {
+	if old, ok := c.entries[node]; ok {
+		c.bytes -= entrySize(old)
+		delete(c.entries, node)
+	}
+}
+
+// evict enforces the configured caps by dropping oldest-snapshot entries
+// (never the command center's).
+func (c *Cache) evict() {
+	over := func() bool {
+		return (c.maxEntries > 0 && len(c.entries) > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)
+	}
+	for over() {
+		victim := model.NodeID(0)
+		found := false
+		var oldest float64
+		for node, e := range c.entries {
+			if node.IsCommandCenter() {
+				continue
+			}
+			if !found || e.Timestamp < oldest || (e.Timestamp == oldest && node > victim) {
+				victim, oldest, found = node, e.Timestamp, true
+			}
+		}
+		if !found {
+			return // only the command center left; nothing evictable
+		}
+		c.delEntry(victim)
+	}
+}
+
 // Put stores a snapshot, keeping the newer of the existing and incoming
 // entries. Command-center entries are merged by union (the command center
 // never drops photos, so any two snapshots of it are consistent).
@@ -114,17 +187,17 @@ func (c *Cache) Put(e Entry) {
 		return // a node does not cache itself
 	}
 	old, ok := c.entries[e.Node]
-	if !ok {
-		c.entries[e.Node] = cloneEntry(e)
+	switch {
+	case !ok:
+		c.setEntry(cloneEntry(e))
+	case e.Node.IsCommandCenter():
+		c.setEntry(mergeCC(old, e))
+	case e.Timestamp > old.Timestamp:
+		c.setEntry(cloneEntry(e))
+	default:
 		return
 	}
-	if e.Node.IsCommandCenter() {
-		c.entries[e.Node] = mergeCC(old, e)
-		return
-	}
-	if e.Timestamp > old.Timestamp {
-		c.entries[e.Node] = cloneEntry(e)
-	}
+	c.evict()
 }
 
 func cloneEntry(e Entry) Entry {
@@ -150,10 +223,15 @@ func mergeCC(a, b Entry) Entry {
 	return out
 }
 
-// Clone returns a deep copy of the cache: same owner, threshold, and
-// entries (photo lists copied), sharing no mutable state with the original.
+// Clone returns a deep copy of the cache: same owner, threshold, limits,
+// and entries (photo lists copied), sharing no mutable state with the
+// original.
 func (c *Cache) Clone() *Cache {
-	out := &Cache{owner: c.owner, pthld: c.pthld, entries: make(map[model.NodeID]Entry, len(c.entries))}
+	out := &Cache{
+		owner: c.owner, pthld: c.pthld,
+		maxEntries: c.maxEntries, maxBytes: c.maxBytes, bytes: c.bytes,
+		entries: make(map[model.NodeID]Entry, len(c.entries)),
+	}
 	for node, e := range c.entries {
 		out.entries[node] = cloneEntry(e)
 	}
@@ -167,7 +245,7 @@ func (c *Cache) Get(node model.NodeID) (Entry, bool) {
 }
 
 // Remove drops the entry for a node.
-func (c *Cache) Remove(node model.NodeID) { delete(c.entries, node) }
+func (c *Cache) Remove(node model.NodeID) { c.delEntry(node) }
 
 // IsValid applies eq. (1): an entry is valid while its staleness probability
 // is at most P_thld. Command-center entries are always valid.
@@ -183,7 +261,7 @@ func (c *Cache) DropInvalid(now float64) int {
 	dropped := 0
 	for node, e := range c.entries {
 		if !c.IsValid(e, now) {
-			delete(c.entries, node)
+			c.delEntry(node)
 			dropped++
 		}
 	}

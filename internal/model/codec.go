@@ -12,6 +12,10 @@ import (
 // 8*8 (hist).
 const photoWireSize = 8 + 4 + 6*8 + 8 + 8 + HistogramBins*8
 
+// PhotoWireSize is the fixed encoded size of a Photo, exported for callers
+// that budget memory in encoded-photo units (the metadata cache's byte cap).
+const PhotoWireSize = photoWireSize
+
 // ErrShortBuffer is returned when a decode input is truncated.
 var ErrShortBuffer = errors.New("model: short buffer")
 

@@ -39,6 +39,10 @@ const (
 	// disk after a restart; A is the peer, Value is the number of journal
 	// records replayed on top of the snapshot.
 	EvPeerRecovery
+	// EvPeerQuarantined records the guard placing a misbehaving remote in
+	// quarantine; A is the local peer, B the offender, Value the expiry
+	// time of the ban.
+	EvPeerQuarantined
 )
 
 // String returns the stable JSONL name of the kind.
@@ -62,6 +66,8 @@ func (k EventKind) String() string {
 		return "node-crash"
 	case EvPeerRecovery:
 		return "peer-recovery"
+	case EvPeerQuarantined:
+		return "peer-quarantined"
 	default:
 		return "unknown"
 	}

@@ -214,6 +214,19 @@ const (
 	// photo itself still only enters storage via a recContactCommit, which
 	// keeps §III-D's photo-level atomicity intact.
 	recFragment byte = 3
+	// recGuard journals guard events — today only quarantine impositions,
+	// so a restarted peer keeps refusing a banned remote for the rest of
+	// its TTL. Like fragments they sit outside contact atomicity: the
+	// offending contact aborts and journals nothing else, but the ban must
+	// survive. Replay with the guard disabled skips them silently.
+	recGuard byte = 4
+)
+
+// Guard sub-kinds inside a recGuard record.
+const (
+	// guardQuarantine: one quarantine imposition (payload:
+	// [node u32][until f64][reason u8]).
+	guardQuarantine byte = 1
 )
 
 // Fragment sub-kinds inside a recFragment record.
@@ -382,8 +395,9 @@ func (p *Peer) checkpointLocked() error {
 // --- snapshot encoding ---
 
 // peerSnapVersion 2 added the transfer-fragment section (wire v2 resume);
-// restore still accepts version-1 images, which simply have no fragments.
-const peerSnapVersion = 2
+// version 3 added the guard's active quarantines. Restore still accepts
+// older images, which simply have no fragments / no quarantines.
+const peerSnapVersion = 3
 
 // encodeSnapshot serialises the peer's full protocol state, reusing the
 // wire/model append codecs.
@@ -442,6 +456,16 @@ func (p *Peer) encodeSnapshot() []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, f.PayloadCRC)
 		buf = append(buf, f.Bitmap...)
 		buf = append(buf, f.Data...)
+	}
+
+	// v3: the guard's active quarantines (empty when the guard is off —
+	// arming it later starts with a clean slate, which is the conservative
+	// direction).
+	quars := p.guard.ActiveQuarantines(p.clock())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(quars)))
+	for _, q := range quars {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Node))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.Until))
 	}
 
 	return binary.LittleEndian.AppendUint64(buf, p.commits)
@@ -554,6 +578,25 @@ func (p *Peer) restoreSnapshot(buf []byte) error {
 		}
 	}
 
+	if ver >= 3 {
+		if len(buf) < 4 {
+			return errors.New("snapshot quarantine header")
+		}
+		n = binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		if uint64(len(buf)) < uint64(n)*12 {
+			return errors.New("snapshot quarantine entries")
+		}
+		for i := uint32(0); i < n; i++ {
+			node := model.NodeID(binary.LittleEndian.Uint32(buf))
+			until := math.Float64frombits(binary.LittleEndian.Uint64(buf[4:]))
+			buf = buf[12:]
+			if p.guard != nil {
+				p.guard.RestoreQuarantine(node, until, p.clock())
+			}
+		}
+	}
+
 	if len(buf) != 8 {
 		return fmt.Errorf("snapshot trailer: %d bytes", len(buf))
 	}
@@ -607,6 +650,25 @@ func (p *Peer) replayRecord(rec journal.Record) error {
 			return nil
 		default:
 			return fmt.Errorf("unknown fragment sub-kind %d", sub)
+		}
+	case recGuard:
+		if len(rec.Payload) < 1 {
+			return errors.New("guard record: empty")
+		}
+		sub, body := rec.Payload[0], rec.Payload[1:]
+		switch sub {
+		case guardQuarantine:
+			if len(body) != 4+8+1 {
+				return fmt.Errorf("guard quarantine: %d bytes", len(body))
+			}
+			if p.guard != nil {
+				node := model.NodeID(binary.LittleEndian.Uint32(body))
+				until := math.Float64frombits(binary.LittleEndian.Uint64(body[4:]))
+				p.guard.RestoreQuarantine(node, until, p.clock())
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown guard sub-kind %d", sub)
 		}
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)

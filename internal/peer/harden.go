@@ -32,8 +32,17 @@ var ErrContactRejected = errors.New("peer: contact rejected")
 // classifyContactErr tags a final (post-retry) contact failure with the
 // sentinel callers branch on: transient failures that survived every
 // attempt become ErrRetriesExhausted, everything else ErrContactRejected.
+// Guard verdicts — a quarantined or rate-limited remote, a message the
+// state machine or a validator rejected — are explicitly non-transient:
+// retrying a misbehaving remote cannot help, and the original sentinel
+// stays in the chain for errors.Is.
 func classifyContactErr(err error) error {
-	if transient(err) {
+	switch {
+	case errors.Is(err, ErrPeerQuarantined),
+		errors.Is(err, ErrRateLimited),
+		errors.Is(err, ErrProtocolViolation):
+		return fmt.Errorf("%w: %w", ErrContactRejected, err)
+	case transient(err):
 		return fmt.Errorf("%w: %w", ErrRetriesExhausted, err)
 	}
 	return fmt.Errorf("%w: %w", ErrContactRejected, err)

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"photodtn/internal/coverage"
+	"photodtn/internal/guard"
 	"photodtn/internal/journal"
 	"photodtn/internal/metadata"
 	"photodtn/internal/model"
@@ -296,6 +297,12 @@ type Peer struct {
 	hResumeRate    *obs.Histogram
 	gInflight      *obs.Gauge
 
+	// Adversarial hardening (nil — no-op — unless WithGuard is given; see
+	// guard.go).
+	guardOn  bool
+	guardCfg guard.Config
+	guard    *guard.Guard
+
 	// Durability (zero — memory-only — unless WithJournal is given; see
 	// durable.go).
 	stateDir   string
@@ -364,6 +371,7 @@ func New(id model.NodeID, m *coverage.Map, capacity int64, opts ...Option) *Peer
 	p.frags = transfer.NewStore(p.transfer.MaxFragmentBytes)
 	p.selCfg.Metrics = selection.ObserverMetrics(p.obsv)
 	p.fpc.SetMetrics(p.obsv.Counter("coverage.fp_cache_hits"), p.obsv.Counter("coverage.fp_cache_misses"))
+	p.initGuard()
 	if p.stateDir != "" {
 		// Recovery failures are sticky rather than fatal here (New cannot
 		// return an error): the peer exists but refuses to mutate state it
@@ -643,6 +651,11 @@ func (p *Peer) runContact(conn io.ReadWriter, initiator bool) error {
 	s, err := p.beginSession()
 	if err != nil {
 		return err
+	}
+	if p.guard != nil {
+		gc := &guardConn{rw: conn, p: p}
+		s.gc = gc
+		conn = gc
 	}
 	p.inflight.Add(1)
 	p.gInflight.Add(1)

@@ -8,7 +8,9 @@ import (
 	"math"
 	"sort"
 
+	"photodtn/internal/guard"
 	"photodtn/internal/model"
+	fsm "photodtn/internal/peer/session"
 	"photodtn/internal/selection"
 	"photodtn/internal/transfer"
 	"photodtn/internal/wire"
@@ -49,6 +51,14 @@ type session struct {
 	// discard semantics, but measured.
 	wc         *wire.Conn
 	localFrags *transfer.Store
+
+	// Protocol state machine (always on) and guard bookkeeping. remote is
+	// known once the hello exchange names the peer; gc is the byte-metering
+	// wrapper installed when the guard is armed.
+	fsm         *fsm.Machine
+	remote      model.NodeID
+	remoteKnown bool
+	gc          *guardConn
 }
 
 // beginSession snapshots the peer under the lock: state clones, the clock,
@@ -67,11 +77,61 @@ func (p *Peer) beginSession() (*session, error) {
 		nonce:   p.rng.Uint64(),
 		baseGen: p.storeGen,
 		baseIDs: make(map[model.PhotoID]bool, p.store.Len()),
+		fsm:     fsm.NewMachine(),
 	}
 	for _, photo := range p.store.Photos() {
 		s.baseIDs[photo.ID] = true
 	}
 	return s, nil
+}
+
+// to advances the protocol state machine. Transitions are driven by local
+// code in fixed order, so a failure here is a sequencing bug, not remote
+// misbehaviour — it aborts with ErrProtocol but reports nothing.
+func (s *session) to(next fsm.Phase) error {
+	if err := s.fsm.To(next); err != nil {
+		return fmt.Errorf("%w: %w", ErrProtocol, err)
+	}
+	return nil
+}
+
+// enterTransfer advances to the contact's next transfer leg.
+func (s *session) enterTransfer() error {
+	ph, err := s.fsm.TransferPhase()
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrProtocol, err)
+	}
+	return s.to(ph)
+}
+
+// readMsg reads one frame and admits its type against the current protocol
+// phase: an out-of-order, duplicate, or phase-invalid message is a typed
+// violation the guard scores, and the contact aborts cleanly.
+func (s *session) readMsg() (wire.Message, error) {
+	msg, err := s.wc.Read()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fsm.Admit(msg.Type()); err != nil {
+		return nil, s.violationf(guard.ReasonPhase, "%v", err)
+	}
+	return msg, nil
+}
+
+// readIn reads one phase-admitted message and asserts its concrete type; a
+// mismatch within the phase's allowed set is still a violation (the remote
+// broke the round's turn order).
+func readIn[M wire.Message](s *session) (M, error) {
+	var zero M
+	msg, err := s.readMsg()
+	if err != nil {
+		return zero, err
+	}
+	m, ok := msg.(M)
+	if !ok {
+		return zero, s.violationf(guard.ReasonPhase, "got %v, want %v", msg.Type(), zero.Type())
+	}
+	return m, nil
 }
 
 // record applies one op to the session's private state and appends it to
@@ -256,6 +316,21 @@ func (s *session) run(conn io.ReadWriter, initiator bool) error {
 		return err
 	}
 	s.wc = wc
+	s.remote, s.remoteKnown = theirs.Node, true
+	if s.gc != nil {
+		s.gc.bind(theirs.Node)
+	}
+	// Guard admission and hello validation happen before the encounter is
+	// recorded: a shed or lying peer must not influence the PROPHET table
+	// or the learned contact rate, even on the session's private clone.
+	if p.guard != nil {
+		if err := p.guard.AdmitContact(theirs.Node, p.clock()); err != nil {
+			return wrapAdmitErr(err)
+		}
+		if v := p.guardCfg.CheckHello(theirs, now); v != nil {
+			return s.violation(v)
+		}
+	}
 	// Use a shared session clock so both sides make identical validity and
 	// selection decisions.
 	session := math.Max(mine.Time, theirs.Time)
@@ -269,19 +344,30 @@ func (s *session) run(conn io.ReadWriter, initiator bool) error {
 	// Metadata exchange: own collection first, then gossiped cache entries.
 	// Strict turn-taking (initiator writes first) keeps the protocol
 	// deadlock-free even over unbuffered transports.
+	if err := s.to(fsm.PhaseMetadata); err != nil {
+		return err
+	}
 	var md wire.Metadata
 	if initiator {
 		if err := s.wc.Write(s.metadataMsg(session)); err != nil {
 			return err
 		}
-		m, err := readFrom[wire.Metadata](s.wc)
+		m, err := readIn[wire.Metadata](s)
 		if err != nil {
+			return err
+		}
+		if err := s.checkMetadata(m, session); err != nil {
 			return err
 		}
 		md = m
 	} else {
-		m, err := readFrom[wire.Metadata](s.wc)
+		m, err := readIn[wire.Metadata](s)
 		if err != nil {
+			return err
+		}
+		// Validate before answering: a poisoned snapshot is not worth the
+		// bandwidth of this node's own metadata.
+		if err := s.checkMetadata(m, session); err != nil {
 			return err
 		}
 		if err := s.wc.Write(s.metadataMsg(session)); err != nil {
@@ -327,6 +413,20 @@ func (s *session) metadataMsg(session float64) wire.Metadata {
 		})
 	}
 	return md
+}
+
+// checkMetadata validates an inbound metadata message (guard only). It runs
+// before this node answers with its own metadata and before any entry
+// touches even the session clone: poisoned metadata aborts the contact with
+// nothing applied and nothing spent.
+func (s *session) checkMetadata(md wire.Metadata, session float64) error {
+	if s.p.guard == nil {
+		return nil
+	}
+	if v := s.p.guardCfg.CheckMetadata(md, session); v != nil {
+		return s.violation(v)
+	}
+	return nil
 }
 
 // absorbMetadata stores the peer's snapshot and gossip, returning the
@@ -394,6 +494,9 @@ func (s *session) reallocate(initiator bool, mine, theirs wire.Hello, peerPhotos
 			want = append(want, photo.ID)
 		}
 	}
+	if err := s.to(fsm.PhasePlan); err != nil {
+		return err
+	}
 	if initiator {
 		if err := s.wc.Write(wire.PhotoRequest{IDs: want}); err != nil {
 			return err
@@ -401,11 +504,11 @@ func (s *session) reallocate(initiator bool, mine, theirs wire.Hello, peerPhotos
 		if err := s.sendOffer(want); err != nil {
 			return err
 		}
-		theirReq, err := readFrom[wire.PhotoRequest](s.wc)
+		theirReq, err := readIn[wire.PhotoRequest](s)
 		if err != nil {
 			return err
 		}
-		theirOffer, err := s.readOffer()
+		theirOffer, err := s.readOffer(theirReq.IDs)
 		if err != nil {
 			return err
 		}
@@ -418,11 +521,11 @@ func (s *session) reallocate(initiator bool, mine, theirs wire.Hello, peerPhotos
 		}
 		return s.applyPlan(mySel, received, true)
 	}
-	theirReq, err := readFrom[wire.PhotoRequest](s.wc)
+	theirReq, err := readIn[wire.PhotoRequest](s)
 	if err != nil {
 		return err
 	}
-	theirOffer, err := s.readOffer()
+	theirOffer, err := s.readOffer(theirReq.IDs)
 	if err != nil {
 		return err
 	}
@@ -460,14 +563,17 @@ func (s *session) applyPlan(sel model.PhotoList, received map[model.PhotoID]mode
 	if err := s.record(subStoreReplace, final.AppendBinary(nil)); err != nil {
 		return fmt.Errorf("peer %v: apply plan: %w", s.p.id, err)
 	}
+	if err := s.to(fsm.PhaseClose); err != nil {
+		return err
+	}
 	if initiator {
 		if err := s.wc.Write(wire.Bye{}); err != nil {
 			return err
 		}
-		_, err := readFrom[wire.Bye](s.wc)
+		_, err := readIn[wire.Bye](s)
 		return err
 	}
-	if _, err := readFrom[wire.Bye](s.wc); err != nil {
+	if _, err := readIn[wire.Bye](s); err != nil {
 		return err
 	}
 	if err := s.commit(); err != nil {
@@ -481,6 +587,9 @@ func (s *session) applyPlan(sel model.PhotoList, received map[model.PhotoID]mode
 // payloads as CRC-framed chunks behind the negotiated window (transfer.go);
 // a v1 session sends whole PhotoData frames.
 func (s *session) sendPhotos(ids []model.PhotoID, offers map[model.PhotoID]wire.ResumeEntry) error {
+	if err := s.enterTransfer(); err != nil {
+		return err
+	}
 	if s.wc.Version() >= wire.ProtocolV2 {
 		return s.sendChunks(ids, offers)
 	}
@@ -507,22 +616,40 @@ func (s *session) sendPhotos(ids []model.PhotoID, offers map[model.PhotoID]wire.
 // lists the photos this node asked for (the resume bookkeeping needs it;
 // v1 ignores it).
 func (s *session) receivePhotos(want []model.PhotoID) (map[model.PhotoID]model.Photo, error) {
+	if err := s.enterTransfer(); err != nil {
+		return nil, err
+	}
 	if s.wc.Version() >= wire.ProtocolV2 {
 		return s.receiveChunks(want)
 	}
+	// Plan pinning (guard only): a non-empty want-list bounds what the
+	// remote may deliver. Empty means unpinned — a v1 upload carries no
+	// announcement.
+	var wantSet map[model.PhotoID]bool
+	if s.p.guard != nil && len(want) > 0 {
+		wantSet = make(map[model.PhotoID]bool, len(want))
+		for _, id := range want {
+			wantSet[id] = true
+		}
+	}
 	out := make(map[model.PhotoID]model.Photo)
 	for {
-		msg, err := s.wc.Read()
+		msg, err := s.readMsg()
 		if err != nil {
 			return nil, err
 		}
 		switch m := msg.(type) {
 		case wire.PhotoData:
+			if s.p.guard != nil {
+				if v := s.p.guardCfg.CheckPhotoData(m, wantSet); v != nil {
+					return nil, s.violation(v)
+				}
+			}
 			out[m.Photo.ID] = m.Photo
 		case wire.Ack:
 			return out, nil
 		default:
-			return nil, fmt.Errorf("%w: %v during photo transfer", ErrProtocol, msg.Type())
+			return nil, s.violationf(guard.ReasonPhase, "%v during photo transfer", msg.Type())
 		}
 	}
 }
@@ -551,18 +678,21 @@ func (s *session) upload(session float64) error {
 	}
 	var offers map[model.PhotoID]wire.ResumeEntry
 	if s.wc.Version() >= wire.ProtocolV2 {
+		if err := s.to(fsm.PhasePlan); err != nil {
+			return err
+		}
 		if err := s.wc.Write(wire.PhotoRequest{IDs: ids}); err != nil {
 			return err
 		}
 		var err error
-		if offers, err = s.readOffer(); err != nil {
+		if offers, err = s.readOffer(ids); err != nil {
 			return err
 		}
 	}
 	if err := s.sendPhotos(ids, offers); err != nil {
 		return err
 	}
-	ack, err := readFrom[wire.Ack](s.wc)
+	ack, err := readIn[wire.Ack](s)
 	if err != nil {
 		return err
 	}
@@ -578,8 +708,10 @@ func (s *session) upload(session float64) error {
 		return err
 	}
 	s.storeOps = s.storeOps || len(acked) > 0
-	_, err = readFrom[wire.Bye](s.wc)
-	if err != nil {
+	if err := s.to(fsm.PhaseClose); err != nil {
+		return err
+	}
+	if _, err := readIn[wire.Bye](s); err != nil {
 		return err
 	}
 	return s.wc.Write(wire.Bye{})
@@ -602,7 +734,10 @@ func (s *session) deliveredHeld(delivered model.PhotoList) model.PhotoList {
 func (s *session) receiveUpload() error {
 	var announced []model.PhotoID
 	if s.wc.Version() >= wire.ProtocolV2 {
-		ann, err := readFrom[wire.PhotoRequest](s.wc)
+		if err := s.to(fsm.PhasePlan); err != nil {
+			return err
+		}
+		ann, err := readIn[wire.PhotoRequest](s)
 		if err != nil {
 			return err
 		}
@@ -630,12 +765,15 @@ func (s *session) receiveUpload() error {
 	if err := s.commit(); err != nil {
 		return err
 	}
+	if err := s.to(fsm.PhaseClose); err != nil {
+		return err
+	}
 	if err := s.wc.Write(wire.Ack{IDs: ids}); err != nil {
 		return err
 	}
 	if err := s.wc.Write(wire.Bye{}); err != nil {
 		return err
 	}
-	_, err = readFrom[wire.Bye](s.wc)
+	_, err = readIn[wire.Bye](s)
 	return err
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"photodtn/internal/guard"
 	"photodtn/internal/model"
 	"photodtn/internal/transfer"
 	"photodtn/internal/wire"
@@ -89,14 +90,25 @@ func (s *session) sendOffer(want []model.PhotoID) error {
 	return s.wc.Write(offer)
 }
 
-// readOffer reads the peer's resume offer (v2 only) into a lookup map.
-func (s *session) readOffer() (map[model.PhotoID]wire.ResumeEntry, error) {
+// readOffer reads the peer's resume offer (v2 only) into a lookup map,
+// pinning it — when the guard is armed — to the request that preceded it:
+// an offer may only name photos this side just asked the remote to send.
+func (s *session) readOffer(requested []model.PhotoID) (map[model.PhotoID]wire.ResumeEntry, error) {
 	if s.wc.Version() < wire.ProtocolV2 {
 		return nil, nil
 	}
-	offer, err := readFrom[wire.ResumeOffer](s.wc)
+	offer, err := readIn[wire.ResumeOffer](s)
 	if err != nil {
 		return nil, err
+	}
+	if s.p.guard != nil {
+		asked := make(map[model.PhotoID]bool, len(requested))
+		for _, id := range requested {
+			asked[id] = true
+		}
+		if v := s.p.guardCfg.CheckResumeOffer(offer, asked); v != nil {
+			return nil, s.violation(v)
+		}
 	}
 	out := make(map[model.PhotoID]wire.ResumeEntry, len(offer.Entries))
 	for _, e := range offer.Entries {
@@ -164,17 +176,34 @@ func (s *session) sendChunks(ids []model.PhotoID, offers map[model.PhotoID]wire.
 	}
 
 	// Pipelined send: the plan's length fixes the ack count, so the reader
-	// goroutine knows exactly when the stream is drained.
+	// goroutine knows exactly when the stream is drained. The fixed plan
+	// also pins the legal ack set: the map is fully built before the
+	// goroutine starts (happens-before) and only the goroutine touches it
+	// after, so no lock is needed.
 	n := len(plan)
+	var outstanding map[guard.ChunkKey]int
+	if p.guard != nil {
+		outstanding = make(map[guard.ChunkKey]int, n)
+		for _, c := range plan {
+			outstanding[guard.ChunkKey{ID: c.Photo.ID, Index: c.Index}]++
+		}
+	}
 	acks := make(chan wire.ChunkAck, n)
 	errc := make(chan error, 1)
 	go func() {
 		defer close(acks)
 		for i := 0; i < n; i++ {
-			a, err := readFrom[wire.ChunkAck](s.wc)
+			a, err := readIn[wire.ChunkAck](s)
 			if err != nil {
 				errc <- err
 				return
+			}
+			if outstanding != nil {
+				if v := p.guardCfg.CheckChunkAck(a, outstanding); v != nil {
+					errc <- s.violation(v)
+					return
+				}
+				outstanding[guard.ChunkKey{ID: a.ID, Index: a.Index}]--
 			}
 			acks <- a
 		}
@@ -234,13 +263,35 @@ func (s *session) receiveChunks(want []model.PhotoID) (map[model.PhotoID]model.P
 			}
 		}
 	}
+	// With the guard armed, pin the stream to the request: chunks must name
+	// wanted photos, match the negotiated chunk size, and never repeat a
+	// (photo, index) pair within the contact.
+	var wantSet map[model.PhotoID]bool
+	var seen map[guard.ChunkKey]bool
+	if p.guard != nil {
+		wantSet = make(map[model.PhotoID]bool, len(want))
+		for _, id := range want {
+			wantSet[id] = true
+		}
+		seen = make(map[guard.ChunkKey]bool)
+	}
 	for {
-		msg, err := s.wc.Read()
+		msg, err := s.readMsg()
 		if err != nil {
 			return nil, err
 		}
 		switch m := msg.(type) {
 		case wire.Chunk:
+			if p.guard != nil {
+				if v := p.guardCfg.CheckChunk(m, wantSet, s.wc.ChunkSize()); v != nil {
+					return nil, s.violation(v)
+				}
+				key := guard.ChunkKey{ID: m.Photo.ID, Index: m.Index}
+				if seen[key] {
+					return nil, s.violationf(guard.ReasonReplay, "duplicate chunk %v[%d]", m.Photo.ID, m.Index)
+				}
+				seen[key] = true
+			}
 			p.tChunksRecv.Add(1)
 			p.cChunksRecv.Inc()
 			res, err := s.addChunk(m)
@@ -262,6 +313,9 @@ func (s *session) receiveChunks(want []model.PhotoID) (map[model.PhotoID]model.P
 		case wire.Ack:
 			return out, nil
 		default:
+			if p.guard != nil {
+				return nil, s.violationf(guard.ReasonPhase, "%v during chunk transfer", msg.Type())
+			}
 			return nil, fmt.Errorf("%w: %v during chunk transfer", ErrProtocol, msg.Type())
 		}
 	}

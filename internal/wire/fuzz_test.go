@@ -115,6 +115,28 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add(byte(MsgBye), []byte{1})                                    // bye with body
 	f.Add(byte(MsgHello), bytes.Repeat([]byte{0x41}, 35))             // one byte short
 	f.Add(byte(MsgMetadata), []byte{1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}) // truncated entry
+	// Hostile length claims: counts and geometry chosen to bait an
+	// allocator that trusts the header, with bodies far too short to ever
+	// satisfy them.
+	f.Add(byte(MsgResumeOffer), []byte{0xFF, 0xFF, 0xFF, 0xFF})            // huge offer count, empty body
+	f.Add(byte(MsgResumeOffer), append([]byte{0x10, 0, 0, 0}, make([]byte, 29)...)) // claims 16, holds 1
+	f.Add(byte(MsgAck), []byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3})           // huge ack count, 3 bytes
+	f.Add(byte(MsgChunk), func() []byte {                                  // absurd Total/Count geometry
+		b := samplePhoto(7, 0).AppendBinary(nil)
+		b = appendU32(b, 0)                   // index
+		b = appendU32(b, 0xFFFFFFFF)          // count far past MaxChunks
+		b = appendU32(b, 1)                   // chunk size
+		b = appendU64(b, 1<<62)               // total
+		return appendU32(b, 0)                // crc
+	}())
+	f.Add(byte(MsgMetadata), func() []byte { // entry whose photo list claims 2^31 photos
+		b := appendU32(nil, 1)
+		b = appendU32(b, 5)
+		b = appendF64(b, 0.1)
+		b = appendF64(b, 0.2)
+		b = appendF64(b, 3)
+		return appendU32(b, 0x80000000)
+	}())
 
 	f.Fuzz(func(t *testing.T, typ byte, body []byte) {
 		msg, err := DecodeBody(MsgType(typ), body)

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDecodeHostileLengths drives every length-prefixed decoder with claims
+// the body cannot satisfy: each must fail with ErrBadMessage before doing
+// any claim-proportional work or allocation. The alloc assertions pin the
+// fast-fail property — a decoder that trusted the claimed count would
+// allocate (or loop) on the order of the claim, not the body.
+func TestDecodeHostileLengths(t *testing.T) {
+	hugeChunk := samplePhoto(7, 0).AppendBinary(nil)
+	hugeChunk = appendU32(hugeChunk, 0)          // index
+	hugeChunk = appendU32(hugeChunk, 0xFFFFFFFF) // count far past MaxChunks
+	hugeChunk = appendU32(hugeChunk, 1)          // chunk size
+	hugeChunk = appendU64(hugeChunk, 1<<62)      // total
+	hugeChunk = appendU32(hugeChunk, 0)          // crc
+
+	hugePhotos := appendU32(nil, 1) // one metadata entry ...
+	hugePhotos = appendU32(hugePhotos, 5)
+	hugePhotos = appendF64(hugePhotos, 0.1)
+	hugePhotos = appendF64(hugePhotos, 0.2)
+	hugePhotos = appendF64(hugePhotos, 3)
+	hugePhotos = appendU32(hugePhotos, 0x80000000) // ... claiming 2^31 photos
+
+	hugeResume := appendU64(nil, 9) // one resume entry ...
+	hugeResume = appendU32(hugeResume, 1)
+	hugeResume = appendU32(hugeResume, MaxChunks) // ... whose bitmap would be 2 MiB
+	hugeResume = appendU64(hugeResume, MaxChunks)
+	hugeResume = appendU32(hugeResume, 0)
+
+	cases := []struct {
+		name string
+		typ  MsgType
+		body []byte
+	}{
+		{"metadata count", MsgMetadata, []byte{0xFF, 0xFF, 0xFF, 0xFF}},
+		{"metadata photos", MsgMetadata, hugePhotos},
+		{"request count", MsgPhotoRequest, []byte{0xFF, 0xFF, 0xFF, 0x7F}},
+		{"ack count", MsgAck, []byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3}},
+		{"offer count empty", MsgResumeOffer, []byte{0xFF, 0xFF, 0xFF, 0xFF}},
+		{"offer count short", MsgResumeOffer, append([]byte{0x10, 0, 0, 0}, make([]byte, 29)...)},
+		{"offer bitmap", MsgResumeOffer, append(appendU32(nil, 1), hugeResume...)},
+		{"chunk geometry", MsgChunk, hugeChunk},
+		{"photo data payload", MsgPhotoData, append(samplePhoto(3, 0).AppendBinary(nil), 0xFF, 0xFF, 0xFF, 0x7F)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var err error
+			allocs := testing.AllocsPerRun(10, func() {
+				_, err = DecodeBody(tc.typ, tc.body)
+			})
+			if !errors.Is(err, ErrBadMessage) {
+				t.Fatalf("err = %v, want ErrBadMessage", err)
+			}
+			// The error path formats a message (a handful of allocations);
+			// anything claim-proportional would be thousands.
+			if allocs > 32 {
+				t.Fatalf("decode allocated %v times on a hostile claim", allocs)
+			}
+		})
+	}
+}

@@ -292,9 +292,14 @@ func decodeMetadata(b []byte) (Metadata, error) {
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
-	// Never trust the claimed count for allocation: each entry needs at
-	// least its fixed header, so the body length bounds the real count.
+	// Never trust the claimed count: each entry needs at least its fixed
+	// header, so the body length bounds the real count. A claim the body
+	// cannot possibly satisfy fails fast, before any entry decoding; the
+	// same bound caps the allocation hint.
 	const minEntry = 4 + 8*3 + 4
+	if uint64(n)*minEntry > uint64(len(b)) {
+		return Metadata{}, fmt.Errorf("%w: metadata claims %d entries with %d bytes", ErrBadMessage, n, len(b))
+	}
 	capHint := uint32(len(b) / minEntry)
 	if n < capHint {
 		capHint = n
@@ -661,9 +666,13 @@ func decodeResumeOffer(b []byte) (ResumeOffer, error) {
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
-	// As with metadata, the claimed count never drives allocation: each
-	// entry needs at least its fixed header plus one bitmap byte.
+	// As with metadata, the claimed count never drives allocation, and an
+	// impossible claim fails before any entry decoding: each entry needs
+	// at least its fixed header plus one bitmap byte.
 	const minEntry = 28 + 1
+	if uint64(n)*minEntry > uint64(len(b)) {
+		return ResumeOffer{}, fmt.Errorf("%w: offer claims %d entries with %d bytes", ErrBadMessage, n, len(b))
+	}
 	capHint := uint32(len(b) / minEntry)
 	if n < capHint {
 		capHint = n

@@ -47,6 +47,7 @@ import (
 	"photodtn/internal/coverage"
 	"photodtn/internal/experiments"
 	"photodtn/internal/geo"
+	"photodtn/internal/guard"
 	"photodtn/internal/metadata"
 	"photodtn/internal/mobility"
 	"photodtn/internal/model"
@@ -340,6 +341,29 @@ type TransferConfig = peer.TransferConfig
 // (see Peer.TransferStats).
 type PeerTransferStats = peer.TransferStats
 
+// GuardConfig tunes a peer's adversarial hardening: per-peer rate limits,
+// the misbehavior score and quarantine TTL, clock-skew and size bounds for
+// semantic validation, and the metadata cache caps. Zero fields take the
+// documented defaults; pass it through WithGuard.
+type GuardConfig = guard.Config
+
+// GuardStats is a guarded peer's activity snapshot: violations by reason,
+// shed contacts, and active quarantines (see Peer.GuardStats).
+type GuardStats = guard.Stats
+
+// Guard sentinels, re-exported for errors.Is against Contact/DialContext
+// failures. All three also classify as contact rejections (never retried).
+var (
+	// ErrProtocolViolation reports an inbound message the protocol state
+	// machine or a semantic validator rejected.
+	ErrProtocolViolation = peer.ErrProtocolViolation
+	// ErrPeerQuarantined reports a contact with a remote inside its
+	// quarantine TTL.
+	ErrPeerQuarantined = peer.ErrPeerQuarantined
+	// ErrRateLimited reports a contact shed by the per-peer rate budget.
+	ErrRateLimited = peer.ErrRateLimited
+)
+
 // ProtocolVersion is the highest wire protocol version this build speaks.
 // Version 2 added chunked, resumable transfer; v2 peers interoperate with
 // v1 peers through the hello handshake (resume silently disabled).
@@ -366,6 +390,11 @@ var (
 	// WithMaxContacts bounds how many contacts a serving peer handles
 	// concurrently (excess accepts are rejected with a clean abort).
 	WithMaxContacts = peer.WithMaxContacts
+	// WithGuard arms a peer's adversarial hardening: protocol state
+	// machine violation scoring, semantic validation of inbound messages,
+	// per-peer rate limiting, and a journaled TTL quarantine. Without it
+	// the contact path is bit-identical to an unguarded peer.
+	WithGuard = peer.WithGuard
 )
 
 // Unified observability (see DESIGN.md).
